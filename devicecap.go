@@ -1,0 +1,5 @@
+package iotsan
+
+import "iotsan/internal/device"
+
+func deviceCap(name string) *device.Capability { return device.CapabilityByName(name) }

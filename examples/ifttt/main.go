@@ -1,0 +1,31 @@
+// IFTTT: apply IotSan to trigger-action applets (§11): translate the
+// ten validation rules, check the four unsafe-physical-state properties,
+// and print the violations (Table 9).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotsan/internal/ifttt"
+)
+
+func main() {
+	applets := ifttt.Table9Applets()
+	fmt.Printf("translated %d applets; services modeled: %v\n\n",
+		len(applets), ifttt.Services())
+	for _, a := range applets {
+		fmt.Printf("  %-7s IF %s %s THEN %s %s\n",
+			a.Name, a.Trigger.Device, a.Trigger.Event, a.Action.Device, a.Action.Command)
+	}
+
+	res, err := ifttt.RunTable9(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nviolated properties (%d):\n", len(res.ViolatedProperties))
+	for _, p := range res.ViolatedProperties {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Printf("\nstates explored: %d\n", res.Result.StatesExplored)
+}

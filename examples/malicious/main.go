@@ -1,0 +1,45 @@
+// Malicious: run the Output Analyzer (§9/§10.3) on ContexIoT-style
+// trojan apps and on a benign app, printing the two-phase verdicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotsan"
+	"iotsan/internal/attribution"
+	"iotsan/internal/corpus"
+	"iotsan/internal/experiments"
+)
+
+func main() {
+	home := &iotsan.System{
+		Name:    "attr-home",
+		Modes:   []string{"Home", "Away", "Night"},
+		Mode:    "Home",
+		Devices: experiments.HomeInventory(),
+		Phones:  []string{"15551230000"},
+	}
+
+	candidates := []string{
+		"Presence Tracker Plus", // leaks presence via httpPost
+		"Night Breeze",          // unlocks the main door at night
+		"Water Saver Valve",     // closes the sprinkler supply during fires
+		"Battery Saver Pro",     // unsubscribes and silences the siren
+		"Lock It When I Leave",  // benign
+	}
+	for _, name := range candidates {
+		src := corpus.MustSource(name)
+		rep, err := iotsan.Attribute(home, src, nil, attribution.Options{
+			MaxEvents: 2, MaxConfigs: 16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s -> %-22s (phase1 %.0f%%, phase2 %.0f%%)\n",
+			name, rep.Verdict, rep.Phase1Ratio()*100, rep.Phase2Ratio()*100)
+		for _, p := range rep.ViolatedProperties {
+			fmt.Printf("    %s\n", p)
+		}
+	}
+}

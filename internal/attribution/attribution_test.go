@@ -1,0 +1,82 @@
+package attribution
+
+import (
+	"testing"
+
+	"iotsan/internal/config"
+	"iotsan/internal/corpus"
+	"iotsan/internal/ir"
+	"iotsan/internal/smartapp"
+)
+
+func attrHome() *config.System {
+	return &config.System{
+		Name: "attr-home", Modes: []string{"Home", "Away", "Night"}, Mode: "Home",
+		Devices: []config.Device{
+			{ID: "pres", Label: "Presence", Model: "Presence Sensor"},
+			{ID: "frontLock", Label: "Front Lock", Model: "Smart Lock", Association: "main door"},
+			{ID: "smoke", Label: "Smoke", Model: "Smoke Detector"},
+			{ID: "valve", Label: "Sprinkler Valve", Model: "Water Valve", Association: "fire sprinkler valve", Initial: map[string]string{"valve": "open"}},
+			{ID: "heater", Label: "Heater Outlet", Model: "Smart Power Outlet", Association: "heater"},
+			{ID: "temp", Label: "Temp", Model: "Temperature Sensor"},
+			{ID: "siren", Label: "Siren", Model: "Siren Alarm", Association: "alarm"},
+		},
+		Phones: []string{"15551230000"},
+	}
+}
+
+func attribute(t *testing.T, appName string) *Report {
+	t.Helper()
+	src := corpus.MustSource(appName)
+	app, err := smartapp.Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AttributeNewApp(attrHome(), app, map[string]*ir.App{appName: app}, Options{
+		MaxEvents: 2, MaxConfigs: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestMaliciousAttributed: the ContexIoT-style apps attribute as
+// malicious with 100% violation ratio (§10.3).
+func TestMaliciousAttributed(t *testing.T) {
+	for _, name := range []string{"Presence Tracker Plus", "Night Breeze", "Water Saver Valve", "Vacation Comfort Prep"} {
+		rep := attribute(t, name)
+		if rep.Verdict != Malicious {
+			t.Errorf("%s: verdict=%v ratio1=%.2f props=%v", name, rep.Verdict, rep.Phase1Ratio(), rep.ViolatedProperties)
+		}
+		if rep.Phase1Ratio() < 0.99 {
+			t.Errorf("%s: phase1 ratio %.2f, want 1.0", name, rep.Phase1Ratio())
+		}
+	}
+}
+
+// TestGoodAppClean: a benign notifier attributes clean.
+func TestGoodAppClean(t *testing.T) {
+	rep := attribute(t, "Lock It When I Leave")
+	if rep.Verdict == Malicious || rep.Verdict == Bad {
+		t.Errorf("verdict=%v props=%v", rep.Verdict, rep.ViolatedProperties)
+	}
+}
+
+func TestEnumerateConfigs(t *testing.T) {
+	src := corpus.MustSource("Virtual Thermostat")
+	app, err := smartapp.Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := attrHome()
+	configs := EnumerateConfigs(sys, app, 32)
+	if len(configs) == 0 {
+		t.Fatal("no configurations enumerated")
+	}
+	for _, c := range configs {
+		if _, ok := c["sensor"]; !ok {
+			t.Fatalf("config missing sensor binding: %v", c)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package checker is the explicit-state safety model checker at the core
+// of IotSan — the stand-in for Spin (§2.3). It performs a depth-first
+// search over a transition system, de-duplicating visited states by a
+// hash of their encoded state vector, and reports property violations
+// together with Spin-style counter-example trails (Fig. 7).
+//
+// Two visited-state stores are provided, mirroring Spin's verification
+// modes: an exhaustive hash-compact store, and BITSTATE supertrace
+// hashing — an approximate store that keeps k hash bits per state in a
+// bit array, trading completeness for memory (§2.3; Holzmann's analysis
+// of bitstate hashing).
+package checker
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is an opaque system state that can append a deterministic
+// encoding of itself (its state vector) to a buffer.
+type State interface {
+	Encode(buf []byte) []byte
+}
+
+// Violation is a property violation detected in a state or on a
+// transition.
+type Violation struct {
+	Property string // property identifier, e.g. "conflicting-commands"
+	Detail   string // human-readable specifics
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+// Transition is one successor of a state.
+type Transition struct {
+	Label      string   // short label, e.g. `alicePresence.presence = not present`
+	Steps      []string // micro-steps for the trail (handler runs, commands)
+	Next       State
+	Violations []Violation // violations raised while taking the transition
+}
+
+// System is the transition system under verification.
+type System interface {
+	// Initial returns the initial state.
+	Initial() State
+	// Expand returns the successors of s; an empty slice ends the path.
+	Expand(s State) []Transition
+	// Inspect evaluates state properties (safety invariants) on s.
+	Inspect(s State) []Violation
+}
+
+// StoreKind selects the visited-state store.
+type StoreKind int
+
+// Store kinds.
+const (
+	// Exhaustive stores a 64-bit hash per visited state (hash-compact).
+	Exhaustive StoreKind = iota
+	// Bitstate stores k bits per state in a fixed bit array (Spin's
+	// BITSTATE / supertrace mode).
+	Bitstate
+)
+
+// Options configure a verification run.
+type Options struct {
+	Store StoreKind
+	// BitstateBits is log2 of the bit-array size for Bitstate (default
+	// 26 → 64 Mbit = 8 MB).
+	BitstateBits uint
+	// BitstateK is the number of hash functions (default 3).
+	BitstateK int
+	// MaxDepth bounds the DFS depth in transitions (default 64).
+	MaxDepth int
+	// MaxStates bounds the number of states explored (0 = unlimited).
+	MaxStates int
+	// Deadline bounds wall-clock time (0 = unlimited).
+	Deadline time.Duration
+	// MaxViolations stops the search after that many distinct violations
+	// (0 = collect all).
+	MaxViolations int
+	// NoDedup disables state matching entirely (every path explored).
+	NoDedup bool
+}
+
+// TrailStep is one step of a counter-example trail.
+type TrailStep struct {
+	Label string
+	Steps []string
+}
+
+// Found is a distinct violation with the trail that reaches it.
+type Found struct {
+	Violation
+	Trail []TrailStep
+	Depth int
+}
+
+// Result summarises a verification run.
+type Result struct {
+	Violations      []Found
+	StatesExplored  int // states visited (transitions taken + initial)
+	StatesMatched   int // successors pruned because already visited
+	StatesStored    int // entries in the visited store
+	MaxDepthReached int
+	Truncated       bool // a limit stopped the search early
+	Elapsed         time.Duration
+}
+
+// HasViolation reports whether a property with the given id was violated.
+func (r *Result) HasViolation(property string) bool {
+	for _, f := range r.Violations {
+		if f.Property == property {
+			return true
+		}
+	}
+	return false
+}
+
+// PropertyIDs returns the distinct violated property ids, in discovery
+// order.
+func (r *Result) PropertyIDs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range r.Violations {
+		if !seen[f.Property] {
+			seen[f.Property] = true
+			out = append(out, f.Property)
+		}
+	}
+	return out
+}
+
+// store is the visited-state set abstraction.
+type store interface {
+	// seen inserts the state hash, reporting whether it was already
+	// present.
+	seen(h uint64) bool
+	// size returns the number of stored entries (approximate for
+	// bitstate).
+	size() int
+}
+
+type hashStore struct{ m map[uint64]struct{} }
+
+func (s *hashStore) seen(h uint64) bool {
+	if _, ok := s.m[h]; ok {
+		return true
+	}
+	s.m[h] = struct{}{}
+	return false
+}
+
+func (s *hashStore) size() int { return len(s.m) }
+
+// bitStore is Spin's BITSTATE: k hash probes into a 2^bits bit array.
+type bitStore struct {
+	bits  []uint64
+	mask  uint64
+	k     int
+	count int
+}
+
+func newBitStore(logBits uint, k int) *bitStore {
+	if logBits == 0 {
+		logBits = 26
+	}
+	if logBits < 10 {
+		logBits = 10
+	}
+	if k <= 0 {
+		k = 3
+	}
+	n := uint64(1) << logBits
+	return &bitStore{bits: make([]uint64, n/64), mask: n - 1, k: k}
+}
+
+func (s *bitStore) seen(h uint64) bool {
+	all := true
+	x := h
+	for i := 0; i < s.k; i++ {
+		// SplitMix64 step derives independent probe positions.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		pos := z & s.mask
+		w, b := pos/64, pos%64
+		if s.bits[w]&(1<<b) == 0 {
+			all = false
+			s.bits[w] |= 1 << b
+		}
+	}
+	if !all {
+		s.count++
+	}
+	return all
+}
+
+func (s *bitStore) size() int { return s.count }
+
+type nopStore struct{ count int }
+
+func (s *nopStore) seen(uint64) bool { s.count++; return false }
+func (s *nopStore) size() int        { return s.count }
+
+// fnv1a hashes a state vector.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// Run verifies the system, exploring depth-first from the initial state.
+func Run(sys System, opts Options) *Result {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 64
+	}
+	var st store
+	switch {
+	case opts.NoDedup:
+		st = &nopStore{}
+	case opts.Store == Bitstate:
+		st = newBitStore(opts.BitstateBits, opts.BitstateK)
+	default:
+		st = &hashStore{m: map[uint64]struct{}{}}
+	}
+
+	res := &Result{}
+	start := time.Now()
+	distinct := map[string]bool{}
+
+	record := func(v Violation, trail []TrailStep, depth int) {
+		key := v.Property + "\x00" + v.Detail
+		if distinct[key] {
+			return
+		}
+		distinct[key] = true
+		res.Violations = append(res.Violations, Found{
+			Violation: v,
+			Trail:     append([]TrailStep(nil), trail...),
+			Depth:     depth,
+		})
+	}
+
+	limitHit := func() bool {
+		if opts.MaxStates > 0 && res.StatesExplored >= opts.MaxStates {
+			return true
+		}
+		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
+			return true
+		}
+		if opts.MaxViolations > 0 && len(res.Violations) >= opts.MaxViolations {
+			return true
+		}
+		return false
+	}
+
+	// Iterative DFS.
+	type frame struct {
+		state State
+		succs []Transition
+		next  int
+	}
+	var trail []TrailStep
+	buf := make([]byte, 0, 512)
+
+	init := sys.Initial()
+	buf = init.Encode(buf[:0])
+	st.seen(fnv1a(buf))
+	res.StatesExplored++
+	for _, v := range sys.Inspect(init) {
+		record(v, nil, 0)
+	}
+
+	stack := []frame{{state: init}}
+	stack[0].succs = sys.Expand(init)
+
+	for len(stack) > 0 {
+		if limitHit() {
+			res.Truncated = true
+			break
+		}
+		top := &stack[len(stack)-1]
+		if top.next >= len(top.succs) || len(stack) > opts.MaxDepth {
+			if len(stack) > opts.MaxDepth {
+				res.Truncated = true
+			}
+			stack = stack[:len(stack)-1]
+			if len(trail) > 0 {
+				trail = trail[:len(trail)-1]
+			}
+			continue
+		}
+		tr := top.succs[top.next]
+		top.next++
+
+		depth := len(stack)
+		trail = append(trail, TrailStep{Label: tr.Label, Steps: tr.Steps})
+		if depth > res.MaxDepthReached {
+			res.MaxDepthReached = depth
+		}
+		for _, v := range tr.Violations {
+			record(v, trail, depth)
+		}
+		for _, v := range sys.Inspect(tr.Next) {
+			record(v, trail, depth)
+		}
+
+		buf = tr.Next.Encode(buf[:0])
+		if st.seen(fnv1a(buf)) {
+			res.StatesMatched++
+			trail = trail[:len(trail)-1]
+			continue
+		}
+		res.StatesExplored++
+		stack = append(stack, frame{state: tr.Next, succs: sys.Expand(tr.Next)})
+	}
+
+	res.StatesStored = st.size()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// FormatTrail renders a counter-example trail in the style of the
+// paper's Figure 7 violation log.
+func FormatTrail(f Found) string {
+	out := fmt.Sprintf("violated: %s (%s)\n", f.Property, f.Detail)
+	n := 1
+	for _, step := range f.Trail {
+		out += fmt.Sprintf("%3d  [%s]\n", n, step.Label)
+		n++
+		for _, s := range step.Steps {
+			out += fmt.Sprintf("     %s\n", s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package checker
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// chainState is a toy system: a counter that can be incremented or
+// doubled up to a bound; states with value == bad violate.
+type chainState struct{ v, depth int }
+
+func (s *chainState) Encode(buf []byte) []byte {
+	return append(buf, byte(s.v), byte(s.v>>8))
+}
+
+type chainSys struct {
+	bound int
+	bad   int
+}
+
+func (c *chainSys) Initial() State { return &chainState{v: 1} }
+
+func (c *chainSys) Expand(s State) []Transition {
+	st := s.(*chainState)
+	if st.depth >= c.bound {
+		return nil
+	}
+	mk := func(nv int, label string) Transition {
+		return Transition{Label: label, Next: &chainState{v: nv, depth: st.depth + 1}}
+	}
+	return []Transition{
+		mk(st.v+1, fmt.Sprintf("inc->%d", st.v+1)),
+		mk(st.v*2, fmt.Sprintf("dbl->%d", st.v*2)),
+	}
+}
+
+func (c *chainSys) Inspect(s State) []Violation {
+	if s.(*chainState).v == c.bad {
+		return []Violation{{Property: "bad-value", Detail: fmt.Sprintf("reached %d", c.bad)}}
+	}
+	return nil
+}
+
+func TestFindsViolationWithTrail(t *testing.T) {
+	res := Run(&chainSys{bound: 6, bad: 12}, Options{MaxDepth: 10})
+	if !res.HasViolation("bad-value") {
+		t.Fatalf("violation not found; explored=%d", res.StatesExplored)
+	}
+	f := res.Violations[0]
+	if len(f.Trail) == 0 {
+		t.Error("no trail")
+	}
+	if f.Depth != len(f.Trail) {
+		t.Errorf("depth=%d trail=%d", f.Depth, len(f.Trail))
+	}
+}
+
+func TestDedupPrunesRevisits(t *testing.T) {
+	res := Run(&chainSys{bound: 10, bad: -1}, Options{MaxDepth: 16})
+	if res.StatesMatched == 0 {
+		t.Error("expected matched states (2*2=4 is reachable two ways)")
+	}
+	nodedup := Run(&chainSys{bound: 10, bad: -1}, Options{MaxDepth: 16, NoDedup: true})
+	if nodedup.StatesExplored <= res.StatesExplored {
+		t.Errorf("NoDedup explored %d <= dedup %d", nodedup.StatesExplored, res.StatesExplored)
+	}
+}
+
+func TestBitstateFindsSameViolations(t *testing.T) {
+	ex := Run(&chainSys{bound: 8, bad: 24}, Options{MaxDepth: 12})
+	bs := Run(&chainSys{bound: 8, bad: 24}, Options{MaxDepth: 12, Store: Bitstate, BitstateBits: 16})
+	if ex.HasViolation("bad-value") != bs.HasViolation("bad-value") {
+		t.Errorf("exhaustive=%v bitstate=%v", ex.HasViolation("bad-value"), bs.HasViolation("bad-value"))
+	}
+}
+
+func TestLimitsTruncate(t *testing.T) {
+	res := Run(&chainSys{bound: 30, bad: -1}, Options{MaxDepth: 64, MaxStates: 50})
+	if !res.Truncated {
+		t.Error("expected truncation at MaxStates")
+	}
+	res = Run(&chainSys{bound: 30, bad: -1}, Options{MaxDepth: 3})
+	if res.MaxDepthReached > 3 {
+		t.Errorf("depth %d exceeds bound", res.MaxDepthReached)
+	}
+}
+
+func TestMaxViolationsStopsEarly(t *testing.T) {
+	res := Run(&chainSys{bound: 10, bad: 4}, Options{MaxDepth: 16, MaxViolations: 1})
+	if len(res.Violations) != 1 {
+		t.Errorf("violations = %d, want 1", len(res.Violations))
+	}
+}
+
+// TestBitstoreNeverFalseNegativeOnFirstInsert: a bitstate store never
+// claims an unseen state was seen before any insertions collide
+// (property: first insert of any hash returns false).
+func TestBitstoreNeverFalseNegativeOnFirstInsert(t *testing.T) {
+	f := func(h uint64) bool {
+		s := newBitStore(16, 3)
+		return !s.seen(h) && s.seen(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashStoreExact: the exhaustive store is exact over hashes.
+func TestHashStoreExact(t *testing.T) {
+	f := func(hs []uint64) bool {
+		s := &hashStore{m: map[uint64]struct{}{}}
+		seen := map[uint64]bool{}
+		for _, h := range hs {
+			if s.seen(h) != seen[h] {
+				return false
+			}
+			seen[h] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatTrail(t *testing.T) {
+	out := FormatTrail(Found{
+		Violation: Violation{Property: "p", Detail: "d"},
+		Trail: []TrailStep{
+			{Label: "ev1", Steps: []string{"a", "b"}},
+			{Label: "ev2"},
+		},
+	})
+	for _, want := range []string{"violated: p (d)", "[ev1]", "a", "[ev2]"} {
+		if !contains(out, want) {
+			t.Errorf("trail missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+// Package corpus embeds the smart-app corpus the evaluation runs on:
+// market-style SmartThings apps written in the Groovy subset (including
+// every app the paper names: Virtual Thermostat, Brighten Dark Places,
+// Let There Be Dark, Auto Mode Change, Unlock Door, Big Turn On, Good
+// Night, Make It So, Energy Saver, Light Follows Me, Darken Behind Me,
+// ...), the ContexIoT-style malicious apps used for attribution (§10.3),
+// and the configurations used by the experiments.
+//
+// The paper's corpus is 150 market apps in six groups of 25 plus 9
+// malicious apps; this package carries the same corpus shape.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tag classifies corpus entries.
+type Tag string
+
+// Tags.
+const (
+	TagMarket    Tag = "market"    // benign market-place app
+	TagMalicious Tag = "malicious" // ContexIoT-style attack app
+	TagBad       Tag = "bad"       // market app attributed bad in §10.3
+	TagGood      Tag = "good"      // market app known violation-free
+)
+
+// Source is one corpus app.
+type Source struct {
+	Name   string
+	Groovy string
+	Group  int // market group 1..6 (0 for non-market apps)
+	Tags   []Tag
+}
+
+// HasTag reports whether the source carries the tag.
+func (s Source) HasTag(t Tag) bool {
+	for _, x := range s.Tags {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	byName []Source
+	index  = map[string]int{}
+)
+
+// register adds an app to the corpus at init time.
+func register(s Source) {
+	if _, dup := index[s.Name]; dup {
+		panic(fmt.Sprintf("corpus: duplicate app %q", s.Name))
+	}
+	index[s.Name] = len(byName)
+	byName = append(byName, s)
+}
+
+// Apps returns every corpus entry, sorted by name.
+func Apps() []Source {
+	out := append([]Source(nil), byName...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the app with the given name.
+func ByName(name string) (Source, bool) {
+	i, ok := index[name]
+	if !ok {
+		return Source{}, false
+	}
+	return byName[i], true
+}
+
+// MustSource returns the Groovy source of a named app, panicking when the
+// app is unknown (corpus contents are fixed at compile time).
+func MustSource(name string) string {
+	s, ok := ByName(name)
+	if !ok {
+		panic("corpus: unknown app " + name)
+	}
+	return s.Groovy
+}
+
+// Group returns the market apps in group g (1..6), sorted by name.
+func Group(g int) []Source {
+	var out []Source
+	for _, s := range Apps() {
+		if s.Group == g && s.HasTag(TagMarket) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WithTag returns all apps carrying the tag, sorted by name.
+func WithTag(t Tag) []Source {
+	var out []Source
+	for _, s := range Apps() {
+		if s.HasTag(t) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TagExtra marks corpus apps beyond the paper's 150-app market set;
+// they are used by unit tests and examples.
+const TagExtra Tag = "extra"
+
+func extra(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Groovy: groovy, Tags: append([]Tag{TagExtra}, tags...)})
+}

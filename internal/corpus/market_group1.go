@@ -1,0 +1,491 @@
+package corpus
+
+// Group 1: lighting and entry automation (contact sensors, illuminance,
+// switches, locks). 25 apps with the named Table 2 apps.
+
+func g1(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Group: 1, Tags: append([]Tag{TagMarket}, tags...), Groovy: groovy})
+}
+
+func init() {
+	g1("Let There Be Light", `
+definition(name: "Let There Be Light", namespace: "smartthings", author: "SmartThings",
+    description: "Turn lights on when a door opens and off when it closes.", category: "Convenience")
+preferences {
+    section("Door") { input "contact1", "capability.contactSensor" }
+    section("Lights") { input "switches", "capability.switch", multiple: true }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(contact1, "contact", contactHandler) }
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        switches.on()
+    } else {
+        switches.off()
+    }
+}
+`)
+
+	g1("Smart Nightlight", `
+definition(name: "Smart Nightlight", namespace: "smartthings", author: "SmartThings",
+    description: "Turns on lights when it is dark and motion is detected.", category: "Convenience")
+preferences {
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+    section("Motion") { input "motionSensor", "capability.motionSensor" }
+    section("Luminance") { input "lightSensor", "capability.illuminanceMeasurement" }
+    section("Dark threshold") { input "luxLevel", "number", title: "Lux?" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(motionSensor, "motion", motionHandler)
+    subscribe(lightSensor, "illuminance", illuminanceHandler)
+}
+def motionHandler(evt) {
+    if (evt.value == "active" && lightSensor.currentIlluminance < luxLevel) {
+        lights.on()
+        state.lastStatus = "on"
+    } else if (evt.value == "inactive" && state.lastStatus == "on") {
+        lights.off()
+        state.lastStatus = "off"
+    }
+}
+def illuminanceHandler(evt) {
+    if (evt.numericValue > luxLevel && state.lastStatus == "on") {
+        lights.off()
+        state.lastStatus = "off"
+    }
+}
+`)
+
+	g1("Welcome Home Light", `
+definition(name: "Welcome Home Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn on entry lights when someone arrives.", category: "Convenience")
+preferences {
+    section("Presence") { input "people", "capability.presenceSensor", multiple: true }
+    section("Entry lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(people, "presence.present", arrivalHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arrivalHandler) }
+def arrivalHandler(evt) {
+    lights.on()
+}
+`)
+
+	g1("Goodbye Lights", `
+definition(name: "Goodbye Lights", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn everything off when the last person leaves.", category: "Convenience")
+preferences {
+    section("Presence") { input "people", "capability.presenceSensor", multiple: true }
+    section("Turn off") { input "switches", "capability.switch", multiple: true }
+}
+def installed() { subscribe(people, "presence.not present", departureHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", departureHandler) }
+private nobodyHome() {
+    def home = people.findAll { it.currentPresence == "present" }
+    return home.size() == 0
+}
+def departureHandler(evt) {
+    if (nobodyHome()) {
+        switches.off()
+    }
+}
+`)
+
+	g1("Lock It When I Leave", `
+definition(name: "Lock It When I Leave", namespace: "smartthings", author: "SmartThings",
+    description: "Locks the door when a presence sensor leaves.", category: "Safety & Security")
+preferences {
+    section("Presence") { input "people", "capability.presenceSensor", multiple: true }
+    section("Lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(people, "presence.not present", leftHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome) {
+        lock1.lock()
+        sendPush("Locked the door because everyone left")
+    }
+}
+`, TagGood)
+
+	g1("Unlock When I Arrive", `
+definition(name: "Unlock When I Arrive", namespace: "iotsan.corpus", author: "Community",
+    description: "Unlocks the door when someone arrives home.", category: "Convenience")
+preferences {
+    section("Presence") { input "people", "capability.presenceSensor", multiple: true }
+    section("Lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(people, "presence.present", arrivedHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arrivedHandler) }
+def arrivedHandler(evt) {
+    lock1.unlock()
+}
+`, TagBad)
+
+	g1("Auto Lock Door", `
+definition(name: "Auto Lock Door", namespace: "smartthings", author: "SmartThings",
+    description: "Automatically locks the door after it closes.", category: "Safety & Security")
+preferences {
+    section("Lock") { input "lock1", "capability.lock" }
+    section("Door contact") { input "contact1", "capability.contactSensor" }
+    section("Delay (minutes)") { input "minutesLater", "number", title: "Minutes?" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(contact1, "contact.closed", doorClosedHandler) }
+def doorClosedHandler(evt) {
+    runIn(minutesLater * 60, lockDoor)
+}
+def lockDoor() {
+    if (contact1.currentContact == "closed") {
+        lock1.lock()
+    }
+}
+`)
+
+	g1("Forgotten Door Alert", `
+definition(name: "Forgotten Door Alert", namespace: "iotsan.corpus", author: "Community",
+    description: "Notify me when a door is left open.", category: "Safety & Security")
+preferences {
+    section("Door") { input "contact1", "capability.contactSensor" }
+    section("Minutes") { input "openMinutes", "number", title: "Minutes?" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(contact1, "contact.open", doorOpen)
+    subscribe(contact1, "contact.closed", doorClosed)
+}
+def doorOpen(evt) {
+    state.open = true
+    runIn(openMinutes * 60, checkStillOpen)
+}
+def doorClosed(evt) {
+    state.open = false
+}
+def checkStillOpen() {
+    if (state.open) {
+        if (phone) {
+            sendSms(phone, "${contact1.displayName} has been open too long")
+        } else {
+            sendPush("${contact1.displayName} has been open too long")
+        }
+    }
+}
+`, TagGood)
+
+	extra("Hall Light on Door Knock", `
+definition(name: "Hall Light on Door Knock", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn on the hall light when the door vibrates (a knock).", category: "Convenience")
+preferences {
+    section("Acceleration") { input "accel", "capability.accelerationSensor" }
+    section("Light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(accel, "acceleration.active", knockHandler) }
+def updated() { unsubscribe(); subscribe(accel, "acceleration.active", knockHandler) }
+def knockHandler(evt) {
+    light.on()
+}
+`)
+
+	extra("Entry Light Dimmer", `
+definition(name: "Entry Light Dimmer", namespace: "iotsan.corpus", author: "Community",
+    description: "Set the entry dimmer to a comfortable level when the door opens.", category: "Convenience")
+preferences {
+    section("Door") { input "contact1", "capability.contactSensor" }
+    section("Dimmer") { input "dimmer", "capability.switchLevel" }
+    section("Level") { input "level", "number", title: "0-100" }
+}
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", openHandler) }
+def openHandler(evt) {
+    dimmer.setLevel(level)
+    dimmer.on()
+}
+`)
+
+	g1("Closet Light", `
+definition(name: "Closet Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Light follows the closet door: on when open, off when closed.", category: "Convenience")
+preferences {
+    section("Closet door") { input "door", "capability.contactSensor" }
+    section("Closet light") { input "light", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(door, "contact.open", onHandler)
+    subscribe(door, "contact.closed", offHandler)
+}
+def onHandler(evt) { light.on() }
+def offHandler(evt) { light.off() }
+`)
+
+	g1("Big Turn Off", `
+definition(name: "Big Turn Off", namespace: "smartthings", author: "SmartThings",
+    description: "Turn your lights off when the SmartApp is tapped or activated.", category: "Convenience")
+preferences {
+    section("Turn off...") { input "switches", "capability.switch", multiple: true }
+}
+def installed() {
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def updated() {
+    unsubscribe()
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+def appTouch(evt) { switches.off() }
+def changedLocationMode(evt) { switches.off() }
+`)
+
+	g1("Double Duty Contact", `
+definition(name: "Double Duty Contact", namespace: "iotsan.corpus", author: "Community",
+    description: "One contact sensor drives a light and notifies after hours.", category: "Convenience")
+preferences {
+    section("Contact") { input "contact1", "capability.contactSensor" }
+    section("Light") { input "light", "capability.switch" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(contact1, "contact", bothHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact", bothHandler) }
+def bothHandler(evt) {
+    if (evt.value == "open") {
+        light.on()
+        if (location.mode == "Night" && phone) {
+            sendSms(phone, "Door opened during the night")
+        }
+    } else {
+        light.off()
+    }
+}
+`)
+
+	g1("Illuminance Curtain Call", `
+definition(name: "Illuminance Curtain Call", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn porch lights on when it gets dark outside.", category: "Convenience")
+preferences {
+    section("Outdoor sensor") { input "lux", "capability.illuminanceMeasurement" }
+    section("Porch lights") { input "lights", "capability.switch", multiple: true }
+    section("Threshold") { input "threshold", "number", title: "Lux" }
+}
+def installed() { subscribe(lux, "illuminance", luxHandler) }
+def updated() { unsubscribe(); subscribe(lux, "illuminance", luxHandler) }
+def luxHandler(evt) {
+    if (evt.numericValue < threshold) {
+        lights.on()
+    } else {
+        lights.off()
+    }
+}
+`)
+
+	g1("Sunrise Off Sunset On", `
+definition(name: "Sunrise Off Sunset On", namespace: "iotsan.corpus", author: "Community",
+    description: "Outdoor lights follow the sun.", category: "Convenience")
+preferences {
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(location, "sunrise", sunriseHandler)
+    subscribe(location, "sunset", sunsetHandler)
+}
+def sunriseHandler(evt) { lights.off() }
+def sunsetHandler(evt) { lights.on() }
+`)
+
+	g1("Knock Knock Unlock", `
+definition(name: "Knock Knock Unlock", namespace: "iotsan.corpus", author: "Community",
+    description: "Unlock the door after repeated knocks while someone is home.", category: "Convenience")
+preferences {
+    section("Knock sensor") { input "accel", "capability.accelerationSensor" }
+    section("Lock") { input "lock1", "capability.lock" }
+    section("Presence") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(accel, "acceleration.active", knock) }
+def updated() { unsubscribe(); subscribe(accel, "acceleration.active", knock) }
+def knock(evt) {
+    def count = state.knocks ?: 0
+    count = count + 1
+    state.knocks = count
+    if (count >= 2) {
+        def anyoneHome = people.any { it.currentPresence == "present" }
+        if (anyoneHome) {
+            lock1.unlock()
+        }
+        state.knocks = 0
+    }
+}
+`, TagBad)
+
+	g1("Light Up the Night", `
+definition(name: "Light Up the Night", namespace: "smartthings", author: "SmartThings",
+    description: "Turn lights on when it gets dark and off at daybreak.", category: "Convenience")
+preferences {
+    section("Luminance sensor") { input "lightSensor", "capability.illuminanceMeasurement" }
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(lightSensor, "illuminance", illuminanceHandler) }
+def updated() { unsubscribe(); subscribe(lightSensor, "illuminance", illuminanceHandler) }
+def illuminanceHandler(evt) {
+    def lastStatus = state.lastStatus
+    if (evt.numericValue < 30 && lastStatus != "on") {
+        lights.on()
+        state.lastStatus = "on"
+    } else if (evt.numericValue > 50 && lastStatus != "off") {
+        lights.off()
+        state.lastStatus = "off"
+    }
+}
+`)
+
+	g1("Curfew Check", `
+definition(name: "Curfew Check", namespace: "iotsan.corpus", author: "Community",
+    description: "Text me when the front door opens while the house is in Night mode.", category: "Safety & Security")
+preferences {
+    section("Front door") { input "contact1", "capability.contactSensor" }
+    section("Phone") { input "phone", "phone" }
+}
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(contact1, "contact.open", openHandler) }
+def openHandler(evt) {
+    if (location.mode == "Night") {
+        sendSms(phone, "Front door opened after curfew")
+    }
+}
+`, TagGood)
+
+	g1("Porch Motion Spotlight", `
+definition(name: "Porch Motion Spotlight", namespace: "iotsan.corpus", author: "Community",
+    description: "Spotlight on porch motion, off after quiet time.", category: "Safety & Security")
+preferences {
+    section("Porch motion") { input "motion1", "capability.motionSensor" }
+    section("Spotlight") { input "light", "capability.switch" }
+    section("Off delay (min)") { input "offDelay", "number", title: "Minutes" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(motion1, "motion", motionHandler) }
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        light.on()
+    } else {
+        runIn(offDelay * 60, turnOff)
+    }
+}
+def turnOff() {
+    if (motion1.currentMotion == "inactive") {
+        light.off()
+    }
+}
+`)
+
+	g1("Open Sesame", `
+definition(name: "Open Sesame", namespace: "iotsan.corpus", author: "Community",
+    description: "Tap the app to toggle the entry light and unlock the side door.", category: "Convenience")
+preferences {
+    section("Entry light") { input "light", "capability.switch" }
+    section("Side door lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (light.currentSwitch == "on") {
+        light.off()
+    } else {
+        light.on()
+    }
+    lock1.unlock()
+}
+`, TagBad)
+
+	g1("Dark Arrival", `
+definition(name: "Dark Arrival", namespace: "iotsan.corpus", author: "Community",
+    description: "When someone arrives and it is dark, light the path and unlock.", category: "Convenience")
+preferences {
+    section("Presence") { input "person", "capability.presenceSensor" }
+    section("Path lights") { input "lights", "capability.switch", multiple: true }
+    section("Light sensor") { input "lux", "capability.illuminanceMeasurement" }
+    section("Lock") { input "lock1", "capability.lock", required: false }
+}
+def installed() { subscribe(person, "presence.present", arrival) }
+def updated() { unsubscribe(); subscribe(person, "presence.present", arrival) }
+def arrival(evt) {
+    if (lux.currentIlluminance < 40) {
+        lights.on()
+    }
+    if (lock1) {
+        lock1.unlock()
+    }
+}
+`)
+
+	extra("Flash on Arrival", `
+definition(name: "Flash on Arrival", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn the living room lamp on briefly when family arrives.", category: "Convenience")
+preferences {
+    section("Family") { input "people", "capability.presenceSensor", multiple: true }
+    section("Lamp") { input "lamp", "capability.switch" }
+}
+def installed() { subscribe(people, "presence.present", arrive) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arrive) }
+def arrive(evt) {
+    lamp.on()
+    runIn(120, lampOff)
+}
+def lampOff() {
+    lamp.off()
+}
+`)
+
+	extra("Left It Open Light", `
+definition(name: "Left It Open Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Blink the hallway light if the fridge door stays open.", category: "Convenience")
+preferences {
+    section("Fridge contact") { input "fridge", "capability.contactSensor" }
+    section("Hall light") { input "light", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(fridge, "contact.open", openHandler)
+    subscribe(fridge, "contact.closed", closedHandler)
+}
+def openHandler(evt) {
+    runIn(300, warn)
+}
+def closedHandler(evt) {
+    unschedule()
+}
+def warn() {
+    if (fridge.currentContact == "open") {
+        light.on()
+    }
+}
+`)
+
+	g1("Front Door Greeter", `
+definition(name: "Front Door Greeter", namespace: "iotsan.corpus", author: "Community",
+    description: "Speak a greeting when the front door opens while someone is home.", category: "Convenience")
+preferences {
+    section("Front door") { input "door", "capability.contactSensor" }
+    section("Speaker") { input "speaker", "capability.musicPlayer" }
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(door, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(door, "contact.open", openHandler) }
+def openHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (anyoneHome) {
+        speaker.play()
+    }
+}
+`)
+}

@@ -1,0 +1,495 @@
+package corpus
+
+// Group 2: climate control (temperature, thermostats, heaters, AC,
+// humidity, fans). 25 apps with Virtual Thermostat, Energy Saver, and
+// It's Too Cold.
+
+func g2(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Group: 2, Tags: append([]Tag{TagMarket}, tags...), Groovy: groovy})
+}
+
+func init() {
+	g2("It's Too Hot", `
+definition(name: "It's Too Hot", namespace: "smartthings", author: "SmartThings",
+    description: "Get a text when the temperature rises above your setting and turn on an AC.", category: "Convenience")
+preferences {
+    section("Monitor the temperature...") { input "temperatureSensor1", "capability.temperatureMeasurement" }
+    section("When the temperature rises above...") { input "temperature1", "number", title: "Temperature?" }
+    section("Text me at (optional)") { input "phone1", "phone", required: false }
+    section("Turn on the AC (optional)") { input "acOutlet", "capability.switch", required: false }
+}
+def installed() { subscribe(temperatureSensor1, "temperature", temperatureHandler) }
+def updated() { unsubscribe(); subscribe(temperatureSensor1, "temperature", temperatureHandler) }
+def temperatureHandler(evt) {
+    if (evt.numericValue >= temperature1) {
+        if (phone1) {
+            sendSms(phone1, "${temperatureSensor1.displayName} is too hot: ${evt.value}")
+        }
+        if (acOutlet) {
+            acOutlet.on()
+        }
+    }
+}
+`)
+
+	g2("Thermostat Mode Director", `
+definition(name: "Thermostat Mode Director", namespace: "smartthings", author: "SmartThings",
+    description: "Change the thermostat mode based on the outdoor temperature.", category: "Green Living")
+preferences {
+    section("Outdoor sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Thermostat") { input "thermostat", "capability.thermostat" }
+    section("Heat below") { input "heatPoint", "number", title: "Degrees" }
+    section("Cool above") { input "coolPoint", "number", title: "Degrees" }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    def t = evt.numericValue
+    if (t < heatPoint) {
+        thermostat.heat()
+    } else if (t > coolPoint) {
+        thermostat.cool()
+    }
+}
+`)
+
+	g2("Heater Minder", `
+definition(name: "Heater Minder", namespace: "iotsan.corpus", author: "Community",
+    description: "Keep the space heater running only while it is cold.", category: "Green Living")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Heater outlet") { input "heater", "capability.switch" }
+    section("Target") { input "target", "number", title: "Degrees" }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.numericValue < target) {
+        heater.on()
+    } else {
+        heater.off()
+    }
+}
+`)
+
+	g2("AC Minder", `
+definition(name: "AC Minder", namespace: "iotsan.corpus", author: "Community",
+    description: "Run the window AC only while it is hot.", category: "Green Living")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("AC outlet") { input "ac", "capability.switch" }
+    section("Target") { input "target", "number", title: "Degrees" }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.numericValue > target) {
+        ac.on()
+    } else {
+        ac.off()
+    }
+}
+`)
+
+	g2("Humidity Alert", `
+definition(name: "Humidity Alert", namespace: "smartthings", author: "SmartThings",
+    description: "Notify me when the humidity rises above a threshold.", category: "Convenience")
+preferences {
+    section("Humidity sensor") { input "humiditySensor1", "capability.relativeHumidityMeasurement" }
+    section("Alert above") { input "humidity1", "number", title: "Percent?" }
+    section("Phone") { input "phone1", "phone", required: false }
+}
+def installed() { subscribe(humiditySensor1, "humidity", humidityHandler) }
+def updated() { unsubscribe(); subscribe(humiditySensor1, "humidity", humidityHandler) }
+def humidityHandler(evt) {
+    if (evt.numericValue > humidity1) {
+        if (phone1) {
+            sendSms(phone1, "Humidity is ${evt.value}%, above your ${humidity1}% alert level")
+        } else {
+            sendPush("Humidity is ${evt.value}%")
+        }
+    }
+}
+`, TagGood)
+
+	g2("Bathroom Fan Control", `
+definition(name: "Bathroom Fan Control", namespace: "iotsan.corpus", author: "Community",
+    description: "Run the bathroom fan while humidity is high.", category: "Convenience")
+preferences {
+    section("Humidity sensor") { input "sensor", "capability.relativeHumidityMeasurement" }
+    section("Fan outlet") { input "fan", "capability.switch" }
+    section("Threshold") { input "threshold", "number", title: "Percent" }
+}
+def installed() { subscribe(sensor, "humidity", humidityHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "humidity", humidityHandler) }
+def humidityHandler(evt) {
+    if (evt.numericValue > threshold) {
+        fan.on()
+    } else {
+        fan.off()
+    }
+}
+`)
+
+	g2("Window Fan When Cool", `
+definition(name: "Window Fan When Cool", namespace: "iotsan.corpus", author: "Community",
+    description: "Pull in cool evening air with a window fan instead of the AC.", category: "Green Living")
+preferences {
+    section("Outdoor sensor") { input "outdoor", "capability.temperatureMeasurement" }
+    section("Window fan") { input "fan", "capability.switch" }
+    section("AC outlet") { input "ac", "capability.switch", required: false }
+    section("Run below") { input "below", "number", title: "Degrees" }
+}
+def installed() { subscribe(outdoor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(outdoor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.numericValue < below) {
+        fan.on()
+        if (ac) {
+            ac.off()
+        }
+    } else {
+        fan.off()
+    }
+}
+`)
+
+	g2("Freeze Guard", `
+definition(name: "Freeze Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Warn and heat when pipes risk freezing.", category: "Safety & Security")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Heater") { input "heater", "capability.switch" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.numericValue < 40) {
+        heater.on()
+        if (phone) {
+            sendSms(phone, "Freeze risk: ${evt.value} degrees at ${sensor.displayName}")
+        }
+    }
+}
+`)
+
+	g2("Thermostat Setpoint Sync", `
+definition(name: "Thermostat Setpoint Sync", namespace: "iotsan.corpus", author: "Community",
+    description: "Keep heating and cooling setpoints a safe span apart.", category: "Green Living")
+preferences {
+    section("Thermostat") { input "thermostat", "capability.thermostat" }
+    section("Heat setpoint") { input "heatSp", "number", title: "Degrees" }
+    section("Cool setpoint") { input "coolSp", "number", title: "Degrees" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    thermostat.setHeatingSetpoint(heatSp)
+    thermostat.setCoolingSetpoint(coolSp)
+}
+`)
+
+	g2("Away Thermostat Setback", `
+definition(name: "Away Thermostat Setback", namespace: "iotsan.corpus", author: "Community",
+    description: "Set back the thermostat when everyone leaves.", category: "Green Living")
+preferences {
+    section("Thermostat") { input "thermostat", "capability.thermostat" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Away") {
+        thermostat.setHeatingSetpoint(58)
+        thermostat.setCoolingSetpoint(85)
+    } else if (evt.value == "Home") {
+        thermostat.setHeatingSetpoint(68)
+        thermostat.setCoolingSetpoint(76)
+    }
+}
+`)
+
+	g2("Space Heater Curfew", `
+definition(name: "Space Heater Curfew", namespace: "iotsan.corpus", author: "Community",
+    description: "Never leave the space heater running at night.", category: "Safety & Security")
+preferences {
+    section("Heater outlet") { input "heater", "capability.switch" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Night") {
+        heater.off()
+    }
+}
+`, TagGood)
+
+	g2("Energy Hog Alert", `
+definition(name: "Energy Hog Alert", namespace: "iotsan.corpus", author: "Community",
+    description: "Warn when an appliance draws too much power.", category: "Green Living")
+preferences {
+    section("Meter") { input "meter", "capability.powerMeter" }
+    section("Watts") { input "watts", "number", title: "Threshold" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(meter, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.numericValue > watts) {
+        if (phone) {
+            sendSms(phone, "Power draw is ${evt.value}W, above ${watts}W")
+        } else {
+            sendPush("Power draw is ${evt.value}W")
+        }
+    }
+}
+`, TagGood)
+
+	g2("Laundry Monitor", `
+definition(name: "Laundry Monitor", namespace: "smartthings", author: "SmartThings",
+    description: "Notify when the washer finishes, based on power draw.", category: "Convenience")
+preferences {
+    section("Washer meter") { input "meter", "capability.powerMeter" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(meter, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    def watts = evt.numericValue
+    if (watts > 50) {
+        state.running = true
+    } else if (state.running && watts < 10) {
+        state.running = false
+        if (phone) {
+            sendSms(phone, "Laundry is done!")
+        } else {
+            sendPush("Laundry is done!")
+        }
+    }
+}
+`)
+
+	g2("Peak Shaver", `
+definition(name: "Peak Shaver", namespace: "iotsan.corpus", author: "Community",
+    description: "Shed discretionary loads when total power spikes.", category: "Green Living")
+preferences {
+    section("Whole-home meter") { input "meter", "capability.powerMeter" }
+    section("Shed these") { input "loads", "capability.switch", multiple: true }
+    section("Limit (W)") { input "limit", "number", title: "Watts" }
+}
+def installed() { subscribe(meter, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.numericValue > limit) {
+        loads.each { it.off() }
+    }
+}
+`)
+
+	g2("Comfort Band Keeper", `
+definition(name: "Comfort Band Keeper", namespace: "iotsan.corpus", author: "Community",
+    description: "Keep the room inside a comfort band with heater and AC outlets.", category: "Green Living")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Heater") { input "heater", "capability.switch" }
+    section("AC") { input "ac", "capability.switch" }
+    section("Low") { input "low", "number", title: "Degrees" }
+    section("High") { input "high", "number", title: "Degrees" }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    def t = evt.numericValue
+    if (t < low) {
+        heater.on()
+        ac.off()
+    } else if (t > high) {
+        ac.on()
+        heater.off()
+    } else {
+        heater.off()
+        ac.off()
+    }
+}
+`)
+
+	g2("Night Heat Drop", `
+definition(name: "Night Heat Drop", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn the heater off for Night mode and back on in the morning.", category: "Green Living")
+preferences {
+    section("Heater") { input "heater", "capability.switch" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Night") {
+        heater.off()
+    } else if (evt.value == "Home") {
+        heater.on()
+    }
+}
+`, TagBad)
+
+	extra("Temp Spike Camera", `
+definition(name: "Temp Spike Camera", namespace: "iotsan.corpus", author: "Community",
+    description: "Take a photo when the server closet overheats.", category: "Safety & Security")
+preferences {
+    section("Closet sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Camera") { input "camera", "capability.imageCapture" }
+    section("Limit") { input "limit", "number", title: "Degrees" }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.numericValue > limit) {
+        camera.take()
+        sendPush("Closet at ${evt.value} degrees; snapshot taken")
+    }
+}
+`)
+
+	g2("Whole House Fan", `
+definition(name: "Whole House Fan", namespace: "smartthings", author: "SmartThings",
+    description: "Run the whole-house fan instead of AC when outside is cooler than inside.", category: "Green Living")
+preferences {
+    section("Outdoor") { input "outdoor", "capability.temperatureMeasurement" }
+    section("Indoor") { input "indoor", "capability.temperatureMeasurement" }
+    section("Fan") { input "fan", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(outdoor, "temperature", checkFan)
+    subscribe(indoor, "temperature", checkFan)
+}
+def checkFan(evt) {
+    def out = outdoor.currentTemperature
+    def inside = indoor.currentTemperature
+    if (out != null && inside != null && out < inside - 2) {
+        fan.on()
+    } else {
+        fan.off()
+    }
+}
+`)
+
+	g2("Radiator Valve Saver", `
+definition(name: "Radiator Valve Saver", namespace: "iotsan.corpus", author: "Community",
+    description: "Close the radiator loop valve when the room is warm.", category: "Green Living")
+preferences {
+    section("Room sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Loop valve") { input "valve1", "capability.valve" }
+    section("Warm at") { input "warm", "number", title: "Degrees" }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.numericValue >= warm) {
+        valve1.close()
+    } else {
+        valve1.open()
+    }
+}
+`)
+
+	g2("Window Open Heat Off", `
+definition(name: "Window Open Heat Off", namespace: "iotsan.corpus", author: "Community",
+    description: "Pause heating while a window is open.", category: "Green Living")
+preferences {
+    section("Window contact") { input "window", "capability.contactSensor" }
+    section("Heater") { input "heater", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(window, "contact.open", openHandler)
+    subscribe(window, "contact.closed", closedHandler)
+}
+def openHandler(evt) {
+    state.wasOn = heater.currentSwitch == "on"
+    heater.off()
+}
+def closedHandler(evt) {
+    if (state.wasOn) {
+        heater.on()
+    }
+}
+`)
+
+	g2("Morning Warmup", `
+definition(name: "Morning Warmup", namespace: "iotsan.corpus", author: "Community",
+    description: "Warm the house at sunrise during cold months.", category: "Green Living")
+preferences {
+    section("Heater") { input "heater", "capability.switch" }
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement" }
+}
+def installed() { subscribe(location, "sunrise", sunriseHandler) }
+def updated() { unsubscribe(); subscribe(location, "sunrise", sunriseHandler) }
+def sunriseHandler(evt) {
+    if (sensor.currentTemperature < 62) {
+        heater.on()
+        runIn(3600, warmupDone)
+    }
+}
+def warmupDone() {
+    heater.off()
+}
+`)
+
+	g2("Too Cold Valve Guard", `
+definition(name: "Too Cold Valve Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Close the main water valve when freezing is likely and nobody is home.", category: "Safety & Security")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement" }
+    section("Main valve") { input "valve1", "capability.valve" }
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(sensor, "temperature", tempHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (evt.numericValue < 35 && !anyoneHome) {
+        valve1.close()
+        sendPush("Freeze risk while away: water main closed")
+    }
+}
+`)
+
+	extra("Dry Air Humidifier", `
+definition(name: "Dry Air Humidifier", namespace: "iotsan.corpus", author: "Community",
+    description: "Run a humidifier outlet when air is too dry.", category: "Convenience")
+preferences {
+    section("Humidity sensor") { input "sensor", "capability.relativeHumidityMeasurement" }
+    section("Humidifier outlet") { input "humidifier", "capability.switch" }
+    section("Dry below") { input "dry", "number", title: "Percent" }
+}
+def installed() { subscribe(sensor, "humidity", humidityHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "humidity", humidityHandler) }
+def humidityHandler(evt) {
+    if (evt.numericValue < dry) {
+        humidifier.on()
+    } else {
+        humidifier.off()
+    }
+}
+`)
+
+	g2("Thermostat Away Mode Switch", `
+definition(name: "Thermostat Away Mode Switch", namespace: "iotsan.corpus", author: "Community",
+    description: "Flip the thermostat between heat and off based on presence.", category: "Green Living")
+preferences {
+    section("Thermostat") { input "thermostat", "capability.thermostat" }
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(people, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (anyoneHome) {
+        thermostat.heat()
+    } else {
+        thermostat.setThermostatMode("off")
+    }
+}
+`)
+}

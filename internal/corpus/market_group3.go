@@ -1,0 +1,415 @@
+package corpus
+
+// Group 3: night-time and sleep automation (modes, motion timers,
+// sleep sensors, shades). 25 apps with Good Night, Light Follows Me,
+// and Light Off When Close.
+
+func g3(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Group: 3, Tags: append([]Tag{TagMarket}, tags...), Groovy: groovy})
+}
+
+func init() {
+	g3("Good Morning", `
+definition(name: "Good Morning", namespace: "smartthings", author: "SmartThings",
+    description: "Leave Night mode when things start happening in the morning.", category: "Mode Magic")
+preferences {
+    section("Motion here means we're up") { input "motions", "capability.motionSensor", multiple: true }
+    section("Morning mode") { input "morningMode", "mode", title: "Mode?" }
+}
+def installed() { subscribe(motions, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motions, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Night" && location.mode != morningMode) {
+        setLocationMode(morningMode)
+        sendPush("Good morning! Mode changed to ${morningMode}")
+    }
+}
+`)
+
+	g3("Sleep Mode by Sensor", `
+definition(name: "Sleep Mode by Sensor", namespace: "iotsan.corpus", author: "Community",
+    description: "Enter Night mode when the sleep sensor says you are asleep.", category: "Mode Magic")
+preferences {
+    section("Sleep sensor") { input "sleep1", "capability.sleepSensor" }
+    section("Night mode") { input "nightMode", "mode", title: "Mode?" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(sleep1, "sleeping", sleepHandler) }
+def sleepHandler(evt) {
+    if (evt.value == "sleeping") {
+        if (location.mode != nightMode) {
+            setLocationMode(nightMode)
+        }
+    } else if (location.mode == nightMode) {
+        setLocationMode("Home")
+    }
+}
+`)
+
+	g3("Nightlight Path", `
+definition(name: "Nightlight Path", namespace: "iotsan.corpus", author: "Community",
+    description: "Dim hallway light for night-time bathroom trips.", category: "Convenience")
+preferences {
+    section("Hall motion") { input "motion1", "capability.motionSensor" }
+    section("Hall dimmer") { input "dimmer", "capability.switchLevel" }
+}
+def installed() { subscribe(motion1, "motion", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Night") {
+        if (evt.value == "active") {
+            dimmer.setLevel(15)
+            dimmer.on()
+        } else {
+            dimmer.off()
+        }
+    }
+}
+`)
+
+	g3("Lights Out at Night", `
+definition(name: "Lights Out at Night", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn all lights off when entering Night mode.", category: "Mode Magic")
+preferences {
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(location, "mode.Night", nightHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Night", nightHandler) }
+def nightHandler(evt) {
+    lights.off()
+}
+`)
+
+	g3("Shades Down at Night", `
+definition(name: "Shades Down at Night", namespace: "iotsan.corpus", author: "Community",
+    description: "Close the window shades for Night mode, open for Home.", category: "Convenience")
+preferences {
+    section("Shades") { input "shades", "capability.windowShade", multiple: true }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Night") {
+        shades.close()
+    } else if (evt.value == "Home") {
+        shades.open()
+    }
+}
+`)
+
+	g3("Midnight Snack Light", `
+definition(name: "Midnight Snack Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Kitchen light comes on softly when the fridge opens at night.", category: "Convenience")
+preferences {
+    section("Fridge contact") { input "fridge", "capability.contactSensor" }
+    section("Kitchen dimmer") { input "dimmer", "capability.switchLevel" }
+}
+def installed() { subscribe(fridge, "contact.open", fridgeHandler) }
+def updated() { unsubscribe(); subscribe(fridge, "contact.open", fridgeHandler) }
+def fridgeHandler(evt) {
+    if (location.mode == "Night") {
+        dimmer.setLevel(20)
+        dimmer.on()
+        runIn(300, lightOff)
+    }
+}
+def lightOff() {
+    dimmer.off()
+}
+`)
+
+	g3("TV Off at Bedtime", `
+definition(name: "TV Off at Bedtime", namespace: "iotsan.corpus", author: "Community",
+    description: "Stop the media player when the house enters Night mode.", category: "Convenience")
+preferences {
+    section("Player") { input "player", "capability.musicPlayer" }
+}
+def installed() { subscribe(location, "mode.Night", nightHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Night", nightHandler) }
+def nightHandler(evt) {
+    player.stop()
+}
+`)
+
+	g3("Bedtime Lock Check", `
+definition(name: "Bedtime Lock Check", namespace: "iotsan.corpus", author: "Community",
+    description: "Lock every door when the house goes to sleep.", category: "Safety & Security")
+preferences {
+    section("Locks") { input "locks", "capability.lock", multiple: true }
+}
+def installed() { subscribe(location, "mode.Night", nightHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Night", nightHandler) }
+def nightHandler(evt) {
+    locks.each { it.lock() }
+    sendPush("All doors locked for the night")
+}
+`, TagGood)
+
+	g3("Wake Up Light", `
+definition(name: "Wake Up Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Raise the bedroom dimmer gradually at sunrise.", category: "Convenience")
+preferences {
+    section("Bedroom dimmer") { input "dimmer", "capability.switchLevel" }
+}
+def installed() { subscribe(location, "sunrise", sunriseHandler) }
+def updated() { unsubscribe(); subscribe(location, "sunrise", sunriseHandler) }
+def sunriseHandler(evt) {
+    dimmer.setLevel(30)
+    dimmer.on()
+    runIn(600, brighten)
+}
+def brighten() {
+    dimmer.setLevel(80)
+}
+`)
+
+	g3("No Motion Night Saver", `
+definition(name: "No Motion Night Saver", namespace: "iotsan.corpus", author: "Community",
+    description: "If nothing moves for a while at night, turn the lights off.", category: "Green Living")
+preferences {
+    section("Motion") { input "motion1", "capability.motionSensor" }
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+    section("Minutes") { input "minutes1", "number", title: "Minutes" }
+}
+def installed() { subscribe(motion1, "motion.inactive", quietHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.inactive", quietHandler) }
+def quietHandler(evt) {
+    runIn(minutes1 * 60, maybeOff)
+}
+def maybeOff() {
+    if (motion1.currentMotion == "inactive") {
+        lights.off()
+    }
+}
+`)
+
+	g3("Night Arrival Greeting", `
+definition(name: "Night Arrival Greeting", namespace: "iotsan.corpus", author: "Community",
+    description: "When arriving during Night mode, light the entry and leave Night mode.", category: "Mode Magic")
+preferences {
+    section("Presence") { input "person", "capability.presenceSensor" }
+    section("Entry light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(person, "presence.present", arrive) }
+def updated() { unsubscribe(); subscribe(person, "presence.present", arrive) }
+def arrive(evt) {
+    if (location.mode == "Night") {
+        light.on()
+        setLocationMode("Home")
+    }
+}
+`)
+
+	g3("Baby Monitor Light", `
+definition(name: "Baby Monitor Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Blink the bedroom lamp when the nursery moves at night.", category: "Convenience")
+preferences {
+    section("Nursery motion") { input "motion1", "capability.motionSensor" }
+    section("Bedroom lamp") { input "lamp", "capability.switch" }
+}
+def installed() { subscribe(motion1, "motion.active", nurseryHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", nurseryHandler) }
+def nurseryHandler(evt) {
+    if (location.mode == "Night") {
+        lamp.on()
+        sendPush("Motion in the nursery")
+    }
+}
+`)
+
+	g3("Sunset Mode Change", `
+definition(name: "Sunset Mode Change", namespace: "smartthings", author: "SmartThings",
+    description: "Change the location mode at sunset.", category: "Mode Magic")
+preferences {
+    section("Evening mode") { input "eveningMode", "mode", title: "Mode?" }
+}
+def installed() { subscribe(location, "sunset", sunsetHandler) }
+def updated() { unsubscribe(); subscribe(location, "sunset", sunsetHandler) }
+def sunsetHandler(evt) {
+    if (location.mode != eveningMode) {
+        setLocationMode(eveningMode)
+    }
+}
+`)
+
+	g3("Sunrise Mode Change", `
+definition(name: "Sunrise Mode Change", namespace: "iotsan.corpus", author: "Community",
+    description: "Return to Home mode at sunrise.", category: "Mode Magic")
+preferences {
+    section("Day mode") { input "dayMode", "mode", title: "Mode?" }
+}
+def installed() { subscribe(location, "sunrise", sunriseHandler) }
+def updated() { unsubscribe(); subscribe(location, "sunrise", sunriseHandler) }
+def sunriseHandler(evt) {
+    if (location.mode != dayMode) {
+        setLocationMode(dayMode)
+    }
+}
+`)
+
+	g3("Night Owl Warning", `
+definition(name: "Night Owl Warning", namespace: "iotsan.corpus", author: "Community",
+    description: "Remind me to sleep if lights are still on deep into Night mode.", category: "Convenience")
+preferences {
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(lights, "switch.on", lightOnHandler) }
+def updated() { unsubscribe(); subscribe(lights, "switch.on", lightOnHandler) }
+def lightOnHandler(evt) {
+    if (location.mode == "Night") {
+        runIn(1800, nag)
+    }
+}
+def nag() {
+    def anyOn = lights.any { it.currentSwitch == "on" }
+    if (anyOn && location.mode == "Night") {
+        sendPush("Lights are still on - time for bed?")
+    }
+}
+`)
+
+	extra("Dim With Me", `
+definition(name: "Dim With Me", namespace: "smartthings", author: "SmartThings",
+    description: "Follow a master dimmer's level with slave dimmers.", category: "Convenience")
+preferences {
+    section("Master") { input "master", "capability.switchLevel" }
+    section("Slaves") { input "slaves", "capability.switchLevel", multiple: true }
+}
+def installed() { subscribe(master, "level", levelHandler) }
+def updated() { unsubscribe(); subscribe(master, "level", levelHandler) }
+def levelHandler(evt) {
+    slaves.each { it.setLevel(evt.numericValue) }
+}
+`)
+
+	g3("Night Mode Door Watch", `
+definition(name: "Night Mode Door Watch", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn the porch light on if a door opens during Night mode.", category: "Safety & Security")
+preferences {
+    section("Doors") { input "doors", "capability.contactSensor", multiple: true }
+    section("Porch light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(doors, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(doors, "contact.open", openHandler) }
+def openHandler(evt) {
+    if (location.mode == "Night") {
+        light.on()
+    }
+}
+`)
+
+	g3("Sleepy Time Media Pause", `
+definition(name: "Sleepy Time Media Pause", namespace: "iotsan.corpus", author: "Community",
+    description: "Pause music when the sleep sensor detects sleep.", category: "Convenience")
+preferences {
+    section("Sleep sensor") { input "sleep1", "capability.sleepSensor" }
+    section("Player") { input "player", "capability.musicPlayer" }
+}
+def installed() { subscribe(sleep1, "sleeping.sleeping", asleep) }
+def updated() { unsubscribe(); subscribe(sleep1, "sleeping.sleeping", asleep) }
+def asleep(evt) {
+    player.pause()
+}
+`)
+
+	g3("Gentle Wake Music", `
+definition(name: "Gentle Wake Music", namespace: "iotsan.corpus", author: "Community",
+    description: "Start soft music when the sleeper wakes.", category: "Convenience")
+preferences {
+    section("Sleep sensor") { input "sleep1", "capability.sleepSensor" }
+    section("Player") { input "player", "capability.musicPlayer" }
+}
+def installed() { subscribe(sleep1, "sleeping.not sleeping", awake) }
+def updated() { unsubscribe(); subscribe(sleep1, "sleeping.not sleeping", awake) }
+def awake(evt) {
+    if (location.mode == "Night") {
+        setLocationMode("Home")
+    }
+    player.play()
+}
+`)
+
+	g3("Night Mode Guard Dog", `
+definition(name: "Night Mode Guard Dog", namespace: "iotsan.corpus", author: "Community",
+    description: "Beep the speaker when motion is seen downstairs at night.", category: "Safety & Security")
+preferences {
+    section("Downstairs motion") { input "motion1", "capability.motionSensor" }
+    section("Speaker") { input "speaker", "capability.tone" }
+}
+def installed() { subscribe(motion1, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Night") {
+        speaker.beep()
+    }
+}
+`)
+
+	g3("Bedtime Heater Guard", `
+definition(name: "Bedtime Heater Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Refuse to enter Night mode with the space heater running.", category: "Safety & Security")
+preferences {
+    section("Heater") { input "heater", "capability.switch" }
+}
+def installed() { subscribe(location, "mode.Night", nightHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Night", nightHandler) }
+def nightHandler(evt) {
+    if (heater.currentSwitch == "on") {
+        heater.off()
+        sendPush("Heater turned off for the night")
+    }
+}
+`, TagGood)
+
+	g3("Morning Coffee", `
+definition(name: "Morning Coffee", namespace: "iotsan.corpus", author: "Community",
+    description: "Start the coffee maker with the first morning motion.", category: "Convenience")
+preferences {
+    section("Kitchen motion") { input "motion1", "capability.motionSensor" }
+    section("Coffee outlet") { input "coffee", "capability.switch" }
+}
+def installed() { subscribe(motion1, "motion.active", firstMotion) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", firstMotion) }
+def firstMotion(evt) {
+    if (location.mode == "Night" || state.brewed != true) {
+        coffee.on()
+        state.brewed = true
+        runIn(1200, coffeeOff)
+    }
+}
+def coffeeOff() {
+    coffee.off()
+    state.brewed = false
+}
+`)
+
+	g3("Night Light Follow", `
+definition(name: "Night Light Follow", namespace: "iotsan.corpus", author: "Community",
+    description: "The night light follows motion between rooms at night.", category: "Convenience")
+preferences {
+    section("Room A motion") { input "motionA", "capability.motionSensor" }
+    section("Room A light") { input "lightA", "capability.switch" }
+    section("Room B motion") { input "motionB", "capability.motionSensor" }
+    section("Room B light") { input "lightB", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(motionA, "motion.active", inA)
+    subscribe(motionB, "motion.active", inB)
+}
+def inA(evt) {
+    if (location.mode == "Night") {
+        lightA.on()
+        lightB.off()
+    }
+}
+def inB(evt) {
+    if (location.mode == "Night") {
+        lightB.on()
+        lightA.off()
+    }
+}
+`)
+}

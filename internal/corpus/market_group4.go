@@ -1,0 +1,424 @@
+package corpus
+
+// Group 4: presence, modes, and departures (Make It So, Darken Behind
+// Me, Switch Changes Mode plus 22 more).
+
+func g4(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Group: 4, Tags: append([]Tag{TagMarket}, tags...), Groovy: groovy})
+}
+
+func init() {
+	g4("Everyone's Gone", `
+definition(name: "Everyone's Gone", namespace: "iotsan.corpus", author: "Community",
+    description: "When the last person leaves: lights off, doors locked, mode Away.", category: "Mode Magic")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Lights off") { input "lights", "capability.switch", multiple: true, required: false }
+    section("Locks") { input "locks", "capability.lock", multiple: true, required: false }
+}
+def installed() { subscribe(people, "presence.not present", leftHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome) {
+        if (lights) { lights.off() }
+        if (locks) { locks.each { it.lock() } }
+        if (location.mode != "Away") {
+            setLocationMode("Away")
+        }
+    }
+}
+`, TagGood)
+
+	g4("I'm Back", `
+definition(name: "I'm Back", namespace: "smartthings", author: "SmartThings",
+    description: "Restore Home mode when someone returns.", category: "Mode Magic")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Home mode") { input "homeMode", "mode", title: "Mode?" }
+}
+def installed() { subscribe(people, "presence.present", arriveHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arriveHandler) }
+def arriveHandler(evt) {
+    if (location.mode != homeMode) {
+        setLocationMode(homeMode)
+        sendPush("Welcome back! Mode set to ${homeMode}")
+    }
+}
+`)
+
+	g4("Vacation Lighting Director", `
+definition(name: "Vacation Lighting Director", namespace: "smartthings", author: "SmartThings",
+    description: "Cycle lights while in Away mode to simulate occupancy.", category: "Safety & Security")
+preferences {
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(location, "mode.Away", awayHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Away", awayHandler) }
+def awayHandler(evt) {
+    runIn(3600, cycle)
+}
+def cycle() {
+    if (location.mode == "Away") {
+        def first = lights[0]
+        if (first.currentSwitch == "on") {
+            first.off()
+        } else {
+            first.on()
+        }
+        runIn(3600, cycle)
+    }
+}
+`)
+
+	g4("Departure Camera Arm", `
+definition(name: "Departure Camera Arm", namespace: "iotsan.corpus", author: "Community",
+    description: "Prime the camera whenever the mode turns to Away.", category: "Safety & Security")
+preferences {
+    section("Camera") { input "camera", "capability.imageCapture" }
+}
+def installed() { subscribe(location, "mode.Away", armHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Away", armHandler) }
+def armHandler(evt) {
+    camera.take()
+}
+`)
+
+	g4("Mode Follows Switch", `
+definition(name: "Mode Follows Switch", namespace: "iotsan.corpus", author: "Community",
+    description: "A physical guest switch forces Home mode while on.", category: "Mode Magic")
+preferences {
+    section("Guest switch") { input "guest", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(guest, "switch.on", guestOn)
+    subscribe(guest, "switch.off", guestOff)
+}
+def guestOn(evt) {
+    state.prevMode = location.mode
+    if (location.mode != "Home") {
+        setLocationMode("Home")
+    }
+}
+def guestOff(evt) {
+    def prev = state.prevMode
+    if (prev != null && location.mode != prev) {
+        setLocationMode(prev)
+    }
+}
+`)
+
+	g4("Presence Valve Control", `
+definition(name: "Presence Valve Control", namespace: "iotsan.corpus", author: "Community",
+    description: "Shut the water main whenever the house empties.", category: "Safety & Security")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Main valve") { input "valve1", "capability.valve" }
+}
+def installed() { subscribe(people, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (anyoneHome) {
+        valve1.open()
+    } else {
+        valve1.close()
+    }
+}
+`)
+
+	g4("Garage Closer", `
+definition(name: "Garage Closer", namespace: "iotsan.corpus", author: "Community",
+    description: "Close the garage when everyone has left.", category: "Safety & Security")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Garage") { input "garage", "capability.garageDoorControl" }
+}
+def installed() { subscribe(people, "presence.not present", leftHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome && garage.currentDoor != "closed") {
+        garage.close()
+        sendPush("Garage closed because everyone left")
+    }
+}
+`, TagGood)
+
+	g4("Garage Opener on Arrival", `
+definition(name: "Garage Opener on Arrival", namespace: "iotsan.corpus", author: "Community",
+    description: "Open the garage when my car arrives.", category: "Convenience")
+preferences {
+    section("Car presence") { input "car", "capability.presenceSensor" }
+    section("Garage") { input "garage", "capability.garageDoorControl" }
+}
+def installed() { subscribe(car, "presence.present", arriveHandler) }
+def updated() { unsubscribe(); subscribe(car, "presence.present", arriveHandler) }
+def arriveHandler(evt) {
+    garage.open()
+}
+`, TagBad)
+
+	g4("Away Media Stop", `
+definition(name: "Away Media Stop", namespace: "iotsan.corpus", author: "Community",
+    description: "Stop all media when the house goes to Away.", category: "Convenience")
+preferences {
+    section("Players") { input "players", "capability.musicPlayer", multiple: true }
+}
+def installed() { subscribe(location, "mode.Away", awayHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Away", awayHandler) }
+def awayHandler(evt) {
+    players.each { it.stop() }
+}
+`)
+
+	g4("Mode Text Alerts", `
+definition(name: "Mode Text Alerts", namespace: "iotsan.corpus", author: "Community",
+    description: "Text me every time the location mode changes.", category: "Convenience")
+preferences {
+    section("Phone") { input "phone", "phone" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    sendSms(phone, "Mode changed to ${evt.value}")
+}
+`)
+
+	g4("Curling Iron Cutoff", `
+definition(name: "Curling Iron Cutoff", namespace: "smartthings", author: "SmartThings",
+    description: "Turn off risky outlets when everyone leaves.", category: "Safety & Security")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Risky outlets") { input "outlets", "capability.switch", multiple: true }
+}
+def installed() { subscribe(people, "presence.not present", leftHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome) {
+        outlets.off()
+        sendPush("Turned off risky outlets")
+    }
+}
+`, TagGood)
+
+	g4("Arrival Thermostat Boost", `
+definition(name: "Arrival Thermostat Boost", namespace: "iotsan.corpus", author: "Community",
+    description: "Pre-warm the house when the car gets close.", category: "Green Living")
+preferences {
+    section("Car presence") { input "car", "capability.presenceSensor" }
+    section("Thermostat") { input "thermostat", "capability.thermostat" }
+}
+def installed() { subscribe(car, "presence.present", arriveHandler) }
+def updated() { unsubscribe(); subscribe(car, "presence.present", arriveHandler) }
+def arriveHandler(evt) {
+    thermostat.heat()
+    thermostat.setHeatingSetpoint(70)
+}
+`)
+
+	g4("Left Alone Pet Light", `
+definition(name: "Left Alone Pet Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Leave one lamp on for the pets when the house empties.", category: "Convenience")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Pet lamp") { input "lamp", "capability.switch" }
+    section("Other lights") { input "others", "capability.switch", multiple: true, required: false }
+}
+def installed() { subscribe(people, "presence.not present", leftHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome) {
+        lamp.on()
+        if (others) {
+            others.off()
+        }
+    }
+}
+`)
+
+	g4("Back Door Auto Close", `
+definition(name: "Back Door Auto Close", namespace: "iotsan.corpus", author: "Community",
+    description: "Close the automated back door when the mode turns Away.", category: "Safety & Security")
+preferences {
+    section("Back door") { input "door", "capability.doorControl" }
+}
+def installed() { subscribe(location, "mode.Away", awayHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Away", awayHandler) }
+def awayHandler(evt) {
+    if (door.currentDoor != "closed") {
+        door.close()
+    }
+}
+`)
+
+	g4("Driveway Motion Mode Check", `
+definition(name: "Driveway Motion Mode Check", namespace: "iotsan.corpus", author: "Community",
+    description: "Notify on driveway motion while nobody is home.", category: "Safety & Security")
+preferences {
+    section("Driveway motion") { input "motion1", "capability.motionSensor" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(motion1, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Away") {
+        if (phone) {
+            sendSms(phone, "Driveway motion while you are away")
+        } else {
+            sendPush("Driveway motion while you are away")
+        }
+    }
+}
+`)
+
+	g4("Switch On Mode Guard", `
+definition(name: "Switch On Mode Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn on the hallway light whenever the house wakes from Away.", category: "Convenience")
+preferences {
+    section("Hall light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Home") {
+        light.on()
+    } else if (evt.value == "Away") {
+        light.off()
+    }
+}
+`)
+
+	g4("Two Stage Departure", `
+definition(name: "Two Stage Departure", namespace: "iotsan.corpus", author: "Community",
+    description: "Wait a grace period before going Away, in case someone returns.", category: "Mode Magic")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Grace (min)") { input "grace", "number", title: "Minutes" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome) {
+        runIn(grace * 60, commitAway)
+    } else if (location.mode == "Away") {
+        setLocationMode("Home")
+    }
+}
+def commitAway() {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome && location.mode != "Away") {
+        setLocationMode("Away")
+    }
+}
+`)
+
+	extra("Mail Carrier Alert", `
+definition(name: "Mail Carrier Alert", namespace: "iotsan.corpus", author: "Community",
+    description: "Chime when the mailbox opens during the day.", category: "Convenience")
+preferences {
+    section("Mailbox contact") { input "mailbox", "capability.contactSensor" }
+    section("Chime") { input "chime", "capability.tone" }
+}
+def installed() { subscribe(mailbox, "contact.open", mailHandler) }
+def updated() { unsubscribe(); subscribe(mailbox, "contact.open", mailHandler) }
+def mailHandler(evt) {
+    if (location.mode != "Night") {
+        chime.beep()
+    }
+}
+`)
+
+	g4("Guest Mode Unlock", `
+definition(name: "Guest Mode Unlock", namespace: "iotsan.corpus", author: "Community",
+    description: "While in Home mode, keep the side door unlocked for guests.", category: "Convenience")
+preferences {
+    section("Side door lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Home") {
+        lock1.unlock()
+    } else {
+        lock1.lock()
+    }
+}
+`, TagBad)
+
+	g4("Weekend Warmup Switch", `
+definition(name: "Weekend Warmup Switch", namespace: "iotsan.corpus", author: "Community",
+    description: "A bedside button toggles the bedroom heater outlet.", category: "Convenience")
+preferences {
+    section("Button") { input "button1", "capability.button" }
+    section("Heater outlet") { input "heater", "capability.switch" }
+}
+def installed() { subscribe(button1, "button.pushed", pushHandler) }
+def updated() { unsubscribe(); subscribe(button1, "button.pushed", pushHandler) }
+def pushHandler(evt) {
+    if (heater.currentSwitch == "on") {
+        heater.off()
+    } else {
+        heater.on()
+    }
+}
+`)
+
+	g4("Nobody Home Lights Off", `
+definition(name: "Nobody Home Lights Off", namespace: "iotsan.corpus", author: "Community",
+    description: "Sweep all lights off shortly after the mode turns Away.", category: "Green Living")
+preferences {
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(location, "mode.Away", awayHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Away", awayHandler) }
+def awayHandler(evt) {
+    runIn(300, sweep)
+}
+def sweep() {
+    if (location.mode == "Away") {
+        lights.off()
+    }
+}
+`)
+
+	g4("Dog Walker Window", `
+definition(name: "Dog Walker Window", namespace: "iotsan.corpus", author: "Community",
+    description: "Let the dog walker in: unlock when their fob arrives in Away mode.", category: "Convenience")
+preferences {
+    section("Walker fob") { input "walker", "capability.presenceSensor" }
+    section("Front lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(walker, "presence.present", walkerHere) }
+def updated() { unsubscribe(); subscribe(walker, "presence.present", walkerHere) }
+def walkerHere(evt) {
+    if (location.mode == "Away") {
+        lock1.unlock()
+        sendPush("Dog walker arrived; front door unlocked")
+    }
+}
+`, TagBad)
+
+	g4("Acceleration Alarm Arm", `
+definition(name: "Acceleration Alarm Arm", namespace: "iotsan.corpus", author: "Community",
+    description: "While Away, treat safe-box movement as tampering.", category: "Safety & Security")
+preferences {
+    section("Safe box accel") { input "accel", "capability.accelerationSensor" }
+    section("Siren") { input "siren", "capability.alarm" }
+}
+def installed() { subscribe(accel, "acceleration.active", tamper) }
+def updated() { unsubscribe(); subscribe(accel, "acceleration.active", tamper) }
+def tamper(evt) {
+    if (location.mode == "Away") {
+        siren.siren()
+        sendPush("Safe box moved while away!")
+    }
+}
+`)
+}

@@ -1,0 +1,419 @@
+package corpus
+
+// Group 5: safety and security (smoke, CO, leaks, alarms, valves,
+// cameras). 25 apps with Smart Security.
+
+func g5(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Group: 5, Tags: append([]Tag{TagMarket}, tags...), Groovy: groovy})
+}
+
+func init() {
+	g5("Smoke Alarm Actions", `
+definition(name: "Smoke Alarm Actions", namespace: "smartthings", author: "SmartThings",
+    description: "Sound the siren and alert everyone when smoke is detected.", category: "Safety & Security")
+preferences {
+    section("Smoke detectors") { input "smokes", "capability.smokeDetector", multiple: true }
+    section("Siren") { input "siren", "capability.alarm" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(smokes, "smoke.detected", smokeHandler) }
+def updated() { unsubscribe(); subscribe(smokes, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    siren.both()
+    if (phone) {
+        sendSms(phone, "SMOKE detected by ${evt.displayName}!")
+    }
+    sendPush("SMOKE detected by ${evt.displayName}!")
+}
+`, TagGood)
+
+	g5("CO Alert", `
+definition(name: "CO Alert", namespace: "iotsan.corpus", author: "Community",
+    description: "Alarm and notify on carbon monoxide.", category: "Safety & Security")
+preferences {
+    section("CO detectors") { input "cos", "capability.carbonMonoxideDetector", multiple: true }
+    section("Siren") { input "siren", "capability.alarm" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(cos, "carbonMonoxide.detected", coHandler) }
+def updated() { unsubscribe(); subscribe(cos, "carbonMonoxide.detected", coHandler) }
+def coHandler(evt) {
+    siren.siren()
+    if (phone) {
+        sendSms(phone, "CARBON MONOXIDE at ${evt.displayName}!")
+    }
+    sendPush("CARBON MONOXIDE at ${evt.displayName}!")
+}
+`, TagGood)
+
+	g5("Flood Alert", `
+definition(name: "Flood Alert", namespace: "smartthings", author: "SmartThings",
+    description: "Close the water main and alert on a leak.", category: "Safety & Security")
+preferences {
+    section("Leak sensors") { input "leaks", "capability.waterSensor", multiple: true }
+    section("Water main valve") { input "valve1", "capability.valve" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(leaks, "water.wet", leakHandler) }
+def updated() { unsubscribe(); subscribe(leaks, "water.wet", leakHandler) }
+def leakHandler(evt) {
+    valve1.close()
+    if (phone) {
+        sendSms(phone, "Water leak at ${evt.displayName}; main valve closed")
+    }
+    sendPush("Water leak at ${evt.displayName}")
+}
+`, TagGood)
+
+	g5("Intruder Strobe", `
+definition(name: "Intruder Strobe", namespace: "iotsan.corpus", author: "Community",
+    description: "Strobe the alarm on motion while the house is Away.", category: "Safety & Security")
+preferences {
+    section("Motion") { input "motions", "capability.motionSensor", multiple: true }
+    section("Alarm") { input "alarm1", "capability.alarm" }
+}
+def installed() { subscribe(motions, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motions, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Away") {
+        alarm1.strobe()
+    }
+}
+`)
+
+	g5("Entry Breach Siren", `
+definition(name: "Entry Breach Siren", namespace: "iotsan.corpus", author: "Community",
+    description: "Sound the siren when an entry opens in Away mode.", category: "Safety & Security")
+preferences {
+    section("Entries") { input "entries", "capability.contactSensor", multiple: true }
+    section("Siren") { input "siren", "capability.alarm" }
+}
+def installed() { subscribe(entries, "contact.open", breachHandler) }
+def updated() { unsubscribe(); subscribe(entries, "contact.open", breachHandler) }
+def breachHandler(evt) {
+    if (location.mode == "Away") {
+        siren.siren()
+        sendPush("Entry breach: ${evt.displayName}")
+    }
+}
+`)
+
+	g5("Alarm Silencer", `
+definition(name: "Alarm Silencer", namespace: "iotsan.corpus", author: "Community",
+    description: "Silence the siren as soon as someone comes home.", category: "Safety & Security")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Siren") { input "siren", "capability.alarm" }
+}
+def installed() { subscribe(people, "presence.present", homeHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", homeHandler) }
+def homeHandler(evt) {
+    siren.off()
+}
+`, TagBad)
+
+	g5("Fire Escape Unlock", `
+definition(name: "Fire Escape Unlock", namespace: "iotsan.corpus", author: "Community",
+    description: "Unlock all doors when smoke is detected and someone is home.", category: "Safety & Security")
+preferences {
+    section("Smoke detectors") { input "smokes", "capability.smokeDetector", multiple: true }
+    section("Locks") { input "locks", "capability.lock", multiple: true }
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(smokes, "smoke.detected", fireHandler) }
+def updated() { unsubscribe(); subscribe(smokes, "smoke.detected", fireHandler) }
+def fireHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (anyoneHome) {
+        locks.each { it.unlock() }
+        sendPush("Fire! Doors unlocked for escape")
+    }
+}
+`, TagGood)
+
+	g5("Smoke Heater Cutoff", `
+definition(name: "Smoke Heater Cutoff", namespace: "iotsan.corpus", author: "Community",
+    description: "Kill heater and high-power outlets when smoke is detected.", category: "Safety & Security")
+preferences {
+    section("Smoke detector") { input "smoke1", "capability.smokeDetector" }
+    section("Cut these outlets") { input "outlets", "capability.switch", multiple: true }
+}
+def installed() { subscribe(smoke1, "smoke.detected", smokeHandler) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    outlets.off()
+}
+`)
+
+	g5("Leak Chime", `
+definition(name: "Leak Chime", namespace: "iotsan.corpus", author: "Community",
+    description: "Beep the kitchen chime when the washing machine leaks.", category: "Safety & Security")
+preferences {
+    section("Leak sensor") { input "leak1", "capability.waterSensor" }
+    section("Chime") { input "chime", "capability.tone" }
+}
+def installed() { subscribe(leak1, "water.wet", leakHandler) }
+def updated() { unsubscribe(); subscribe(leak1, "water.wet", leakHandler) }
+def leakHandler(evt) {
+    chime.beep()
+}
+`)
+
+	g5("Alarm Auto Reset", `
+definition(name: "Alarm Auto Reset", namespace: "iotsan.corpus", author: "Community",
+    description: "Stop the siren a few minutes after it starts.", category: "Safety & Security")
+preferences {
+    section("Siren") { input "siren", "capability.alarm" }
+    section("Minutes") { input "minutes1", "number", title: "Minutes" }
+}
+def installed() { subscribe(siren, "alarm", alarmHandler) }
+def updated() { unsubscribe(); subscribe(siren, "alarm", alarmHandler) }
+def alarmHandler(evt) {
+    if (evt.value != "off") {
+        runIn(minutes1 * 60, resetAlarm)
+    }
+}
+def resetAlarm() {
+    siren.off()
+}
+`)
+
+	g5("Away Intrusion Camera", `
+definition(name: "Away Intrusion Camera", namespace: "iotsan.corpus", author: "Community",
+    description: "Photograph whoever moves while the house is empty.", category: "Safety & Security")
+preferences {
+    section("Motion") { input "motion1", "capability.motionSensor" }
+    section("Camera") { input "camera", "capability.imageCapture" }
+}
+def installed() { subscribe(motion1, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Away") {
+        camera.take()
+    }
+}
+`)
+
+	g5("Glass Break Response", `
+definition(name: "Glass Break Response", namespace: "iotsan.corpus", author: "Community",
+    description: "Treat window acceleration while Away as a break-in.", category: "Safety & Security")
+preferences {
+    section("Window sensor") { input "accel", "capability.accelerationSensor" }
+    section("Siren") { input "siren", "capability.alarm" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(accel, "acceleration.active", breakHandler) }
+def updated() { unsubscribe(); subscribe(accel, "acceleration.active", breakHandler) }
+def breakHandler(evt) {
+    if (location.mode == "Away") {
+        siren.both()
+        if (phone) {
+            sendSms(phone, "Possible glass break at ${evt.displayName}")
+        }
+    }
+}
+`)
+
+	g5("Security Arm on Away", `
+definition(name: "Security Arm on Away", namespace: "iotsan.corpus", author: "Community",
+    description: "Flip the security-panel switch when the mode goes Away.", category: "Safety & Security")
+preferences {
+    section("Security switch") { input "panel", "capability.switch" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Away") {
+        panel.on()
+    } else if (evt.value == "Home") {
+        panel.off()
+    }
+}
+`)
+
+	g5("Panic Button", `
+definition(name: "Panic Button", namespace: "iotsan.corpus", author: "Community",
+    description: "Holding the bedside button sounds every siren.", category: "Safety & Security")
+preferences {
+    section("Button") { input "button1", "capability.button" }
+    section("Sirens") { input "sirens", "capability.alarm", multiple: true }
+}
+def installed() { subscribe(button1, "button.held", panicHandler) }
+def updated() { unsubscribe(); subscribe(button1, "button.held", panicHandler) }
+def panicHandler(evt) {
+    sirens.each { it.both() }
+    sendPush("PANIC button held!")
+}
+`, TagGood)
+
+	g5("Smoke Valve Protect", `
+definition(name: "Smoke Valve Protect", namespace: "iotsan.corpus", author: "Community",
+    description: "Ensure the fire-sprinkler valve is open during smoke events.", category: "Safety & Security")
+preferences {
+    section("Smoke detector") { input "smoke1", "capability.smokeDetector" }
+    section("Sprinkler valve") { input "valve1", "capability.valve" }
+}
+def installed() { subscribe(smoke1, "smoke.detected", smokeHandler) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    valve1.open()
+}
+`)
+
+	g5("Tamper Text", `
+definition(name: "Tamper Text", namespace: "iotsan.corpus", author: "Community",
+    description: "Text me when the alarm box itself is moved.", category: "Safety & Security")
+preferences {
+    section("Alarm box accel") { input "accel", "capability.accelerationSensor" }
+    section("Phone") { input "phone", "phone" }
+}
+def installed() { subscribe(accel, "acceleration.active", tamperHandler) }
+def updated() { unsubscribe(); subscribe(accel, "acceleration.active", tamperHandler) }
+def tamperHandler(evt) {
+    sendSms(phone, "Alarm box tampering detected")
+}
+`)
+
+	g5("Basement Water Watch", `
+definition(name: "Basement Water Watch", namespace: "iotsan.corpus", author: "Community",
+    description: "Chain: leak in basement turns off the water heater outlet too.", category: "Safety & Security")
+preferences {
+    section("Basement leak sensor") { input "leak1", "capability.waterSensor" }
+    section("Water heater outlet") { input "heaterOutlet", "capability.switch" }
+    section("Main valve") { input "valve1", "capability.valve", required: false }
+}
+def installed() { subscribe(leak1, "water", waterHandler) }
+def updated() { unsubscribe(); subscribe(leak1, "water", waterHandler) }
+def waterHandler(evt) {
+    if (evt.value == "wet") {
+        heaterOutlet.off()
+        if (valve1) {
+            valve1.close()
+        }
+    }
+}
+`)
+
+	g5("Night Perimeter Check", `
+definition(name: "Night Perimeter Check", namespace: "iotsan.corpus", author: "Community",
+    description: "Entering Night mode alerts if any entry is open.", category: "Safety & Security")
+preferences {
+    section("Entries") { input "entries", "capability.contactSensor", multiple: true }
+}
+def installed() { subscribe(location, "mode.Night", nightHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode.Night", nightHandler) }
+def nightHandler(evt) {
+    def open = entries.findAll { it.currentContact == "open" }
+    if (open.size() > 0) {
+        sendPush("Warning: ${open.size()} entries still open at bedtime")
+    }
+}
+`, TagGood)
+
+	g5("CO Fan Purge", `
+definition(name: "CO Fan Purge", namespace: "iotsan.corpus", author: "Community",
+    description: "Run the ventilation fan when CO is detected.", category: "Safety & Security")
+preferences {
+    section("CO detector") { input "co1", "capability.carbonMonoxideDetector" }
+    section("Vent fan") { input "fan", "capability.switch" }
+}
+def installed() { subscribe(co1, "carbonMonoxide.detected", coHandler) }
+def updated() { unsubscribe(); subscribe(co1, "carbonMonoxide.detected", coHandler) }
+def coHandler(evt) {
+    fan.on()
+}
+`)
+
+	g5("Mode Aware Siren Test", `
+definition(name: "Mode Aware Siren Test", namespace: "iotsan.corpus", author: "Community",
+    description: "Tapping the app strobes the siren briefly, but never at night.", category: "Safety & Security")
+preferences {
+    section("Siren") { input "siren", "capability.alarm" }
+}
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (location.mode != "Night") {
+        siren.strobe()
+        runIn(60, sirenOff)
+    }
+}
+def sirenOff() {
+    siren.off()
+}
+`)
+
+	g5("Door Left Open Siren", `
+definition(name: "Door Left Open Siren", namespace: "iotsan.corpus", author: "Community",
+    description: "Chirp the siren if the garage-entry door stays open in Away.", category: "Safety & Security")
+preferences {
+    section("Entry contact") { input "entry", "capability.contactSensor" }
+    section("Siren") { input "siren", "capability.alarm" }
+}
+def installed() { subscribe(entry, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(entry, "contact.open", openHandler) }
+def openHandler(evt) {
+    if (location.mode == "Away") {
+        runIn(600, checkStillOpen)
+    }
+}
+def checkStillOpen() {
+    if (entry.currentContact == "open" && location.mode == "Away") {
+        siren.siren()
+    }
+}
+`)
+
+	g5("Water Heater Leak Guard", `
+definition(name: "Water Heater Leak Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Leak at the water heater cuts power and notifies a plumber.", category: "Safety & Security")
+preferences {
+    section("Leak sensor") { input "leak1", "capability.waterSensor" }
+    section("Heater outlet") { input "outlet", "capability.switch" }
+    section("Plumber phone") { input "plumber", "phone", required: false }
+}
+def installed() { subscribe(leak1, "water.wet", leakHandler) }
+def updated() { unsubscribe(); subscribe(leak1, "water.wet", leakHandler) }
+def leakHandler(evt) {
+    outlet.off()
+    if (plumber) {
+        sendSms(plumber, "Leak at the water heater")
+    }
+}
+`)
+
+	g5("Smoke Lights Beacon", `
+definition(name: "Smoke Lights Beacon", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn every light on during a smoke event to aid escape.", category: "Safety & Security")
+preferences {
+    section("Smoke detector") { input "smoke1", "capability.smokeDetector" }
+    section("Lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(smoke1, "smoke", smokeHandler) }
+def updated() { unsubscribe(); subscribe(smoke1, "smoke", smokeHandler) }
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        lights.on()
+    }
+}
+`)
+
+	g5("Sump Pump Sentinel", `
+definition(name: "Sump Pump Sentinel", namespace: "iotsan.corpus", author: "Community",
+    description: "Watch the sump water level and run the pump outlet.", category: "Safety & Security")
+preferences {
+    section("Water level") { input "level", "capability.waterLevelMeasurement" }
+    section("Pump outlet") { input "pump", "capability.switch" }
+    section("High mark") { input "high", "number", title: "Percent" }
+}
+def installed() { subscribe(level, "waterLevel", levelHandler) }
+def updated() { unsubscribe(); subscribe(level, "waterLevel", levelHandler) }
+def levelHandler(evt) {
+    if (evt.numericValue > high) {
+        pump.on()
+    } else if (evt.numericValue < 20) {
+        pump.off()
+    }
+}
+`)
+}

@@ -1,0 +1,500 @@
+package corpus
+
+// Group 6: appliances, garden, buttons, and miscellany. 25 apps.
+
+func g6(name, groovy string, tags ...Tag) {
+	register(Source{Name: name, Group: 6, Tags: append([]Tag{TagMarket}, tags...), Groovy: groovy})
+}
+
+func init() {
+	g6("Smart Sprinkler", `
+definition(name: "Smart Sprinkler", namespace: "iotsan.corpus", author: "Community",
+    description: "Water the lawn when soil is dry; stop when moist.", category: "Green Living")
+preferences {
+    section("Soil sensor") { input "soil", "capability.soilMoistureMeasurement" }
+    section("Sprinkler switch") { input "sprinkler", "capability.switch" }
+    section("Dry below") { input "dry", "number", title: "Percent" }
+    section("Wet above") { input "wet", "number", title: "Percent" }
+}
+def installed() { subscribe(soil, "soilMoisture", soilHandler) }
+def updated() { unsubscribe(); subscribe(soil, "soilMoisture", soilHandler) }
+def soilHandler(evt) {
+    def m = evt.numericValue
+    if (m < dry) {
+        sprinkler.on()
+    } else if (m > wet) {
+        sprinkler.off()
+    }
+}
+`, TagGood)
+
+	g6("Rainy Day Skip", `
+definition(name: "Rainy Day Skip", namespace: "iotsan.corpus", author: "Community",
+    description: "Stop the sprinkler when the rain sensor gets wet.", category: "Green Living")
+preferences {
+    section("Rain sensor") { input "rain", "capability.waterSensor" }
+    section("Sprinkler") { input "sprinkler", "capability.switch" }
+}
+def installed() { subscribe(rain, "water.wet", rainHandler) }
+def updated() { unsubscribe(); subscribe(rain, "water.wet", rainHandler) }
+def rainHandler(evt) {
+    sprinkler.off()
+}
+`)
+
+	g6("Button Scene Setter", `
+definition(name: "Button Scene Setter", namespace: "iotsan.corpus", author: "Community",
+    description: "Push for movie scene, hold for full brightness.", category: "Convenience")
+preferences {
+    section("Button") { input "button1", "capability.button" }
+    section("Dimmers") { input "dimmers", "capability.switchLevel", multiple: true }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(button1, "button", buttonHandler) }
+def buttonHandler(evt) {
+    if (evt.value == "pushed") {
+        dimmers.each { it.setLevel(20) }
+    } else if (evt.value == "held") {
+        dimmers.each { it.setLevel(100) }
+    }
+}
+`)
+
+	g6("Double Tap Big Off", `
+definition(name: "Double Tap Big Off", namespace: "iotsan.corpus", author: "Community",
+    description: "A second button push within the window turns everything off.", category: "Convenience")
+preferences {
+    section("Button") { input "button1", "capability.button" }
+    section("Everything") { input "switches", "capability.switch", multiple: true }
+}
+def installed() { subscribe(button1, "button.pushed", tapHandler) }
+def updated() { unsubscribe(); subscribe(button1, "button.pushed", tapHandler) }
+def tapHandler(evt) {
+    def taps = state.taps ?: 0
+    taps = taps + 1
+    state.taps = taps
+    if (taps >= 2) {
+        switches.off()
+        state.taps = 0
+    } else {
+        runIn(10, resetTaps)
+    }
+}
+def resetTaps() {
+    state.taps = 0
+}
+`)
+
+	g6("Energy Budget Tracker", `
+definition(name: "Energy Budget Tracker", namespace: "iotsan.corpus", author: "Community",
+    description: "Track daily energy and warn over budget.", category: "Green Living")
+preferences {
+    section("Meter") { input "meter", "capability.energyMeter" }
+    section("Budget (kWh)") { input "budget", "number", title: "kWh" }
+}
+def installed() { subscribe(meter, "energy", energyHandler) }
+def updated() { unsubscribe(); subscribe(meter, "energy", energyHandler) }
+def energyHandler(evt) {
+    if (evt.numericValue > budget && state.warned != true) {
+        state.warned = true
+        sendPush("Energy budget exceeded: ${evt.value} kWh")
+    }
+}
+`)
+
+	g6("Shade Sun Tracker", `
+definition(name: "Shade Sun Tracker", namespace: "iotsan.corpus", author: "Community",
+    description: "Close shades on bright hot afternoons; open when mild.", category: "Green Living")
+preferences {
+    section("Outdoor lux") { input "lux", "capability.illuminanceMeasurement" }
+    section("Indoor temp") { input "temp", "capability.temperatureMeasurement" }
+    section("Shades") { input "shades", "capability.windowShade", multiple: true }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(lux, "illuminance", evaluateShades)
+    subscribe(temp, "temperature", evaluateShades)
+}
+def evaluateShades(evt) {
+    def bright = lux.currentIlluminance > 400
+    def hot = temp.currentTemperature > 78
+    if (bright && hot) {
+        shades.close()
+    } else {
+        shades.open()
+    }
+}
+`)
+
+	g6("Doorbell Speaker", `
+definition(name: "Doorbell Speaker", namespace: "iotsan.corpus", author: "Community",
+    description: "The button by the door plays a chime inside.", category: "Convenience")
+preferences {
+    section("Doorbell button") { input "bell", "capability.button" }
+    section("Speaker") { input "speaker", "capability.tone" }
+}
+def installed() { subscribe(bell, "button.pushed", ring) }
+def updated() { unsubscribe(); subscribe(bell, "button.pushed", ring) }
+def ring(evt) {
+    speaker.beep()
+}
+`)
+
+	g6("Appliance Done Speaker", `
+definition(name: "Appliance Done Speaker", namespace: "iotsan.corpus", author: "Community",
+    description: "Announce when the dryer's power draw drops to idle.", category: "Convenience")
+preferences {
+    section("Dryer meter") { input "meter", "capability.powerMeter" }
+    section("Speaker") { input "speaker", "capability.speechSynthesis" }
+}
+def installed() { subscribe(meter, "power", powerHandler) }
+def updated() { unsubscribe(); subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    def watts = evt.numericValue
+    if (watts > 100) {
+        state.drying = true
+    } else if (state.drying && watts < 10) {
+        state.drying = false
+        speaker.speak()
+    }
+}
+`)
+
+	g6("Plant Minder", `
+definition(name: "Plant Minder", namespace: "iotsan.corpus", author: "Community",
+    description: "Remind me to water the plants when their soil dries out.", category: "Green Living")
+preferences {
+    section("Plant soil sensor") { input "soil", "capability.soilMoistureMeasurement" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { subscribe(soil, "soilMoisture", soilHandler) }
+def updated() { unsubscribe(); subscribe(soil, "soilMoisture", soilHandler) }
+def soilHandler(evt) {
+    if (evt.numericValue < 15) {
+        if (phone) {
+            sendSms(phone, "The plants are thirsty (${evt.value}%)")
+        } else {
+            sendPush("The plants are thirsty")
+        }
+    }
+}
+`, TagGood)
+
+	g6("Garden Valve Timer", `
+definition(name: "Garden Valve Timer", namespace: "iotsan.corpus", author: "Community",
+    description: "Open the garden valve for a fixed watering window.", category: "Green Living")
+preferences {
+    section("Garden valve") { input "valve1", "capability.valve" }
+    section("Minutes") { input "minutes1", "number", title: "Minutes" }
+}
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    valve1.open()
+    runIn(minutes1 * 60, closeValve)
+}
+def closeValve() {
+    valve1.close()
+}
+`)
+
+	g6("Color Mood Light", `
+definition(name: "Color Mood Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Shift the color accent bulb with the location mode.", category: "Convenience")
+preferences {
+    section("Color bulb") { input "bulb", "capability.colorControl" }
+}
+def installed() { subscribe(location, "mode", modeHandler) }
+def updated() { unsubscribe(); subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (evt.value == "Home") {
+        bulb.setHue(25)
+    } else if (evt.value == "Night") {
+        bulb.setHue(70)
+    }
+}
+`)
+
+	g6("Fridge Door Energy Saver", `
+definition(name: "Fridge Door Energy Saver", namespace: "iotsan.corpus", author: "Community",
+    description: "Track fridge door openings and report at the 10th.", category: "Green Living")
+preferences {
+    section("Fridge contact") { input "fridge", "capability.contactSensor" }
+}
+def installed() { subscribe(fridge, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(fridge, "contact.open", openHandler) }
+def openHandler(evt) {
+    def opens = state.opens ?: 0
+    opens = opens + 1
+    state.opens = opens
+    if (opens >= 10) {
+        sendPush("Fridge opened ${opens} times today")
+        state.opens = 0
+    }
+}
+`)
+
+	g6("Medicine Reminder", `
+definition(name: "Medicine Reminder", namespace: "smartthings", author: "SmartThings",
+    description: "Remind me if the medicine drawer wasn't opened by evening.", category: "Convenience")
+preferences {
+    section("Drawer contact") { input "drawer", "capability.contactSensor" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(drawer, "contact.open", tookMedicine)
+    subscribe(location, "sunset", checkTaken)
+}
+def tookMedicine(evt) {
+    state.taken = true
+}
+def checkTaken(evt) {
+    if (state.taken != true) {
+        sendPush("Medicine drawer not opened today")
+    }
+    state.taken = false
+}
+`)
+
+	g6("Pet Feeder Checker", `
+definition(name: "Pet Feeder Checker", namespace: "iotsan.corpus", author: "Community",
+    description: "The feeder outlet runs twice a day; alert if it draws no power.", category: "Convenience")
+preferences {
+    section("Feeder outlet") { input "feeder", "capability.switch" }
+    section("Feeder meter") { input "meter", "capability.powerMeter" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(location, "sunrise", feedTime)
+    subscribe(location, "sunset", feedTime)
+}
+def feedTime(evt) {
+    feeder.on()
+    runIn(300, verifyFeed)
+}
+def verifyFeed() {
+    if (meter.currentPower < 5) {
+        sendPush("Feeder did not draw power - check it!")
+    }
+    feeder.off()
+}
+`)
+
+	g6("Washer Vibration Done", `
+definition(name: "Washer Vibration Done", namespace: "iotsan.corpus", author: "Community",
+    description: "Use an acceleration sensor to catch the end of the wash cycle.", category: "Convenience")
+preferences {
+    section("Washer accel") { input "accel", "capability.accelerationSensor" }
+    section("Phone") { input "phone", "phone", required: false }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(accel, "acceleration.active", startedShaking)
+    subscribe(accel, "acceleration.inactive", stoppedShaking)
+}
+def startedShaking(evt) {
+    state.running = true
+}
+def stoppedShaking(evt) {
+    if (state.running) {
+        runIn(300, confirmDone)
+    }
+}
+def confirmDone() {
+    if (accel.currentAcceleration == "inactive" && state.running) {
+        state.running = false
+        if (phone) {
+            sendSms(phone, "Washer finished")
+        } else {
+            sendPush("Washer finished")
+        }
+    }
+}
+`)
+
+	g6("Window AC Contact Guard", `
+definition(name: "Window AC Contact Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Don't run the window AC while its window is open.", category: "Green Living")
+preferences {
+    section("Window contact") { input "window", "capability.contactSensor" }
+    section("AC outlet") { input "ac", "capability.switch" }
+}
+def installed() { subscribe(window, "contact.open", windowOpen) }
+def updated() { unsubscribe(); subscribe(window, "contact.open", windowOpen) }
+def windowOpen(evt) {
+    if (ac.currentSwitch == "on") {
+        ac.off()
+        sendPush("AC stopped: the window is open")
+    }
+}
+`)
+
+	g6("Aquarium Light Schedule", `
+definition(name: "Aquarium Light Schedule", namespace: "iotsan.corpus", author: "Community",
+    description: "Aquarium lights follow the sun.", category: "Convenience")
+preferences {
+    section("Aquarium light") { input "light", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() {
+    subscribe(location, "sunrise", dayTime)
+    subscribe(location, "sunset", nightTime)
+}
+def dayTime(evt) { light.on() }
+def nightTime(evt) { light.off() }
+`)
+
+	g6("Speaker Weather Goodbye", `
+definition(name: "Speaker Weather Goodbye", namespace: "iotsan.corpus", author: "Community",
+    description: "Speak a sendoff when someone is leaving (presence lost).", category: "Convenience")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Speaker") { input "speaker", "capability.speechSynthesis" }
+}
+def installed() { subscribe(people, "presence.not present", leaving) }
+def updated() { unsubscribe(); subscribe(people, "presence.not present", leaving) }
+def leaving(evt) {
+    speaker.speak()
+}
+`)
+
+	g6("Garage Workbench Auto Off", `
+definition(name: "Garage Workbench Auto Off", namespace: "iotsan.corpus", author: "Community",
+    description: "Cut the workbench outlet after the garage goes quiet.", category: "Green Living")
+preferences {
+    section("Garage motion") { input "motion1", "capability.motionSensor" }
+    section("Workbench outlet") { input "bench", "capability.switch" }
+}
+def installed() { subscribe(motion1, "motion.inactive", quiet) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.inactive", quiet) }
+def quiet(evt) {
+    runIn(1800, benchOff)
+}
+def benchOff() {
+    if (motion1.currentMotion == "inactive") {
+        bench.off()
+    }
+}
+`)
+
+	g6("Holiday Light Show", `
+definition(name: "Holiday Light Show", namespace: "iotsan.corpus", author: "Community",
+    description: "Tap to toggle the holiday light circuit.", category: "Convenience")
+preferences {
+    section("Holiday lights") { input "lights", "capability.switch", multiple: true }
+}
+def installed() { subscribe(app, appTouch) }
+def updated() { unsubscribe(); subscribe(app, appTouch) }
+def appTouch(evt) {
+    def anyOn = lights.any { it.currentSwitch == "on" }
+    if (anyOn) {
+        lights.off()
+    } else {
+        lights.on()
+    }
+}
+`)
+
+	g6("Desk Lamp Presence", `
+definition(name: "Desk Lamp Presence", namespace: "iotsan.corpus", author: "Community",
+    description: "Home-office lamp follows motion at the desk.", category: "Convenience")
+preferences {
+    section("Desk motion") { input "motion1", "capability.motionSensor" }
+    section("Lamp") { input "lamp", "capability.switch" }
+}
+def installed() { initialize() }
+def updated() { unsubscribe(); initialize() }
+def initialize() { subscribe(motion1, "motion", deskHandler) }
+def deskHandler(evt) {
+    if (evt.value == "active") {
+        lamp.on()
+    } else {
+        runIn(900, lampOff)
+    }
+}
+def lampOff() {
+    if (motion1.currentMotion == "inactive") {
+        lamp.off()
+    }
+}
+`)
+
+	g6("Humidity Window Cracker", `
+definition(name: "Humidity Window Cracker", namespace: "iotsan.corpus", author: "Community",
+    description: "Open the shade/vent when the greenhouse is muggy.", category: "Green Living")
+preferences {
+    section("Greenhouse humidity") { input "hum", "capability.relativeHumidityMeasurement" }
+    section("Vent shade") { input "vent", "capability.windowShade" }
+}
+def installed() { subscribe(hum, "humidity", humHandler) }
+def updated() { unsubscribe(); subscribe(hum, "humidity", humHandler) }
+def humHandler(evt) {
+    if (evt.numericValue > 85) {
+        vent.open()
+    } else if (evt.numericValue < 60) {
+        vent.close()
+    }
+}
+`)
+
+	g6("Level Lock Step", `
+definition(name: "Level Lock Step", namespace: "iotsan.corpus", author: "Community",
+    description: "Tie the lamp dimmer to the media player state.", category: "Convenience")
+preferences {
+    section("Player") { input "player", "capability.musicPlayer" }
+    section("Lamp dimmer") { input "dimmer", "capability.switchLevel" }
+}
+def installed() { subscribe(player, "status", statusHandler) }
+def updated() { unsubscribe(); subscribe(player, "status", statusHandler) }
+def statusHandler(evt) {
+    if (evt.value == "playing") {
+        dimmer.setLevel(30)
+    } else {
+        dimmer.setLevel(80)
+    }
+}
+`)
+
+	g6("Sprinkler Mode Pause", `
+definition(name: "Sprinkler Mode Pause", namespace: "iotsan.corpus", author: "Community",
+    description: "Never water while the house party mode (Home+motion) is on.", category: "Green Living")
+preferences {
+    section("Sprinkler") { input "sprinkler", "capability.switch" }
+    section("Yard motion") { input "motion1", "capability.motionSensor" }
+}
+def installed() { subscribe(motion1, "motion.active", yardBusy) }
+def updated() { unsubscribe(); subscribe(motion1, "motion.active", yardBusy) }
+def yardBusy(evt) {
+    if (sprinkler.currentSwitch == "on") {
+        sprinkler.off()
+        runIn(1800, resumeWatering)
+    }
+}
+def resumeWatering() {
+    if (motion1.currentMotion == "inactive") {
+        sprinkler.on()
+    }
+}
+`)
+
+	g6("Soil Sensor Battery Watch", `
+definition(name: "Soil Sensor Battery Watch", namespace: "iotsan.corpus", author: "Community",
+    description: "Warn when the garden sensor battery runs low.", category: "Convenience")
+preferences {
+    section("Garden sensor battery") { input "batteryDev", "capability.battery" }
+}
+def installed() { subscribe(batteryDev, "battery", batteryHandler) }
+def updated() { unsubscribe(); subscribe(batteryDev, "battery", batteryHandler) }
+def batteryHandler(evt) {
+    if (evt.numericValue < 10) {
+        sendPush("Garden sensor battery at ${evt.value}%")
+    }
+}
+`)
+}

@@ -1,0 +1,716 @@
+package corpus
+
+// The apps the paper names explicitly: the Table 2 dependency-graph
+// example, the Figure 1 Virtual Thermostat, and the Figure 8 violation
+// scenarios. Their logic follows the published SmartThingsCommunity
+// sources the paper analysed.
+
+func init() {
+	register(Source{Name: "Brighten Dark Places", Group: 1, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Brighten Dark Places",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Turn your lights on when an open/close sensor opens and the space is dark.",
+    category: "Convenience"
+)
+
+preferences {
+    section("When the door opens...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("And it's dark...") {
+        input "luminance1", "capability.illuminanceMeasurement", title: "Where?"
+    }
+    section("Turn on a light...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def contactOpenHandler(evt) {
+    def lightSensorState = luminance1.currentIlluminance
+    log.debug "SENSOR = $lightSensorState"
+    if (lightSensorState != null && lightSensorState < 10) {
+        log.trace "light.on() ... [luminance: ${lightSensorState}]"
+        switches.on()
+    }
+}
+`})
+
+	register(Source{Name: "Let There Be Dark!", Group: 1, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Let There Be Dark!",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Turn your lights off when an open/close sensor closes and on when it opens.",
+    category: "Convenience"
+)
+
+preferences {
+    section("When the door opens/closes...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("Turn on/off a light...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact", contactHandler)
+}
+
+def contactHandler(evt) {
+    if (evt.value == "open") {
+        switches.off()
+    } else if (evt.value == "closed") {
+        switches.on()
+    }
+}
+`})
+
+	register(Source{Name: "Auto Mode Change", Group: 1, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Auto Mode Change",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Changes location mode based on presence.",
+    category: "Mode Magic"
+)
+
+preferences {
+    section("When these people come and go") {
+        input "people", "capability.presenceSensor", multiple: true
+    }
+    section("Change to this mode when everyone leaves") {
+        input "awayMode", "mode", title: "Away mode"
+    }
+    section("Change to this mode when someone is home") {
+        input "homeMode", "mode", title: "Home mode"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(people, "presence", presenceHandler)
+}
+
+private everyoneIsAway() {
+    def result = true
+    for (person in people) {
+        if (person.currentPresence == "present") {
+            result = false
+        }
+    }
+    return result
+}
+
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        if (everyoneIsAway()) {
+            def newMode = awayMode
+            if (location.mode != newMode) {
+                setLocationMode(newMode)
+                log.debug "changed mode to $newMode"
+            }
+        }
+    } else {
+        def newMode = homeMode
+        if (location.mode != newMode) {
+            setLocationMode(newMode)
+        }
+    }
+}
+`})
+
+	register(Source{Name: "Unlock Door", Group: 1, Tags: []Tag{TagMarket, TagBad}, Groovy: `
+definition(
+    name: "Unlock Door",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Unlocks the door upon user input.",
+    category: "Safety & Security"
+)
+
+preferences {
+    section("Which lock?") {
+        input "lock1", "capability.lock", title: "Lock"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def appTouch(evt) {
+    lock1.unlock()
+}
+
+def changedLocationMode(evt) {
+    lock1.unlock()
+}
+`})
+
+	register(Source{Name: "Big Turn On", Group: 1, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Big Turn On",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Turn your lights on when the SmartApp is tapped or activated.",
+    category: "Convenience"
+)
+
+preferences {
+    section("Turn on...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(app, appTouch)
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def appTouch(evt) {
+    log.debug "appTouch: $evt"
+    switches.on()
+}
+
+def changedLocationMode(evt) {
+    log.debug "changedLocationMode: $evt"
+    switches.on()
+}
+`})
+
+	register(Source{Name: "Virtual Thermostat", Group: 2, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Virtual Thermostat",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Control a space heater or window air conditioner in conjunction with any temperature sensor, like a SmartSense Multi.",
+    category: "Green Living"
+)
+
+preferences {
+    section("Choose a temperature sensor ... ") {
+        input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+    }
+    section("Select the heater or air conditioner outlet(s)... ") {
+        input "outlets", "capability.switch", title: "Outlets", multiple: true
+    }
+    section("Set the desired temperature ...") {
+        input "setpoint", "decimal", title: "Set Temp"
+    }
+    section("When there's been movement from (optional)") {
+        input "motion", "capability.motionSensor", title: "Motion", required: false
+    }
+    section("Within this number of minutes ...") {
+        input "minutes", "number", title: "Minutes", required: false
+    }
+    section("But never go below (or above if A/C) this value with or without motion ...") {
+        input "emergencySetpoint", "decimal", title: "Emer Temp", required: false
+    }
+    section("Select 'heat' for a heater and 'cool' for an air conditioner ...") {
+        input "mode", "enum", title: "Heating or cooling?", options: ["heat", "cool"]
+    }
+}
+
+def installed() {
+    subscribe(sensor, "temperature", temperatureHandler)
+    if (motion) {
+        subscribe(motion, "motion", motionHandler)
+    }
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(sensor, "temperature", temperatureHandler)
+    if (motion) {
+        subscribe(motion, "motion", motionHandler)
+    }
+}
+
+def temperatureHandler(evt) {
+    def isActive = hasBeenRecentMotion()
+    if (isActive || emergencySetpoint) {
+        evaluate(evt.numericValue, isActive ? setpoint : emergencySetpoint)
+    } else {
+        outlets.off()
+    }
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        def lastTemp = sensor.currentTemperature
+        if (lastTemp != null) {
+            evaluate(lastTemp, setpoint)
+        }
+    } else if (evt.value == "inactive") {
+        def isActive = hasBeenRecentMotion()
+        if (isActive || emergencySetpoint) {
+            def lastTemp = sensor.currentTemperature
+            if (lastTemp != null) {
+                evaluate(lastTemp, isActive ? setpoint : emergencySetpoint)
+            }
+        } else {
+            outlets.off()
+        }
+    }
+}
+
+private evaluate(currentTemp, desiredTemp) {
+    log.debug "EVALUATE($currentTemp, $desiredTemp)"
+    def threshold = 1.0
+    if (mode == "cool") {
+        if (currentTemp - desiredTemp >= threshold) {
+            outlets.on()
+        } else if (desiredTemp - currentTemp >= threshold) {
+            outlets.off()
+        }
+    } else {
+        if (desiredTemp - currentTemp >= threshold) {
+            outlets.on()
+        } else if (currentTemp - desiredTemp >= threshold) {
+            outlets.off()
+        }
+    }
+}
+
+private hasBeenRecentMotion() {
+    def isActive = false
+    if (motion && minutes) {
+        if (motion.currentMotion == "active") {
+            isActive = true
+        }
+    } else {
+        isActive = true
+    }
+    return isActive
+}
+`})
+
+	register(Source{Name: "Good Night", Group: 3, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Good Night",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Changes mode to sleeping mode when lights are turned off at night.",
+    category: "Mode Magic"
+)
+
+preferences {
+    section("When these lights are all off...") {
+        input "switches", "capability.switch", multiple: true
+    }
+    section("Change to this mode") {
+        input "sleepMode", "mode", title: "Sleeping mode"
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(switches, "switch.off", switchOffHandler)
+}
+
+private allOff() {
+    def result = true
+    for (sw in switches) {
+        if (sw.currentSwitch == "on") {
+            result = false
+        }
+    }
+    return result
+}
+
+def switchOffHandler(evt) {
+    if (allOff() && location.mode != sleepMode) {
+        setLocationMode(sleepMode)
+        log.debug "entering sleeping mode $sleepMode"
+    }
+}
+`})
+
+	register(Source{Name: "Light Follows Me", Group: 3, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Light Follows Me",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Turn your lights on when motion is detected and off when motion stops.",
+    category: "Convenience"
+)
+
+preferences {
+    section("Turn on when there's movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("And off when there's been no movement for...") {
+        input "minutes1", "number", title: "Minutes?"
+    }
+    section("Turn on/off light(s)...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motion1, "motion", motionHandler)
+}
+
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        switches.on()
+        state.inactiveAt = null
+    } else if (evt.value == "inactive") {
+        state.inactiveAt = now()
+        runIn(minutes1 * 60, scheduleCheck)
+    }
+}
+
+def scheduleCheck() {
+    if (state.inactiveAt != null) {
+        switches.off()
+        state.inactiveAt = null
+    }
+}
+`})
+
+	register(Source{Name: "Light Off When Close", Group: 3, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Light Off When Close",
+    namespace: "iotsan.corpus",
+    author: "Community",
+    description: "Turn lights off when a door closes.",
+    category: "Convenience"
+)
+
+preferences {
+    section("When the door closes...") {
+        input "contact1", "capability.contactSensor", title: "Where?"
+    }
+    section("Turn off a light...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(contact1, "contact.closed", contactClosedHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(contact1, "contact.closed", contactClosedHandler)
+}
+
+def contactClosedHandler(evt) {
+    switches.off()
+}
+`})
+
+	register(Source{Name: "Make It So", Group: 4, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Make It So",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Saves the states of switches and locks and restores them on mode change.",
+    category: "Mode Magic"
+)
+
+preferences {
+    section("Switches") {
+        input "switches", "capability.switch", multiple: true, required: false
+    }
+    section("Locks") {
+        input "locks", "capability.lock", multiple: true, required: false
+    }
+}
+
+def installed() {
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(location, "mode", changedLocationMode)
+}
+
+def changedLocationMode(evt) {
+    if (evt.value == "Away") {
+        switches.off()
+        locks.lock()
+    } else if (evt.value == "Home") {
+        switches.on()
+        locks.unlock()
+    }
+}
+`})
+
+	register(Source{Name: "Darken Behind Me", Group: 4, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Darken Behind Me",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Turn your lights off after a period of no motion.",
+    category: "Convenience"
+)
+
+preferences {
+    section("When there's no movement...") {
+        input "motion1", "capability.motionSensor", title: "Where?"
+    }
+    section("Turn off...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(motion1, "motion.inactive", motionInactiveHandler)
+}
+
+def motionInactiveHandler(evt) {
+    switches.off()
+}
+`})
+
+	register(Source{Name: "Switch Changes Mode", Group: 4, Tags: []Tag{TagMarket, TagBad}, Groovy: `
+definition(
+    name: "Switch Changes Mode",
+    namespace: "iotsan.corpus",
+    author: "Community",
+    description: "Change location mode when a switch turns on or off.",
+    category: "Mode Magic"
+)
+
+preferences {
+    section("When this switch...") {
+        input "trigger", "capability.switch", title: "Which?"
+    }
+    section("Modes") {
+        input "onMode", "mode", title: "Mode when on"
+        input "offMode", "mode", title: "Mode when off"
+    }
+}
+
+def installed() {
+    subscribe(trigger, "switch", switchHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(trigger, "switch", switchHandler)
+}
+
+def switchHandler(evt) {
+    if (evt.value == "on") {
+        if (location.mode != onMode) {
+            setLocationMode(onMode)
+        }
+    } else {
+        if (location.mode != offMode) {
+            setLocationMode(offMode)
+        }
+    }
+}
+`})
+
+	register(Source{Name: "Energy Saver", Group: 2, Tags: []Tag{TagMarket, TagBad}, Groovy: `
+definition(
+    name: "Energy Saver",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Turn things off when your energy use goes above a threshold.",
+    category: "Green Living"
+)
+
+preferences {
+    section("When power consumption exceeds...") {
+        input "meter", "capability.powerMeter", title: "Meter"
+        input "threshold", "number", title: "Watts?"
+    }
+    section("Turn off...") {
+        input "switches", "capability.switch", multiple: true
+    }
+}
+
+def installed() {
+    subscribe(meter, "power", powerHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    def meterValue = evt.numericValue
+    if (meterValue > threshold) {
+        log.debug "${meter} reported ${meterValue} W, above threshold; turning things off"
+        switches.off()
+    }
+}
+`})
+
+	register(Source{Name: "Smart Security", Group: 5, Tags: []Tag{TagMarket}, Groovy: `
+definition(
+    name: "Smart Security",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Alerts you when there is motion or an opening while you are away.",
+    category: "Safety & Security"
+)
+
+preferences {
+    section("Sense motion with...") {
+        input "motions", "capability.motionSensor", multiple: true, required: false
+    }
+    section("Or door openings with...") {
+        input "contacts", "capability.contactSensor", multiple: true, required: false
+    }
+    section("Sound the alarm") {
+        input "alarms", "capability.alarm", multiple: true, required: false
+    }
+    section("Notify this number") {
+        input "phone", "phone", title: "Phone number", required: false
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    if (motions) {
+        subscribe(motions, "motion.active", intruderMotion)
+    }
+    if (contacts) {
+        subscribe(contacts, "contact.open", intruderContact)
+    }
+}
+
+def intruderMotion(evt) {
+    if (location.mode == "Away") {
+        triggerAlarm()
+    }
+}
+
+def intruderContact(evt) {
+    if (location.mode == "Away") {
+        triggerAlarm()
+    }
+}
+
+private triggerAlarm() {
+    alarms.both()
+    if (phone) {
+        sendSms(phone, "Intruder detected at home!")
+    }
+    sendPush("Intruder detected at home!")
+}
+`})
+
+	register(Source{Name: "It's Too Cold", Group: 2, Tags: []Tag{TagMarket, TagGood}, Groovy: `
+definition(
+    name: "It's Too Cold",
+    namespace: "smartthings",
+    author: "SmartThings",
+    description: "Monitor the temperature and get a text message when it drops below your setting, and turn on a heater.",
+    category: "Convenience"
+)
+
+preferences {
+    section("Monitor the temperature...") {
+        input "temperatureSensor1", "capability.temperatureMeasurement"
+    }
+    section("When the temperature drops below...") {
+        input "temperature1", "number", title: "Temperature?"
+    }
+    section("Text me at (optional)") {
+        input "phone1", "phone", title: "Phone number?", required: false
+    }
+    section("Turn on a heater (optional)") {
+        input "heaterOutlet", "capability.switch", required: false
+    }
+}
+
+def installed() {
+    subscribe(temperatureSensor1, "temperature", temperatureHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(temperatureSensor1, "temperature", temperatureHandler)
+}
+
+def temperatureHandler(evt) {
+    def tooCold = temperature1
+    def mySwitch = settings.heaterOutlet
+    if (evt.numericValue <= tooCold) {
+        log.debug "Temperature dropped below $tooCold: sending SMS and activating $mySwitch"
+        if (phone1) {
+            sendSms(phone1, "${temperatureSensor1.displayName} is too cold, reporting a temperature of ${evt.value}")
+        }
+        if (heaterOutlet) {
+            heaterOutlet.on()
+        }
+    }
+}
+`})
+}

@@ -1,0 +1,173 @@
+// Package crawler implements the Configuration Extractor's front half
+// (§7): given a SmartThings account, it logs in to the management web
+// app, crawls the installed devices, installed smart apps, and each
+// app's settings, and produces a config.System.
+//
+// The original prototype scraped graph-na02-useast1.api.smartthings.com
+// with Jsoup; this package ships a faithful mock of those pages
+// (MockServer) and a minimal HTML table scraper, exercising the same
+// code path over net/http.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"iotsan/internal/config"
+)
+
+// Crawl logs in to the management web app at baseURL and extracts the
+// system configuration.
+func Crawl(client *http.Client, baseURL, user, password string) (*config.System, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	// Login (form post, session cookie handled by the client's jar).
+	resp, err := client.PostForm(baseURL+"/login", url.Values{
+		"username": {user}, "password": {password},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crawler: login: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("crawler: login failed: %s", resp.Status)
+	}
+
+	sys := &config.System{Name: "crawled-home"}
+
+	devRows, err := fetchTable(client, baseURL+"/device/list")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range devRows {
+		if len(row) < 3 {
+			continue
+		}
+		d := config.Device{ID: row[0], Label: row[1], Model: row[2]}
+		if len(row) > 3 {
+			d.Association = row[3]
+		}
+		sys.Devices = append(sys.Devices, d)
+	}
+
+	appRows, err := fetchTable(client, baseURL+"/installedSmartApp/list")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range appRows {
+		if len(row) < 2 {
+			continue
+		}
+		inst := config.AppInstance{App: row[1], Bindings: map[string]config.Binding{}}
+		setRows, err := fetchTable(client, baseURL+"/installedSmartApp/show/"+row[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range setRows {
+			if len(s) < 3 {
+				continue
+			}
+			name, typ, value := s[0], s[1], s[2]
+			if typ == "device" {
+				var ids []string
+				for _, id := range strings.Split(value, ",") {
+					if id = strings.TrimSpace(id); id != "" {
+						ids = append(ids, id)
+					}
+				}
+				inst.Bindings[name] = config.Binding{DeviceIDs: ids}
+			} else {
+				inst.Bindings[name] = config.Binding{Value: value}
+			}
+		}
+		sys.Apps = append(sys.Apps, inst)
+	}
+
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// fetchTable GETs a page and scrapes the rows of its first <table>.
+func fetchTable(client *http.Client, pageURL string) ([][]string, error) {
+	resp, err := client.Get(pageURL)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: %s: %w", pageURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("crawler: %s: %s", pageURL, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	return ParseTable(string(body)), nil
+}
+
+// ParseTable extracts the cell texts of every <tr> in a page's first
+// table — the minimal scraping Jsoup performed in the original. Header
+// rows (<th>) are skipped.
+func ParseTable(html string) [][]string {
+	var rows [][]string
+	for _, tr := range between(html, "<tr", "</tr>") {
+		cells := between(tr, "<td", "</td>")
+		if len(cells) == 0 {
+			continue
+		}
+		var row []string
+		for _, c := range cells {
+			// Strip the remainder of the opening tag, then any nested tags.
+			if i := strings.IndexByte(c, '>'); i >= 0 {
+				c = c[i+1:]
+			}
+			row = append(row, strings.TrimSpace(stripTags(c)))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// between returns every substring starting at an occurrence of open
+// (inclusive of its attributes) and ending before close.
+func between(s, open, close string) []string {
+	var out []string
+	for {
+		i := strings.Index(s, open)
+		if i < 0 {
+			return out
+		}
+		s = s[i+len(open):]
+		j := strings.Index(s, close)
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+len(close):]
+	}
+}
+
+func stripTags(s string) string {
+	var sb strings.Builder
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '<':
+			depth++
+		case '>':
+			if depth > 0 {
+				depth--
+			}
+		default:
+			if depth == 0 {
+				sb.WriteRune(r)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,72 @@
+package crawler
+
+import (
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"testing"
+
+	"iotsan/internal/config"
+)
+
+func testSystem() *config.System {
+	return &config.System{
+		Name:  "crawl-home",
+		Modes: []string{"Home", "Away"},
+		Mode:  "Home",
+		Devices: []config.Device{
+			{ID: "pres1", Label: "Presence", Model: "Presence Sensor"},
+			{ID: "lock1", Label: "Front Lock", Model: "Smart Lock", Association: "main door"},
+		},
+		Apps: []config.AppInstance{
+			{App: "Unlock Door", Bindings: map[string]config.Binding{
+				"lock1": {DeviceIDs: []string{"lock1"}},
+			}},
+		},
+	}
+}
+
+func TestCrawlRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(&MockServer{Sys: testSystem(), User: "alice", Password: "s3cret"})
+	defer srv.Close()
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+
+	sys, err := Crawl(client, srv.URL, "alice", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Devices) != 2 || len(sys.Apps) != 1 {
+		t.Fatalf("devices=%d apps=%d", len(sys.Devices), len(sys.Apps))
+	}
+	if sys.Devices[1].Association != "main door" {
+		t.Errorf("association lost: %+v", sys.Devices[1])
+	}
+	b := sys.Apps[0].Bindings["lock1"]
+	if len(b.DeviceIDs) != 1 || b.DeviceIDs[0] != "lock1" {
+		t.Errorf("binding: %+v", b)
+	}
+}
+
+func TestCrawlBadPassword(t *testing.T) {
+	srv := httptest.NewServer(&MockServer{Sys: testSystem(), User: "alice", Password: "s3cret"})
+	defer srv.Close()
+	jar, _ := cookiejar.New(nil)
+	if _, err := Crawl(&http.Client{Jar: jar}, srv.URL, "alice", "wrong"); err == nil {
+		t.Fatal("expected login failure")
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	rows := ParseTable(`<table>
+		<tr><th>h1</th><th>h2</th></tr>
+		<tr><td>a</td><td><b>b</b></td></tr>
+		<tr class="x"><td colspan="2"> c </td></tr>
+	</table>`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	if rows[0][1] != "b" || rows[1][0] != "c" {
+		t.Errorf("rows: %v", rows)
+	}
+}

@@ -1,0 +1,84 @@
+package crawler
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"iotsan/internal/config"
+)
+
+// MockServer is an http.Handler mimicking the SmartThings management
+// web app's page structure for a given system — the substrate stand-in
+// for the pages the original crawler scraped (§7). It requires the
+// login flow before serving data pages.
+type MockServer struct {
+	Sys      *config.System
+	User     string
+	Password string
+}
+
+// ServeHTTP implements http.Handler.
+func (ms *MockServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/login" && r.Method == http.MethodPost:
+		if r.FormValue("username") != ms.User || r.FormValue("password") != ms.Password {
+			http.Error(w, "bad credentials", http.StatusUnauthorized)
+			return
+		}
+		http.SetCookie(w, &http.Cookie{Name: "JSESSIONID", Value: "mock-session"})
+		fmt.Fprint(w, "<html><body>Welcome</body></html>")
+	case !ms.authed(r):
+		http.Error(w, "login required", http.StatusForbidden)
+	case r.URL.Path == "/device/list":
+		ms.deviceList(w)
+	case r.URL.Path == "/installedSmartApp/list":
+		ms.appList(w)
+	case strings.HasPrefix(r.URL.Path, "/installedSmartApp/show/"):
+		ms.appShow(w, strings.TrimPrefix(r.URL.Path, "/installedSmartApp/show/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (ms *MockServer) authed(r *http.Request) bool {
+	c, err := r.Cookie("JSESSIONID")
+	return err == nil && c.Value == "mock-session"
+}
+
+func (ms *MockServer) deviceList(w http.ResponseWriter) {
+	fmt.Fprint(w, "<html><table><tr><th>Id</th><th>Label</th><th>Type</th><th>Role</th></tr>")
+	for _, d := range ms.Sys.Devices {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+			d.ID, d.Label, d.Model, d.Association)
+	}
+	fmt.Fprint(w, "</table></html>")
+}
+
+func (ms *MockServer) appList(w http.ResponseWriter) {
+	fmt.Fprint(w, "<html><table><tr><th>Id</th><th>Name</th></tr>")
+	for i, a := range ms.Sys.Apps {
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td></tr>", i, a.App)
+	}
+	fmt.Fprint(w, "</table></html>")
+}
+
+func (ms *MockServer) appShow(w http.ResponseWriter, id string) {
+	var idx int
+	fmt.Sscanf(id, "%d", &idx)
+	if idx < 0 || idx >= len(ms.Sys.Apps) {
+		http.Error(w, "no such app", http.StatusNotFound)
+		return
+	}
+	fmt.Fprint(w, "<html><table><tr><th>Setting</th><th>Type</th><th>Value</th></tr>")
+	a := ms.Sys.Apps[idx]
+	for name, b := range a.Bindings {
+		if len(b.DeviceIDs) > 0 {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>device</td><td>%s</td></tr>",
+				name, strings.Join(b.DeviceIDs, ","))
+		} else {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>literal</td><td>%v</td></tr>", name, b.Value)
+		}
+	}
+	fmt.Fprint(w, "</table></html>")
+}

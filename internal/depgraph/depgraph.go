@@ -1,0 +1,410 @@
+// Package depgraph implements IotSan's App Dependency Analyzer (§5).
+//
+// The model checker should not have to check interactions between event
+// handlers that cannot interact. This package builds the directed
+// dependency graph over event handlers (an edge u→v when u's output
+// events overlap v's input events), merges strongly connected components
+// into composite vertices, computes each leaf's related set (the leaf
+// plus all its ancestors), merges related sets whose members have
+// conflicting output events, and finally drops sets subsumed by larger
+// ones. The surviving related sets are what the model checker analyses
+// jointly, which is the paper's first defence against state explosion
+// (mean 3.4× problem-size reduction, Table 7a).
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iotsan/internal/smartapp"
+)
+
+// Vertex is one node of the dependency graph: a single event handler, or
+// a composite of handlers after SCC merging.
+type Vertex struct {
+	ID       int
+	Handlers []smartapp.HandlerInfo // one entry normally; several for composites
+	Inputs   []smartapp.EventSig
+	Outputs  []smartapp.EventSig
+	Children []int
+	Parents  []int
+}
+
+// Label renders "App.handler" (joined by + for composites).
+func (v *Vertex) Label() string {
+	parts := make([]string, len(v.Handlers))
+	for i, h := range v.Handlers {
+		parts[i] = h.App.Name + "." + h.Handler
+	}
+	return strings.Join(parts, "+")
+}
+
+// Graph is the dependency graph of a set of apps.
+type Graph struct {
+	Vertices []*Vertex
+}
+
+// RelatedSet is a set of vertices that must be analysed jointly.
+type RelatedSet struct {
+	VertexIDs []int // sorted
+}
+
+// contains reports whether the set contains vertex id.
+func (rs RelatedSet) contains(id int) bool {
+	for _, v := range rs.VertexIDs {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetOf reports whether rs ⊆ other.
+func (rs RelatedSet) subsetOf(other RelatedSet) bool {
+	if len(rs.VertexIDs) > len(other.VertexIDs) {
+		return false
+	}
+	for _, v := range rs.VertexIDs {
+		if !other.contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (rs RelatedSet) String() string {
+	parts := make([]string, len(rs.VertexIDs))
+	for i, v := range rs.VertexIDs {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Build constructs the dependency graph for the handlers of a set of
+// apps, merging strongly connected components into composite vertices.
+func Build(handlers []smartapp.HandlerInfo) *Graph {
+	// Raw graph: one vertex per handler.
+	n := len(handlers)
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if overlaps(handlers[u].Outputs, handlers[v].Inputs) {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+
+	comp := tarjanSCC(n, adj)
+	ncomp := 0
+	for _, c := range comp {
+		if c+1 > ncomp {
+			ncomp = c + 1
+		}
+	}
+
+	g := &Graph{Vertices: make([]*Vertex, ncomp)}
+	for c := 0; c < ncomp; c++ {
+		g.Vertices[c] = &Vertex{ID: c}
+	}
+	for i, h := range handlers {
+		v := g.Vertices[comp[i]]
+		v.Handlers = append(v.Handlers, h)
+		for _, sig := range h.Inputs {
+			v.Inputs = appendSig(v.Inputs, sig)
+		}
+		for _, sig := range h.Outputs {
+			v.Outputs = appendSig(v.Outputs, sig)
+		}
+	}
+	edge := map[[2]int]bool{}
+	for u := 0; u < n; u++ {
+		for _, v := range adj[u] {
+			cu, cv := comp[u], comp[v]
+			if cu != cv && !edge[[2]int{cu, cv}] {
+				edge[[2]int{cu, cv}] = true
+				g.Vertices[cu].Children = append(g.Vertices[cu].Children, cv)
+				g.Vertices[cv].Parents = append(g.Vertices[cv].Parents, cu)
+			}
+		}
+	}
+	for _, v := range g.Vertices {
+		sort.Ints(v.Children)
+		sort.Ints(v.Parents)
+	}
+	return g
+}
+
+func appendSig(sigs []smartapp.EventSig, s smartapp.EventSig) []smartapp.EventSig {
+	for _, x := range sigs {
+		if x == s {
+			return sigs
+		}
+	}
+	return append(sigs, s)
+}
+
+func overlaps(outs, ins []smartapp.EventSig) bool {
+	for _, o := range outs {
+		for _, i := range ins {
+			if o.Overlaps(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func conflicts(a, b []smartapp.EventSig) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Conflicts(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tarjanSCC returns the condensation component index of each vertex.
+// Components are renumbered in vertex order for deterministic output.
+func tarjanSCC(n int, adj [][]int) []int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	ncomp := 0
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == unvisited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == unvisited {
+			strongconnect(v)
+		}
+	}
+
+	// Renumber components by first-vertex order so vertex 0's component
+	// is component 0, matching the paper's figures.
+	remap := make([]int, ncomp)
+	for i := range remap {
+		remap[i] = -1
+	}
+	k := 0
+	for v := 0; v < n; v++ {
+		if remap[comp[v]] == -1 {
+			remap[comp[v]] = k
+			k++
+		}
+	}
+	for v := 0; v < n; v++ {
+		comp[v] = remap[comp[v]]
+	}
+	return comp
+}
+
+// InitialSets returns the related set of every leaf vertex: the leaf and
+// all of its ancestors (Table 3a).
+func (g *Graph) InitialSets() []RelatedSet {
+	var sets []RelatedSet
+	for _, v := range g.Vertices {
+		if len(v.Children) > 0 {
+			continue // not a leaf
+		}
+		anc := map[int]bool{v.ID: true}
+		var climb func(id int)
+		climb = func(id int) {
+			for _, p := range g.Vertices[id].Parents {
+				if !anc[p] {
+					anc[p] = true
+					climb(p)
+				}
+			}
+		}
+		climb(v.ID)
+		ids := make([]int, 0, len(anc))
+		for id := range anc {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		sets = append(sets, RelatedSet{VertexIDs: ids})
+	}
+	sort.Slice(sets, func(i, j int) bool { return lessIDs(sets[i].VertexIDs, sets[j].VertexIDs) })
+	return sets
+}
+
+// ConflictSets returns, for each pair of vertices with conflicting output
+// events, the union of the initial related sets containing either vertex
+// (Table 3b).
+func (g *Graph) ConflictSets(initial []RelatedSet) []RelatedSet {
+	var out []RelatedSet
+	for u := 0; u < len(g.Vertices); u++ {
+		for v := u + 1; v < len(g.Vertices); v++ {
+			if !conflicts(g.Vertices[u].Outputs, g.Vertices[v].Outputs) {
+				continue
+			}
+			union := map[int]bool{}
+			for _, rs := range initial {
+				if rs.contains(u) || rs.contains(v) {
+					for _, id := range rs.VertexIDs {
+						union[id] = true
+					}
+				}
+			}
+			if len(union) == 0 {
+				continue
+			}
+			ids := make([]int, 0, len(union))
+			for id := range union {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			out = append(out, RelatedSet{VertexIDs: ids})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessIDs(out[i].VertexIDs, out[j].VertexIDs) })
+	return dedupeSets(out)
+}
+
+// FinalSets computes the related sets the model checker verifies: the
+// initial and conflict-merged sets with every subset of a bigger set
+// removed (Table 3c).
+func (g *Graph) FinalSets() []RelatedSet {
+	initial := g.InitialSets()
+	all := append(append([]RelatedSet{}, initial...), g.ConflictSets(initial)...)
+	all = dedupeSets(all)
+	var out []RelatedSet
+	for i, rs := range all {
+		subsumed := false
+		for j, other := range all {
+			if i == j {
+				continue
+			}
+			if rs.subsetOf(other) && (len(rs.VertexIDs) < len(other.VertexIDs) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, rs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessIDs(out[i].VertexIDs, out[j].VertexIDs) })
+	return out
+}
+
+func dedupeSets(in []RelatedSet) []RelatedSet {
+	seen := map[string]bool{}
+	var out []RelatedSet
+	for _, rs := range in {
+		k := rs.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, rs)
+		}
+	}
+	return out
+}
+
+func lessIDs(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Handlers returns the handler infos of a related set, in vertex order.
+func (g *Graph) Handlers(rs RelatedSet) []smartapp.HandlerInfo {
+	var out []smartapp.HandlerInfo
+	for _, id := range rs.VertexIDs {
+		out = append(out, g.Vertices[id].Handlers...)
+	}
+	return out
+}
+
+// Apps returns the distinct app names appearing in a related set.
+func (g *Graph) Apps(rs RelatedSet) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range rs.VertexIDs {
+		for _, h := range g.Vertices[id].Handlers {
+			if !seen[h.App.Name] {
+				seen[h.App.Name] = true
+				out = append(out, h.App.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScaleStats reports the problem-size reduction of dependency analysis
+// for one group of apps (Table 7a): the total number of event handlers
+// versus the largest related set.
+type ScaleStats struct {
+	OriginalSize int
+	NewSize      int
+}
+
+// Ratio returns OriginalSize/NewSize (1 when there is nothing to do).
+func (s ScaleStats) Ratio() float64 {
+	if s.NewSize == 0 {
+		return 1
+	}
+	return float64(s.OriginalSize) / float64(s.NewSize)
+}
+
+// Scale computes the scale statistics of a handler set.
+func Scale(handlers []smartapp.HandlerInfo) ScaleStats {
+	g := Build(handlers)
+	stats := ScaleStats{OriginalSize: len(handlers)}
+	for _, rs := range g.FinalSets() {
+		size := 0
+		for _, id := range rs.VertexIDs {
+			size += len(g.Vertices[id].Handlers)
+		}
+		if size > stats.NewSize {
+			stats.NewSize = size
+		}
+	}
+	return stats
+}

@@ -1,0 +1,242 @@
+package device
+
+// This file registers the built-in capabilities and the 30+ device models
+// supported by the model generator (§8: "Currently, we support 30
+// different IoT devices").
+
+func enumAttr(name string, def int, values ...string) Attribute {
+	return Attribute{Name: name, Values: values, Default: def}
+}
+
+func numAttr(name string, def int, gen ...int) Attribute {
+	return Attribute{Name: name, Numeric: true, Default: def, GenValues: gen}
+}
+
+func setCmd(name, attr, value string) Command {
+	return Command{Name: name, Attribute: attr, Value: value}
+}
+
+func argCmd(name, attr string) Command {
+	return Command{Name: name, Attribute: attr, TakesArg: true}
+}
+
+func init() {
+	// ---- Capabilities ----
+
+	RegisterCapability(&Capability{
+		Name:       "switch",
+		Attributes: []Attribute{enumAttr("switch", 1, "on", "off")},
+		Commands:   []Command{setCmd("on", "switch", "on"), setCmd("off", "switch", "off")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "switchLevel",
+		Attributes: []Attribute{numAttr("level", 100)},
+		Commands:   []Command{argCmd("setLevel", "level")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "motionSensor",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("motion", 1, "active", "inactive")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "contactSensor",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("contact", 1, "open", "closed")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "presenceSensor",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("presence", 0, "present", "not present")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "temperatureMeasurement",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("temperature", 70, 50, 75, 95)},
+	})
+	RegisterCapability(&Capability{
+		Name:   "thermostat",
+		Sensor: true,
+		Attributes: []Attribute{
+			enumAttr("thermostatMode", 2, "heat", "cool", "off", "auto"),
+			numAttr("heatingSetpoint", 68),
+			numAttr("coolingSetpoint", 76),
+			numAttr("temperature", 70, 50, 75, 95),
+		},
+		Commands: []Command{
+			setCmd("heat", "thermostatMode", "heat"),
+			setCmd("cool", "thermostatMode", "cool"),
+			setCmd("auto", "thermostatMode", "auto"),
+			argCmd("setHeatingSetpoint", "heatingSetpoint"),
+			argCmd("setCoolingSetpoint", "coolingSetpoint"),
+			argCmd("setThermostatMode", "thermostatMode"),
+		},
+	})
+	RegisterCapability(&Capability{
+		Name:       "lock",
+		Attributes: []Attribute{enumAttr("lock", 0, "locked", "unlocked")},
+		Commands:   []Command{setCmd("lock", "lock", "locked"), setCmd("unlock", "lock", "unlocked")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "doorControl",
+		Attributes: []Attribute{enumAttr("door", 1, "open", "closed", "opening", "closing")},
+		Commands:   []Command{setCmd("open", "door", "open"), setCmd("close", "door", "closed")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "garageDoorControl",
+		Attributes: []Attribute{enumAttr("door", 1, "open", "closed", "opening", "closing")},
+		Commands:   []Command{setCmd("open", "door", "open"), setCmd("close", "door", "closed")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "smokeDetector",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("smoke", 1, "detected", "clear", "tested")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "carbonMonoxideDetector",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("carbonMonoxide", 1, "detected", "clear", "tested")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "waterSensor",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("water", 0, "dry", "wet")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "alarm",
+		Attributes: []Attribute{enumAttr("alarm", 0, "off", "siren", "strobe", "both")},
+		Commands: []Command{
+			setCmd("off", "alarm", "off"),
+			setCmd("siren", "alarm", "siren"),
+			setCmd("strobe", "alarm", "strobe"),
+			setCmd("both", "alarm", "both"),
+		},
+	})
+	RegisterCapability(&Capability{
+		Name:       "valve",
+		Attributes: []Attribute{enumAttr("valve", 0, "open", "closed")},
+		Commands:   []Command{setCmd("open", "valve", "open"), setCmd("close", "valve", "closed")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "illuminanceMeasurement",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("illuminance", 300, 5, 500)},
+	})
+	RegisterCapability(&Capability{
+		Name:       "relativeHumidityMeasurement",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("humidity", 45, 20, 80)},
+	})
+	RegisterCapability(&Capability{
+		Name:   "button",
+		Sensor: true,
+		// Buttons are momentary; "released" is the neutral rest state
+		// that lets pushed/held events fire from the initial state.
+		Attributes: []Attribute{enumAttr("button", 0, "released", "pushed", "held")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "accelerationSensor",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("acceleration", 1, "active", "inactive")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "battery",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("battery", 80, 5, 80)},
+	})
+	RegisterCapability(&Capability{
+		Name:       "powerMeter",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("power", 0, 0, 150)},
+	})
+	RegisterCapability(&Capability{
+		Name:       "energyMeter",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("energy", 0, 0, 10)},
+	})
+	RegisterCapability(&Capability{
+		Name:       "windowShade",
+		Attributes: []Attribute{enumAttr("windowShade", 1, "open", "closed", "partially open")},
+		Commands:   []Command{setCmd("open", "windowShade", "open"), setCmd("close", "windowShade", "closed")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "musicPlayer",
+		Attributes: []Attribute{enumAttr("status", 1, "playing", "stopped", "paused")},
+		Commands: []Command{
+			setCmd("play", "status", "playing"),
+			setCmd("stop", "status", "stopped"),
+			setCmd("pause", "status", "paused"),
+		},
+	})
+	RegisterCapability(&Capability{
+		Name:       "imageCapture",
+		Attributes: []Attribute{enumAttr("image", 0, "idle", "taken")},
+		Commands:   []Command{setCmd("take", "image", "taken")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "soilMoistureMeasurement",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("soilMoisture", 40, 10, 60)},
+	})
+	RegisterCapability(&Capability{
+		Name:       "waterLevelMeasurement",
+		Sensor:     true,
+		Attributes: []Attribute{numAttr("waterLevel", 50, 10, 90)},
+	})
+	RegisterCapability(&Capability{
+		Name:       "sleepSensor",
+		Sensor:     true,
+		Attributes: []Attribute{enumAttr("sleeping", 1, "sleeping", "not sleeping")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "colorControl",
+		Attributes: []Attribute{numAttr("hue", 0), numAttr("saturation", 0)},
+		Commands:   []Command{argCmd("setHue", "hue"), argCmd("setSaturation", "saturation")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "speechSynthesis",
+		Attributes: []Attribute{enumAttr("speech", 0, "idle", "speaking")},
+		Commands:   []Command{setCmd("speak", "speech", "speaking")},
+	})
+	RegisterCapability(&Capability{
+		Name:       "tone",
+		Attributes: []Attribute{enumAttr("tone", 0, "idle", "beeping")},
+		Commands:   []Command{setCmd("beep", "tone", "beeping")},
+	})
+
+	// ---- Device models (30+) ----
+
+	RegisterModel(&Model{Name: "Smart Power Outlet", Capabilities: []string{"switch", "powerMeter"}})
+	RegisterModel(&Model{Name: "Smart Switch", Capabilities: []string{"switch"}})
+	RegisterModel(&Model{Name: "Dimmer Switch", Capabilities: []string{"switch", "switchLevel"}})
+	RegisterModel(&Model{Name: "Smart Bulb", Capabilities: []string{"switch", "switchLevel"}})
+	RegisterModel(&Model{Name: "Color Bulb", Capabilities: []string{"switch", "switchLevel", "colorControl"}})
+	RegisterModel(&Model{Name: "Motion Sensor", Capabilities: []string{"motionSensor", "battery"}})
+	RegisterModel(&Model{Name: "Multipurpose Sensor", Capabilities: []string{"contactSensor", "accelerationSensor", "temperatureMeasurement", "battery"}})
+	RegisterModel(&Model{Name: "Contact Sensor", Capabilities: []string{"contactSensor", "battery"}})
+	RegisterModel(&Model{Name: "Presence Sensor", Capabilities: []string{"presenceSensor", "battery"}})
+	RegisterModel(&Model{Name: "Temperature Sensor", Capabilities: []string{"temperatureMeasurement", "battery"}})
+	RegisterModel(&Model{Name: "SmartSense Multi", Capabilities: []string{"contactSensor", "temperatureMeasurement", "accelerationSensor", "battery"}})
+	RegisterModel(&Model{Name: "Thermostat", Capabilities: []string{"thermostat", "temperatureMeasurement"}})
+	RegisterModel(&Model{Name: "Smart Lock", Capabilities: []string{"lock", "battery"}})
+	RegisterModel(&Model{Name: "Door Control", Capabilities: []string{"doorControl", "contactSensor"}})
+	RegisterModel(&Model{Name: "Garage Door Opener", Capabilities: []string{"garageDoorControl", "contactSensor"}})
+	RegisterModel(&Model{Name: "Smoke Detector", Capabilities: []string{"smokeDetector", "battery"}})
+	RegisterModel(&Model{Name: "CO Detector", Capabilities: []string{"carbonMonoxideDetector", "battery"}})
+	RegisterModel(&Model{Name: "Smoke and CO Detector", Capabilities: []string{"smokeDetector", "carbonMonoxideDetector", "battery"}})
+	RegisterModel(&Model{Name: "Water Leak Sensor", Capabilities: []string{"waterSensor", "battery"}})
+	RegisterModel(&Model{Name: "Siren Alarm", Capabilities: []string{"alarm", "battery"}})
+	RegisterModel(&Model{Name: "Water Valve", Capabilities: []string{"valve"}})
+	RegisterModel(&Model{Name: "Illuminance Sensor", Capabilities: []string{"illuminanceMeasurement", "battery"}})
+	RegisterModel(&Model{Name: "Humidity Sensor", Capabilities: []string{"relativeHumidityMeasurement", "battery"}})
+	RegisterModel(&Model{Name: "Button Controller", Capabilities: []string{"button", "battery"}})
+	RegisterModel(&Model{Name: "Window Shade", Capabilities: []string{"windowShade"}})
+	RegisterModel(&Model{Name: "Speaker", Capabilities: []string{"musicPlayer", "speechSynthesis", "tone"}})
+	RegisterModel(&Model{Name: "Camera", Capabilities: []string{"imageCapture", "motionSensor"}})
+	RegisterModel(&Model{Name: "Soil Moisture Sensor", Capabilities: []string{"soilMoistureMeasurement", "battery"}})
+	RegisterModel(&Model{Name: "Sprinkler Controller", Capabilities: []string{"switch", "valve"}})
+	RegisterModel(&Model{Name: "Sleep Sensor", Capabilities: []string{"sleepSensor", "battery"}})
+	RegisterModel(&Model{Name: "Energy Meter", Capabilities: []string{"energyMeter", "powerMeter"}})
+	RegisterModel(&Model{Name: "Space Heater", Capabilities: []string{"switch"}})
+	RegisterModel(&Model{Name: "Window AC", Capabilities: []string{"switch"}})
+	RegisterModel(&Model{Name: "Water Level Sensor", Capabilities: []string{"waterLevelMeasurement", "battery"}})
+}

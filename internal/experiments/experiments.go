@@ -1,0 +1,275 @@
+// Package experiments builds the evaluation workloads of §10 and runs
+// the per-table experiments. The paper's configurations were produced by
+// the authors ("expert") and by seven student volunteers; this package
+// synthesizes deterministic equivalents: the expert configuration binds
+// every input to a sensible device of the shared home inventory, and
+// volunteer configurations apply seeded perturbations that reproduce the
+// characteristic mistakes of §2.2 (e.g. configuring the Virtual
+// Thermostat with both the heater and the AC outlet).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"iotsan/internal/config"
+	"iotsan/internal/corpus"
+	"iotsan/internal/device"
+	"iotsan/internal/ir"
+	"iotsan/internal/props"
+	"iotsan/internal/smartapp"
+)
+
+// HomeInventory returns the shared device inventory: a realistic
+// smart-home covering every capability the corpus uses, with the
+// association roles the property catalog binds to (§7).
+func HomeInventory() []config.Device {
+	return []config.Device{
+		{ID: "myTempMeas", Label: "Living Room Temp", Model: "Temperature Sensor"},
+		{ID: "myHeaterOutlet", Label: "Heater Outlet", Model: "Smart Power Outlet", Association: props.RoleHeater},
+		{ID: "myACOutlet", Label: "AC Outlet", Model: "Smart Power Outlet", Association: props.RoleAC},
+		{ID: "livRoomBulbOutlet", Label: "Living Room Bulb", Model: "Smart Bulb"},
+		{ID: "bedRoomBulbOutlet", Label: "Bedroom Bulb", Model: "Smart Bulb", Association: props.RoleNightDevice},
+		{ID: "batRoomBulbOutlet", Label: "Bathroom Bulb", Model: "Smart Bulb"},
+		{ID: "hallDimmer", Label: "Hall Dimmer", Model: "Dimmer Switch"},
+		{ID: "livRoomMotion", Label: "Living Room Motion", Model: "Motion Sensor"},
+		{ID: "batRoomMotion", Label: "Bathroom Motion", Model: "Motion Sensor"},
+		{ID: "frontDoorContact", Label: "Front Door Contact", Model: "Contact Sensor", Association: props.RoleEntryContact},
+		{ID: "windowContact", Label: "Window Contact", Model: "Contact Sensor"},
+		{ID: "alicePresence", Label: "Alice's Presence", Model: "Presence Sensor"},
+		{ID: "bobPresence", Label: "Bob's Presence", Model: "Presence Sensor"},
+		{ID: "frontDoorLock", Label: "Front Door Lock", Model: "Smart Lock", Association: props.RoleMainDoor},
+		{ID: "backDoorLock", Label: "Back Door Lock", Model: "Smart Lock"},
+		{ID: "garageDoor", Label: "Garage Door", Model: "Garage Door Opener", Association: props.RoleGarage},
+		{ID: "backDoor", Label: "Back Door Control", Model: "Door Control"},
+		{ID: "smokeDet", Label: "Kitchen Smoke Detector", Model: "Smoke Detector"},
+		{ID: "coDet", Label: "Hall CO Detector", Model: "CO Detector"},
+		{ID: "basementLeak", Label: "Basement Leak Sensor", Model: "Water Leak Sensor"},
+		{ID: "sirenAlarm", Label: "Siren", Model: "Siren Alarm", Association: props.RoleAlarm},
+		{ID: "waterMainValve", Label: "Water Main Valve", Model: "Water Valve", Association: props.RoleWaterMain, Initial: map[string]string{"valve": "open"}},
+		{ID: "fireValve", Label: "Fire Sprinkler Valve", Model: "Water Valve", Association: props.RoleFireValve, Initial: map[string]string{"valve": "open"}},
+		{ID: "luxSensor", Label: "Hallway Lux", Model: "Illuminance Sensor"},
+		{ID: "humiditySensor", Label: "Bathroom Humidity", Model: "Humidity Sensor"},
+		{ID: "bedsideButton", Label: "Bedside Button", Model: "Button Controller"},
+		{ID: "livRoomShade", Label: "Living Room Shade", Model: "Window Shade", Association: props.RoleShade},
+		{ID: "speaker", Label: "Kitchen Speaker", Model: "Speaker", Association: props.RoleEntertainment},
+		{ID: "porchCamera", Label: "Porch Camera", Model: "Camera", Association: props.RoleCamera},
+		{ID: "soilSensor", Label: "Garden Soil Sensor", Model: "Soil Moisture Sensor"},
+		{ID: "sprinklerCtl", Label: "Sprinkler", Model: "Sprinkler Controller", Association: props.RoleSprinkler},
+		{ID: "sleepPad", Label: "Sleep Pad", Model: "Sleep Sensor"},
+		{ID: "washerMeter", Label: "Washer Meter", Model: "Smart Power Outlet"},
+		{ID: "homeEnergy", Label: "Home Energy Meter", Model: "Energy Meter"},
+		{ID: "safeBoxAccel", Label: "Safe Box Accel", Model: "Multipurpose Sensor"},
+		{ID: "mainThermostat", Label: "Main Thermostat", Model: "Thermostat"},
+		{ID: "panelSwitch", Label: "Security Panel Switch", Model: "Smart Switch", Association: props.RoleSecuritySw},
+		{ID: "curlingIron", Label: "Curling Iron Outlet", Model: "Smart Power Outlet", Association: props.RoleAwayDevice},
+		{ID: "sumpLevel", Label: "Sump Level", Model: "Water Level Sensor"},
+	}
+}
+
+// RandomGroups divides the 150 market apps into six groups of 25 with a
+// seeded shuffle, mirroring §10.1: "We randomly divide the 150 apps into
+// six groups (25 apps per group)".
+func RandomGroups(seed int64) [][]corpus.Source {
+	apps := corpus.WithTag(corpus.TagMarket)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+	var groups [][]corpus.Source
+	for i := 0; i < len(apps); i += 25 {
+		end := i + 25
+		if end > len(apps) {
+			end = len(apps)
+		}
+		groups = append(groups, apps[i:end])
+	}
+	return groups
+}
+
+// TranslateAll translates a set of corpus apps, returning name → ir.App.
+func TranslateAll(sources []corpus.Source) (map[string]*ir.App, error) {
+	out := map[string]*ir.App{}
+	for _, s := range sources {
+		app, err := smartapp.Translate(s.Groovy)
+		if err != nil {
+			return nil, fmt.Errorf("translate %s: %w", s.Name, err)
+		}
+		out[s.Name] = app
+	}
+	return out, nil
+}
+
+// deviceRank orders candidate devices deterministically, preferring
+// devices whose id hints match the input name (the expert's common-sense
+// binding, §10.1).
+func deviceRank(in ir.Input, d config.Device) int {
+	score := 0
+	name := strings.ToLower(in.Name)
+	id := strings.ToLower(d.ID)
+	for _, hint := range []struct{ needle, devPart string }{
+		{"heater", "heater"}, {"ac", "acoutlet"}, {"fan", "acoutlet"},
+		{"sprinkler", "sprinkler"}, {"pump", "washer"}, {"panel", "panel"},
+		{"coffee", "curling"}, {"bench", "curling"}, {"feeder", "curling"},
+		{"light", "bulb"}, {"lamp", "bulb"}, {"switch", "bulb"},
+		{"outlet", "outlet"}, {"humidifier", "acoutlet"},
+	} {
+		if strings.Contains(name, hint.needle) && strings.Contains(id, hint.devPart) {
+			score -= 10
+		}
+	}
+	return score
+}
+
+// ExpertConfig builds the authors-style configuration for a set of apps
+// against the shared inventory: each input bound to the most sensible
+// device, literals to sane values.
+func ExpertConfig(name string, sources []corpus.Source, apps map[string]*ir.App) *config.System {
+	sys := &config.System{
+		Name:    name,
+		Modes:   []string{"Home", "Away", "Night"},
+		Mode:    "Home",
+		Devices: HomeInventory(),
+		Phones:  []string{"15551230000"},
+	}
+	for _, s := range sources {
+		app := apps[s.Name]
+		inst := config.AppInstance{App: s.Name, Bindings: map[string]config.Binding{}}
+		for _, in := range app.Inputs {
+			if b, ok := expertBinding(sys, in, 0); ok {
+				inst.Bindings[in.Name] = b
+			}
+		}
+		sys.Apps = append(sys.Apps, inst)
+	}
+	return sys
+}
+
+// VolunteerConfig perturbs bindings with a seeded RNG, reproducing the
+// §2.2 misconfiguration classes: over-binding multiple-device inputs,
+// wrong enum options, and mode mix-ups.
+func VolunteerConfig(name string, sources []corpus.Source, apps map[string]*ir.App, seed int64) *config.System {
+	rng := rand.New(rand.NewSource(seed))
+	sys := &config.System{
+		Name:    name,
+		Modes:   []string{"Home", "Away", "Night"},
+		Mode:    "Home",
+		Devices: HomeInventory(),
+		Phones:  []string{"15551230000"},
+	}
+	for _, s := range sources {
+		app := apps[s.Name]
+		inst := config.AppInstance{App: s.Name, Bindings: map[string]config.Binding{}}
+		for _, in := range app.Inputs {
+			if b, ok := expertBinding(sys, in, rng.Intn(3)); ok {
+				// The signature volunteer mistake (§2.2): for a
+				// multiple-device switch input, bind BOTH the heater and
+				// the AC outlets ("the app controls both").
+				if in.Kind == ir.InputDevice && in.Capability == "switch" && in.Multiple && rng.Intn(2) == 0 {
+					b = config.Binding{DeviceIDs: []string{"myHeaterOutlet", "myACOutlet"}}
+				}
+				// Enum mix-up: pick a random option.
+				if in.Kind == ir.InputEnum && len(in.Options) > 1 {
+					b = config.Binding{Value: in.Options[rng.Intn(len(in.Options))]}
+				}
+				// Mode mix-up: sometimes the wrong mode.
+				if in.Kind == ir.InputMode && rng.Intn(3) == 0 {
+					b = config.Binding{Value: sys.Modes[rng.Intn(len(sys.Modes))]}
+				}
+				inst.Bindings[in.Name] = b
+			}
+		}
+		sys.Apps = append(sys.Apps, inst)
+	}
+	return sys
+}
+
+// expertBinding picks the offset-th best binding for an input.
+func expertBinding(sys *config.System, in ir.Input, offset int) (config.Binding, bool) {
+	switch in.Kind {
+	case ir.InputDevice:
+		var cands []config.Device
+		for _, d := range sys.Devices {
+			if m := device.ModelByName(d.Model); m != nil && m.HasCapability(in.Capability) {
+				cands = append(cands, d)
+			}
+		}
+		if len(cands) == 0 {
+			return config.Binding{}, false
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			ri, rj := deviceRank(in, cands[i]), deviceRank(in, cands[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		pick := cands[offset%len(cands)]
+		if in.Multiple && in.Capability == "presenceSensor" {
+			// People inputs bind all presence sensors.
+			var ids []string
+			for _, c := range cands {
+				ids = append(ids, c.ID)
+			}
+			return config.Binding{DeviceIDs: ids}, true
+		}
+		return config.Binding{DeviceIDs: []string{pick.ID}}, true
+	case ir.InputNumber:
+		return config.Binding{Value: numberFor(in.Name)}, true
+	case ir.InputEnum:
+		if len(in.Options) > 0 {
+			return config.Binding{Value: in.Options[0]}, true
+		}
+		return config.Binding{Value: ""}, true
+	case ir.InputMode:
+		return config.Binding{Value: modeFor(in.Name)}, true
+	case ir.InputPhone, ir.InputContact:
+		return config.Binding{Value: sys.Phones[0]}, true
+	case ir.InputTime:
+		return config.Binding{Value: "22:00"}, true
+	case ir.InputText:
+		return config.Binding{Value: "note"}, true
+	case ir.InputBool:
+		return config.Binding{Value: true}, true
+	}
+	return config.Binding{}, false
+}
+
+// numberFor picks an expert literal for a numeric input by its name.
+func numberFor(name string) int {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "setpoint") || strings.Contains(n, "temp") ||
+		strings.Contains(n, "target") || strings.Contains(n, "warm") ||
+		strings.Contains(n, "below") || strings.Contains(n, "heat") ||
+		strings.Contains(n, "cool") || strings.Contains(n, "point") ||
+		strings.Contains(n, "low") || strings.Contains(n, "high") ||
+		strings.Contains(n, "limit"):
+		return 75
+	case strings.Contains(n, "lux") || strings.Contains(n, "threshold"):
+		return 50
+	case strings.Contains(n, "minute") || strings.Contains(n, "grace") ||
+		strings.Contains(n, "delay"):
+		return 10
+	case strings.Contains(n, "humidity") || strings.Contains(n, "percent") ||
+		strings.Contains(n, "dry") || strings.Contains(n, "wet") ||
+		strings.Contains(n, "budget"):
+		return 50
+	case strings.Contains(n, "watt"):
+		return 100
+	}
+	return 70
+}
+
+// modeFor maps mode-input names to the expert's intent.
+func modeFor(name string) string {
+	n := strings.ToLower(name)
+	switch {
+	case strings.Contains(n, "away"):
+		return "Away"
+	case strings.Contains(n, "night") || strings.Contains(n, "sleep") ||
+		strings.Contains(n, "evening"):
+		return "Night"
+	}
+	return "Home"
+}

@@ -1,0 +1,550 @@
+package groovy
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// ---- Script and declarations ----
+
+// Script is a parsed smart-app source file: top-level statements (the
+// SmartThings DSL calls such as definition and preferences) interleaved
+// with method declarations (event handlers and helpers).
+type Script struct {
+	Decls []Decl
+}
+
+// NodePos implements Node; a script starts at the beginning of the file.
+func (s *Script) NodePos() Pos { return Pos{Line: 1, Col: 1} }
+
+// Decl is a top-level declaration: a MethodDecl or a top-level Stmt.
+type Decl interface{ Node }
+
+// MethodDecl is a method definition: `def updated() { ... }`,
+// `private onSwitches() { ... }`.
+type MethodDecl struct {
+	Pos       Pos
+	Name      string
+	Params    []Param
+	Body      *Block
+	Modifiers []string // private, static, ...
+	Type      string   // explicit return type, "" for def
+}
+
+func (d *MethodDecl) NodePos() Pos { return d.Pos }
+
+// Param is a method or closure parameter.
+type Param struct {
+	Pos     Pos
+	Name    string
+	Type    string // explicit type, "" when dynamic
+	Default Expr   // default value, nil if none
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ Node }
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (s *Block) NodePos() Pos { return s.Pos }
+
+// VarDeclStmt declares one local or script-level variable:
+// `def x = 0`, `int n = 5`.
+type VarDeclStmt struct {
+	Pos  Pos
+	Name string
+	Type string // explicit type, "" for def
+	Init Expr   // nil if none
+}
+
+func (s *VarDeclStmt) NodePos() Pos { return s.Pos }
+
+// ExprStmt is an expression evaluated for effect (typically a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *ExprStmt) NodePos() Pos { return s.Pos }
+
+// AssignStmt is `lhs = rhs` or a compound assignment.
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr // Ident, PropertyExpr, or IndexExpr
+	Op  Kind // Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign
+	RHS Expr
+}
+
+func (s *AssignStmt) NodePos() Pos { return s.Pos }
+
+// IfStmt is if/else-if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+}
+
+func (s *IfStmt) NodePos() Pos { return s.Pos }
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+func (s *WhileStmt) NodePos() Pos { return s.Pos }
+
+// ForInStmt is `for (x in expr) { ... }`.
+type ForInStmt struct {
+	Pos  Pos
+	Var  string
+	Iter Expr
+	Body *Block
+}
+
+func (s *ForInStmt) NodePos() Pos { return s.Pos }
+
+// ForCStmt is a C-style `for (init; cond; post)` loop.
+type ForCStmt struct {
+	Pos  Pos
+	Init Stmt // may be nil
+	Cond Expr // may be nil
+	Post Stmt // may be nil
+	Body *Block
+}
+
+func (s *ForCStmt) NodePos() Pos { return s.Pos }
+
+// ReturnStmt is `return [expr]`.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for bare return
+}
+
+func (s *ReturnStmt) NodePos() Pos { return s.Pos }
+
+// BreakStmt is `break`.
+type BreakStmt struct{ Pos Pos }
+
+func (s *BreakStmt) NodePos() Pos { return s.Pos }
+
+// ContinueStmt is `continue`.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+
+// SwitchStmt is a switch over a subject expression.
+type SwitchStmt struct {
+	Pos     Pos
+	Subject Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil when absent
+}
+
+func (s *SwitchStmt) NodePos() Pos { return s.Pos }
+
+// SwitchCase is one `case v:` arm. Groovy cases match by equality.
+type SwitchCase struct {
+	Pos    Pos
+	Values []Expr // one per stacked case label
+	Body   []Stmt
+}
+
+// TryStmt is try/catch/finally. The model treats catch bodies as
+// unreachable (the IR evaluator does not throw), but they are parsed so
+// real market apps load unmodified.
+type TryStmt struct {
+	Pos     Pos
+	Body    *Block
+	Catches []CatchClause
+	Finally *Block // nil when absent
+}
+
+func (s *TryStmt) NodePos() Pos { return s.Pos }
+
+// CatchClause is one catch arm.
+type CatchClause struct {
+	Pos  Pos
+	Name string
+	Type string
+	Body *Block
+}
+
+// ThrowStmt is `throw expr`.
+type ThrowStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *ThrowStmt) NodePos() Pos { return s.Pos }
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ Node }
+
+// Ident is a bare identifier reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+func (e *Ident) NodePos() Pos { return e.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+func (e *IntLit) NodePos() Pos { return e.Pos }
+
+// NumLit is a decimal literal.
+type NumLit struct {
+	Pos Pos
+	V   float64
+}
+
+func (e *NumLit) NodePos() Pos { return e.Pos }
+
+// StrLit is a plain string literal.
+type StrLit struct {
+	Pos Pos
+	V   string
+}
+
+func (e *StrLit) NodePos() Pos { return e.Pos }
+
+// GStringLit is an interpolated string; Exprs[i] is the parsed expression
+// for the i-th interpolation part (aligned with Parts entries that have
+// Expr != "").
+type GStringLit struct {
+	Pos   Pos
+	Parts []StringPart
+	Exprs []Expr // parsed interpolations, in order of appearance
+}
+
+func (e *GStringLit) NodePos() Pos { return e.Pos }
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	V   bool
+}
+
+func (e *BoolLit) NodePos() Pos { return e.Pos }
+
+// NullLit is null.
+type NullLit struct{ Pos Pos }
+
+func (e *NullLit) NodePos() Pos { return e.Pos }
+
+// ListLit is `[a, b, c]`.
+type ListLit struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+func (e *ListLit) NodePos() Pos { return e.Pos }
+
+// MapEntry is one `key: value` pair in a map literal or named argument.
+type MapEntry struct {
+	Pos   Pos
+	Key   string // identifier or string key
+	KeyX  Expr   // parenthesised dynamic key `(expr):`, nil for static keys
+	Value Expr
+}
+
+// MapLit is `[k: v, ...]` or the empty map `[:]`.
+type MapLit struct {
+	Pos     Pos
+	Entries []MapEntry
+}
+
+func (e *MapLit) NodePos() Pos { return e.Pos }
+
+// RangeLit is `lo..hi`.
+type RangeLit struct {
+	Pos    Pos
+	Lo, Hi Expr
+}
+
+func (e *RangeLit) NodePos() Pos { return e.Pos }
+
+// PropertyExpr is `recv.name`, `recv?.name`, or `recv*.name`.
+type PropertyExpr struct {
+	Pos    Pos
+	Recv   Expr
+	Name   string
+	Safe   bool // ?.
+	Spread bool // *.
+}
+
+func (e *PropertyExpr) NodePos() Pos { return e.Pos }
+
+// IndexExpr is `recv[index]`.
+type IndexExpr struct {
+	Pos   Pos
+	Recv  Expr
+	Index Expr
+}
+
+func (e *IndexExpr) NodePos() Pos { return e.Pos }
+
+// CallExpr is a method or function call. Recv is nil for bare calls
+// (`subscribe(...)`) and non-nil for method calls (`sw.on()`).
+// NamedArgs collects `name: value` arguments (Groovy gathers them into a
+// leading map). Closure is a trailing closure argument if present.
+type CallExpr struct {
+	Pos       Pos
+	Recv      Expr // nil for implicit this
+	Name      string
+	Args      []Expr
+	NamedArgs []MapEntry
+	Closure   *ClosureExpr
+	Safe      bool // ?.
+	Spread    bool // *. — invoke on each element of a collection
+	NoParens  bool // command syntax: `sendSms phone, msg`
+}
+
+func (e *CallExpr) NodePos() Pos { return e.Pos }
+
+// ClosureExpr is `{ params -> body }`; when no parameter list is given the
+// implicit parameter is `it`.
+type ClosureExpr struct {
+	Pos      Pos
+	Params   []Param
+	Body     *Block
+	Implicit bool // true when params were omitted (implicit `it`)
+}
+
+func (e *ClosureExpr) NodePos() Pos { return e.Pos }
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+
+// UnaryExpr is !x, -x, or +x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+func (e *UnaryExpr) NodePos() Pos { return e.Pos }
+
+// IncDecExpr is x++ / x-- / ++x / --x used as a statement.
+type IncDecExpr struct {
+	Pos    Pos
+	Op     Kind // Inc or Dec
+	X      Expr
+	Prefix bool
+}
+
+func (e *IncDecExpr) NodePos() Pos { return e.Pos }
+
+// TernaryExpr is `cond ? then : else`.
+type TernaryExpr struct {
+	Pos        Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+func (e *TernaryExpr) NodePos() Pos { return e.Pos }
+
+// ElvisExpr is `x ?: y`.
+type ElvisExpr struct {
+	Pos  Pos
+	X, Y Expr
+}
+
+func (e *ElvisExpr) NodePos() Pos { return e.Pos }
+
+// CastExpr is `x as Type`.
+type CastExpr struct {
+	Pos  Pos
+	X    Expr
+	Type string
+}
+
+func (e *CastExpr) NodePos() Pos { return e.Pos }
+
+// InstanceofExpr is `x instanceof Type`.
+type InstanceofExpr struct {
+	Pos  Pos
+	X    Expr
+	Type string
+}
+
+func (e *InstanceofExpr) NodePos() Pos { return e.Pos }
+
+// NewExpr is `new Type(args)`.
+type NewExpr struct {
+	Pos  Pos
+	Type string
+	Args []Expr
+}
+
+func (e *NewExpr) NodePos() Pos { return e.Pos }
+
+// ---- Walking ----
+
+// Walk calls fn for n and every node below it, depth-first, pre-order.
+// If fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Script:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+	case *MethodDecl:
+		for _, p := range x.Params {
+			if p.Default != nil {
+				Walk(p.Default, fn)
+			}
+		}
+		Walk(x.Body, fn)
+	case *Block:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *VarDeclStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *AssignStmt:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *ForInStmt:
+		Walk(x.Iter, fn)
+		Walk(x.Body, fn)
+	case *ForCStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *SwitchStmt:
+		Walk(x.Subject, fn)
+		for _, c := range x.Cases {
+			for _, v := range c.Values {
+				Walk(v, fn)
+			}
+			for _, s := range c.Body {
+				Walk(s, fn)
+			}
+		}
+		for _, s := range x.Default {
+			Walk(s, fn)
+		}
+	case *TryStmt:
+		Walk(x.Body, fn)
+		for _, c := range x.Catches {
+			Walk(c.Body, fn)
+		}
+		if x.Finally != nil {
+			Walk(x.Finally, fn)
+		}
+	case *ThrowStmt:
+		Walk(x.X, fn)
+	case *GStringLit:
+		for _, e := range x.Exprs {
+			Walk(e, fn)
+		}
+	case *ListLit:
+		for _, e := range x.Elems {
+			Walk(e, fn)
+		}
+	case *MapLit:
+		for _, en := range x.Entries {
+			if en.KeyX != nil {
+				Walk(en.KeyX, fn)
+			}
+			Walk(en.Value, fn)
+		}
+	case *RangeLit:
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *PropertyExpr:
+		Walk(x.Recv, fn)
+	case *IndexExpr:
+		Walk(x.Recv, fn)
+		Walk(x.Index, fn)
+	case *CallExpr:
+		if x.Recv != nil {
+			Walk(x.Recv, fn)
+		}
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+		for _, na := range x.NamedArgs {
+			if na.KeyX != nil {
+				Walk(na.KeyX, fn)
+			}
+			Walk(na.Value, fn)
+		}
+		if x.Closure != nil {
+			Walk(x.Closure, fn)
+		}
+	case *ClosureExpr:
+		Walk(x.Body, fn)
+	case *BinaryExpr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *IncDecExpr:
+		Walk(x.X, fn)
+	case *TernaryExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *ElvisExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *InstanceofExpr:
+		Walk(x.X, fn)
+	case *NewExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package groovy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// A LexError reports a lexical error with its source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans Groovy source into tokens. Like Groovy (and Go), statement
+// separators are inserted at newlines when the previous token could end a
+// statement and the lexer is not inside parentheses or brackets.
+type Lexer struct {
+	src      string
+	off      int // byte offset of next rune
+	line     int
+	col      int
+	depth    int  // ( and [ nesting; newlines inside are insignificant
+	last     Kind // previous significant token kind, for SEMI insertion
+	sawSpace bool // whitespace/comment was skipped before the current token
+}
+
+// NewLexer returns a Lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans all of src, returning the token stream terminated by EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekRune() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) nextRune() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+// canEndStatement reports whether a token kind may terminate a statement,
+// enabling newline→SEMI insertion.
+func canEndStatement(k Kind) bool {
+	switch k {
+	case IDENT, INT, NUMBER, STRING, GSTRING, RParen, RBrack, RBrace,
+		KwTrue, KwFalse, KwNull, KwBreak, KwContinue, KwReturn, Inc, Dec:
+		return true
+	}
+	return false
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.sawSpace = false
+	t, err := lx.scan()
+	if err != nil {
+		return Token{}, err
+	}
+	t.SpaceBefore = lx.sawSpace
+	return t, nil
+}
+
+func (lx *Lexer) scan() (Token, error) {
+	for {
+		// Skip horizontal whitespace; handle newlines for SEMI insertion.
+		for {
+			r := lx.peekRune()
+			if r == ' ' || r == '\t' || r == '\r' {
+				lx.sawSpace = true
+				lx.nextRune()
+				continue
+			}
+			if r == '\\' && lx.peekAt(1) == '\n' { // line continuation
+				lx.sawSpace = true
+				lx.nextRune()
+				lx.nextRune()
+				continue
+			}
+			if r == '\n' {
+				lx.sawSpace = true
+				pos := lx.pos()
+				lx.nextRune()
+				if lx.depth == 0 && canEndStatement(lx.last) {
+					lx.last = SEMI
+					return Token{Kind: SEMI, Pos: pos}, nil
+				}
+				continue
+			}
+			break
+		}
+
+		pos := lx.pos()
+		r := lx.peekRune()
+		if r < 0 {
+			return Token{Kind: EOF, Pos: pos}, nil
+		}
+
+		// Comments.
+		if r == '/' && lx.peekAt(1) == '/' {
+			lx.sawSpace = true
+			for lx.peekRune() >= 0 && lx.peekRune() != '\n' {
+				lx.nextRune()
+			}
+			continue
+		}
+		if r == '/' && lx.peekAt(1) == '*' {
+			lx.sawSpace = true
+			lx.nextRune()
+			lx.nextRune()
+			for {
+				c := lx.nextRune()
+				if c < 0 {
+					return Token{}, &LexError{pos, "unterminated block comment"}
+				}
+				if c == '*' && lx.peekRune() == '/' {
+					lx.nextRune()
+					break
+				}
+			}
+			continue
+		}
+
+		switch {
+		case isIdentStart(r):
+			return lx.lexIdent(pos), nil
+		case unicode.IsDigit(r):
+			return lx.lexNumber(pos)
+		case r == '\'':
+			return lx.lexSingleQuoted(pos)
+		case r == '"':
+			return lx.lexDoubleQuoted(pos)
+		}
+		return lx.lexOperator(pos)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	start := lx.off
+	for isIdentPart(lx.peekRune()) {
+		lx.nextRune()
+	}
+	text := lx.src[start:lx.off]
+	if k, ok := keywords[text]; ok {
+		lx.last = k
+		return Token{Kind: k, Pos: pos, Text: text}
+	}
+	lx.last = IDENT
+	return Token{Kind: IDENT, Pos: pos, Text: text}
+}
+
+func (lx *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := lx.off
+	kind := INT
+	for unicode.IsDigit(lx.peekRune()) {
+		lx.nextRune()
+	}
+	// Fractional part — but not the range operator `1..5`.
+	if lx.peekRune() == '.' && lx.peekAt(1) != '.' && unicode.IsDigit(rune(lx.peekAt(1))) {
+		kind = NUMBER
+		lx.nextRune()
+		for unicode.IsDigit(lx.peekRune()) {
+			lx.nextRune()
+		}
+	}
+	// Groovy numeric suffixes (G, L, I, D, F) — accepted and ignored.
+	if r := lx.peekRune(); r == 'G' || r == 'L' || r == 'I' || r == 'D' || r == 'F' ||
+		r == 'g' || r == 'l' || r == 'i' || r == 'd' || r == 'f' {
+		if r == 'D' || r == 'F' || r == 'd' || r == 'f' {
+			kind = NUMBER
+		}
+		lx.nextRune()
+		lx.last = kind
+		return Token{Kind: kind, Pos: pos, Text: strings.TrimRight(lx.src[start:lx.off], "GLIDFglidf")}, nil
+	}
+	lx.last = kind
+	return Token{Kind: kind, Pos: pos, Text: lx.src[start:lx.off]}, nil
+}
+
+func (lx *Lexer) lexEscape() (rune, error) {
+	c := lx.nextRune()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case '$':
+		return '$', nil
+	case '0':
+		return 0, nil
+	default:
+		if c < 0 {
+			return 0, &LexError{lx.pos(), "unterminated escape"}
+		}
+		return c, nil
+	}
+}
+
+func (lx *Lexer) lexSingleQuoted(pos Pos) (Token, error) {
+	lx.nextRune() // opening quote
+	var sb strings.Builder
+	for {
+		c := lx.nextRune()
+		switch {
+		case c < 0 || c == '\n':
+			return Token{}, &LexError{pos, "unterminated string literal"}
+		case c == '\\':
+			e, err := lx.lexEscape()
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteRune(e)
+		case c == '\'':
+			lx.last = STRING
+			return Token{Kind: STRING, Pos: pos, Text: sb.String()}, nil
+		default:
+			sb.WriteRune(c)
+		}
+	}
+}
+
+// lexDoubleQuoted scans a double-quoted string. If it contains no
+// interpolation it is returned as a plain STRING; otherwise as a GSTRING
+// whose parts alternate literal text and embedded expression source.
+func (lx *Lexer) lexDoubleQuoted(pos Pos) (Token, error) {
+	lx.nextRune() // opening quote
+	var parts []StringPart
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			parts = append(parts, StringPart{Lit: sb.String(), Pos: pos})
+			sb.Reset()
+		}
+	}
+	for {
+		c := lx.nextRune()
+		switch {
+		case c < 0 || c == '\n':
+			return Token{}, &LexError{pos, "unterminated string literal"}
+		case c == '\\':
+			e, err := lx.lexEscape()
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteRune(e)
+		case c == '"':
+			flush()
+			if len(parts) == 0 {
+				lx.last = STRING
+				return Token{Kind: STRING, Pos: pos, Text: ""}, nil
+			}
+			if len(parts) == 1 && parts[0].Expr == "" {
+				lx.last = STRING
+				return Token{Kind: STRING, Pos: pos, Text: parts[0].Lit}, nil
+			}
+			lx.last = GSTRING
+			return Token{Kind: GSTRING, Pos: pos, Parts: parts}, nil
+		case c == '$' && lx.peekRune() == '{':
+			flush()
+			epos := lx.pos()
+			lx.nextRune() // '{'
+			depth := 1
+			start := lx.off
+			for depth > 0 {
+				e := lx.nextRune()
+				if e < 0 {
+					return Token{}, &LexError{pos, "unterminated ${...} interpolation"}
+				}
+				switch e {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+			}
+			parts = append(parts, StringPart{Expr: lx.src[start : lx.off-1], Pos: epos})
+		case c == '$' && isIdentStart(lx.peekRune()):
+			flush()
+			epos := lx.pos()
+			start := lx.off
+			for isIdentPart(lx.peekRune()) {
+				lx.nextRune()
+			}
+			// Allow dotted references: $evt.value
+			for lx.peekRune() == '.' && isIdentStart(rune(lx.peekAt(1))) {
+				lx.nextRune()
+				for isIdentPart(lx.peekRune()) {
+					lx.nextRune()
+				}
+			}
+			parts = append(parts, StringPart{Expr: lx.src[start:lx.off], Pos: epos})
+		default:
+			sb.WriteRune(c)
+		}
+	}
+}
+
+func (lx *Lexer) lexOperator(pos Pos) (Token, error) {
+	emit := func(k Kind, n int) (Token, error) {
+		for i := 0; i < n; i++ {
+			lx.nextRune()
+		}
+		switch k {
+		case LParen, LBrack:
+			lx.depth++
+		case RParen, RBrack:
+			if lx.depth > 0 {
+				lx.depth--
+			}
+		}
+		lx.last = k
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	c := lx.peekRune()
+	c1 := rune(lx.peekAt(1))
+	c2 := rune(lx.peekAt(2))
+	switch c {
+	case '(':
+		return emit(LParen, 1)
+	case ')':
+		return emit(RParen, 1)
+	case '[':
+		return emit(LBrack, 1)
+	case ']':
+		return emit(RBrack, 1)
+	case '{':
+		return emit(LBrace, 1)
+	case '}':
+		return emit(RBrace, 1)
+	case ',':
+		return emit(Comma, 1)
+	case ';':
+		return emit(SEMI, 1)
+	case ':':
+		return emit(Colon, 1)
+	case '@':
+		return emit(At, 1)
+	case '.':
+		if c1 == '.' {
+			return emit(Range, 2)
+		}
+		return emit(Dot, 1)
+	case '?':
+		switch c1 {
+		case '.':
+			return emit(SafeDot, 2)
+		case ':':
+			return emit(Elvis, 2)
+		}
+		return emit(Question, 1)
+	case '-':
+		switch c1 {
+		case '>':
+			return emit(Arrow, 2)
+		case '=':
+			return emit(MinusAssign, 2)
+		case '-':
+			return emit(Dec, 2)
+		}
+		return emit(Minus, 1)
+	case '+':
+		switch c1 {
+		case '=':
+			return emit(PlusAssign, 2)
+		case '+':
+			return emit(Inc, 2)
+		}
+		return emit(Plus, 1)
+	case '*':
+		switch c1 {
+		case '.':
+			return emit(SpreadDot, 2)
+		case '=':
+			return emit(StarAssign, 2)
+		case '*':
+			return emit(StarStar, 2)
+		}
+		return emit(Star, 1)
+	case '/':
+		if c1 == '=' {
+			return emit(SlashAssign, 2)
+		}
+		return emit(Slash, 1)
+	case '%':
+		return emit(Percent, 1)
+	case '=':
+		if c1 == '=' {
+			return emit(Eq, 2)
+		}
+		return emit(Assign, 1)
+	case '!':
+		if c1 == '=' {
+			return emit(Neq, 2)
+		}
+		return emit(Not, 1)
+	case '<':
+		if c1 == '=' && c2 == '>' {
+			return emit(Compare, 3)
+		}
+		if c1 == '=' {
+			return emit(Le, 2)
+		}
+		return emit(Lt, 1)
+	case '>':
+		if c1 == '=' {
+			return emit(Ge, 2)
+		}
+		return emit(Gt, 1)
+	case '&':
+		if c1 == '&' {
+			return emit(AndAnd, 2)
+		}
+	case '|':
+		if c1 == '|' {
+			return emit(OrOr, 2)
+		}
+	}
+	return Token{}, &LexError{pos, fmt.Sprintf("unexpected character %q", c)}
+}

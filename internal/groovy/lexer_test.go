@@ -1,0 +1,192 @@
+package groovy
+
+import (
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]Kind, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+func eqKinds(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLexBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []Kind
+	}{
+		{`def x = 5`, []Kind{KwDef, IDENT, Assign, INT, EOF}},
+		{`x == 5.5`, []Kind{IDENT, Eq, NUMBER, EOF}},
+		{`a?.b ?: c`, []Kind{IDENT, SafeDot, IDENT, Elvis, IDENT, EOF}},
+		{`sw*.on()`, []Kind{IDENT, SpreadDot, IDENT, LParen, RParen, EOF}},
+		{`[1..3]`, []Kind{LBrack, INT, Range, INT, RBrack, EOF}},
+		{`{ it -> it.value }`, []Kind{LBrace, IDENT, Arrow, IDENT, Dot, IDENT, RBrace, EOF}},
+		{`a <=> b`, []Kind{IDENT, Compare, IDENT, EOF}},
+		{`x++ --y`, []Kind{IDENT, Inc, Dec, IDENT, EOF}},
+		{`m % 2 ** 3`, []Kind{IDENT, Percent, INT, StarStar, INT, EOF}},
+	}
+	for _, tt := range tests {
+		if got := kinds(t, tt.src); !eqKinds(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestSemicolonInsertion(t *testing.T) {
+	src := "def a = 1\ndef b = 2"
+	want := []Kind{KwDef, IDENT, Assign, INT, SEMI, KwDef, IDENT, Assign, INT, EOF}
+	if got := kinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNoSemicolonInsideParens(t *testing.T) {
+	src := "foo(a,\n  b)"
+	want := []Kind{IDENT, LParen, IDENT, Comma, IDENT, RParen, EOF}
+	if got := kinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNoSemicolonAfterOperator(t *testing.T) {
+	src := "a = b &&\n c"
+	want := []Kind{IDENT, Assign, IDENT, AndAnd, IDENT, EOF}
+	if got := kinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "a // line comment\n/* block\ncomment */ b"
+	want := []Kind{IDENT, SEMI, IDENT, EOF}
+	if got := kinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Tokenize(`'plain' "also plain" "hi $name and ${a + b}!"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != STRING || toks[0].Text != "plain" {
+		t.Errorf("single-quoted: got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != STRING || toks[1].Text != "also plain" {
+		t.Errorf("double-quoted plain: got %v %q", toks[1].Kind, toks[1].Text)
+	}
+	g := toks[2]
+	if g.Kind != GSTRING {
+		t.Fatalf("interpolated: got %v, want GSTRING", g.Kind)
+	}
+	wantParts := []StringPart{
+		{Lit: "hi "}, {Expr: "name"}, {Lit: " and "}, {Expr: "a + b"}, {Lit: "!"},
+	}
+	if len(g.Parts) != len(wantParts) {
+		t.Fatalf("parts = %d, want %d (%+v)", len(g.Parts), len(wantParts), g.Parts)
+	}
+	for i, w := range wantParts {
+		if g.Parts[i].Lit != w.Lit || g.Parts[i].Expr != w.Expr {
+			t.Errorf("part %d = %+v, want %+v", i, g.Parts[i], w)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`"a\n\t\"b\" \$x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\n\t\"b\" $x"
+	if toks[0].Kind != STRING || toks[0].Text != want {
+		t.Errorf("got %v %q, want STRING %q", toks[0].Kind, toks[0].Text, want)
+	}
+}
+
+func TestLexDottedInterpolation(t *testing.T) {
+	toks, err := Tokenize(`"value is $evt.value now"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := toks[0]
+	if g.Kind != GSTRING || len(g.Parts) != 3 {
+		t.Fatalf("got %v with %d parts", g.Kind, len(g.Parts))
+	}
+	if g.Parts[1].Expr != "evt.value" {
+		t.Errorf("dotted ref = %q, want %q", g.Parts[1].Expr, "evt.value")
+	}
+}
+
+func TestLexNumericSuffix(t *testing.T) {
+	toks, err := Tokenize("10L 2.5D 3G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INT || toks[0].Text != "10" {
+		t.Errorf("10L: got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != NUMBER || toks[1].Text != "2.5" {
+		t.Errorf("2.5D: got %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if toks[2].Kind != INT || toks[2].Text != "3" {
+		t.Errorf("3G: got %v %q", toks[2].Kind, toks[2].Text)
+	}
+}
+
+func TestLexRangeNotDecimal(t *testing.T) {
+	want := []Kind{INT, Range, INT, EOF}
+	if got := kinds(t, "1..5"); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSpaceBefore(t *testing.T) {
+	toks, err := Tokenize("foo [1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !toks[1].SpaceBefore {
+		t.Error("expected SpaceBefore on '[' in `foo [1]`")
+	}
+	toks, err = Tokenize("foo[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].SpaceBefore {
+		t.Error("did not expect SpaceBefore on '[' in `foo[1]`")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "/* unterminated", "\"${ unbalanced\"", "#"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	want := []Kind{IDENT, Assign, IDENT, Plus, IDENT, EOF}
+	if got := kinds(t, "a = b \\\n + c"); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

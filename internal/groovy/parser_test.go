@@ -1,0 +1,503 @@
+package groovy
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v\nsource:\n%s", err, src)
+	}
+	return s
+}
+
+func parseExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpression(src)
+	if err != nil {
+		t.Fatalf("ParseExpression(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{`a + b * c`, `a + b * c`},
+		{`(a + b) * c`, `a + b * c`}, // shape checked below
+		{`a && b || c`, `a && b || c`},
+		{`!a && b`, `!a && b`},
+		{`a == b ? c : d`, `a == b ? c : d`},
+		{`x ?: y`, `x ?: y`},
+		{`a.b.c`, `a.b.c`},
+		{`sw.currentSwitch == "on"`, `sw.currentSwitch == "on"`},
+	}
+	for _, tt := range tests {
+		e := parseExpr(t, tt.src)
+		if got := ExprString(e); got != tt.want {
+			t.Errorf("ExprString(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	// Grouping changes the tree shape even if the rendering looks similar.
+	e := parseExpr(t, `(a + b) * c`)
+	b, ok := e.(*BinaryExpr)
+	if !ok || b.Op != Star {
+		t.Fatalf("(a+b)*c: top op = %v, want *", b.Op)
+	}
+	if _, ok := b.L.(*BinaryExpr); !ok {
+		t.Error("(a+b)*c: left operand should be the parenthesised sum")
+	}
+}
+
+func TestParseMethodDecl(t *testing.T) {
+	s := parse(t, `
+def installed() {
+	initialize()
+}
+
+private STSwitch[] onSwitches() {
+	switches + onSwitches
+}
+
+void updated(evt) { unsubscribe() }
+`)
+	ms := s.Methods()
+	if len(ms) != 3 {
+		t.Fatalf("got %d methods, want 3", len(ms))
+	}
+	if m := ms["onSwitches"]; m == nil || m.Type != "STSwitch[]" || len(m.Modifiers) != 1 {
+		t.Errorf("onSwitches: %+v", m)
+	}
+	if m := ms["updated"]; m == nil || len(m.Params) != 1 || m.Params[0].Name != "evt" {
+		t.Errorf("updated: %+v", m)
+	}
+}
+
+func TestParseCommandSyntax(t *testing.T) {
+	s := parse(t, `
+def foo() {
+	log.debug "turning on"
+	sendSms phone, "alert"
+	input "sensor", "capability.temperatureMeasurement", title: "Sensor", required: false
+}
+`)
+	body := s.Methods()["foo"].Body.Stmts
+	if len(body) != 3 {
+		t.Fatalf("got %d stmts, want 3", len(body))
+	}
+	c0 := body[0].(*ExprStmt).X.(*CallExpr)
+	if c0.Name != "debug" || c0.Recv == nil || len(c0.Args) != 1 || !c0.NoParens {
+		t.Errorf("log.debug: %s", ExprString(c0))
+	}
+	c1 := body[1].(*ExprStmt).X.(*CallExpr)
+	if c1.Name != "sendSms" || len(c1.Args) != 2 {
+		t.Errorf("sendSms: %s", ExprString(c1))
+	}
+	c2 := body[2].(*ExprStmt).X.(*CallExpr)
+	if c2.Name != "input" || len(c2.Args) != 2 || len(c2.NamedArgs) != 2 {
+		t.Errorf("input: %s", ExprString(c2))
+	}
+	if c2.NamedArgs[0].Key != "title" || c2.NamedArgs[1].Key != "required" {
+		t.Errorf("input named args: %+v", c2.NamedArgs)
+	}
+}
+
+func TestParseTrailingClosure(t *testing.T) {
+	s := parse(t, `
+preferences {
+	section("Choose") {
+		input "switches", "capability.switch", multiple: true
+	}
+}
+`)
+	calls := s.TopLevelCalls()
+	if len(calls) != 1 || calls[0].Name != "preferences" || calls[0].Closure == nil {
+		t.Fatalf("preferences call: %+v", calls)
+	}
+	sec := calls[0].Closure.Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if sec.Name != "section" || len(sec.Args) != 1 || sec.Closure == nil {
+		t.Fatalf("section call: %s", ExprString(sec))
+	}
+}
+
+func TestParseEachClosure(t *testing.T) {
+	s := parse(t, `
+def handler(evt) {
+	switches.each { it.on() }
+	switches.each { sw -> sw.off() }
+	def found = people.findAll { person -> person.currentPresence == "present" }
+}
+`)
+	body := s.Methods()["handler"].Body.Stmts
+	c0 := body[0].(*ExprStmt).X.(*CallExpr)
+	if c0.Name != "each" || c0.Closure == nil || !c0.Closure.Implicit {
+		t.Errorf("each implicit: %s", ExprString(c0))
+	}
+	c1 := body[1].(*ExprStmt).X.(*CallExpr)
+	if c1.Closure == nil || c1.Closure.Implicit || c1.Closure.Params[0].Name != "sw" {
+		t.Errorf("each explicit: %s", ExprString(c1))
+	}
+	vd := body[2].(*VarDeclStmt)
+	c2 := vd.Init.(*CallExpr)
+	if c2.Name != "findAll" || c2.Closure == nil || c2.Closure.Params[0].Name != "person" {
+		t.Errorf("findAll: %s", ExprString(c2))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	s := parse(t, `
+def handler(evt) {
+	if (evt.value == "open") {
+		sw.on()
+	} else if (evt.value == "closed") {
+		sw.off()
+	} else {
+		log.debug "?"
+	}
+	while (i < 10) { i = i + 1 }
+	for (x in switches) { x.on() }
+	for (int j = 0; j < 3; j++) { count = count + j }
+	switch (mode) {
+	case "heat":
+		heater.on()
+		break
+	case "cool":
+	case "auto":
+		ac.on()
+		break
+	default:
+		log.debug "none"
+	}
+}
+`)
+	body := s.Methods()["handler"].Body.Stmts
+	if len(body) != 5 {
+		t.Fatalf("got %d stmts, want 5", len(body))
+	}
+	ifs := body[0].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Error("else-if chain not parsed as nested IfStmt")
+	}
+	if _, ok := body[1].(*WhileStmt); !ok {
+		t.Errorf("stmt 1: %T", body[1])
+	}
+	fi := body[2].(*ForInStmt)
+	if fi.Var != "x" {
+		t.Errorf("for-in var = %q", fi.Var)
+	}
+	if _, ok := body[3].(*ForCStmt); !ok {
+		t.Errorf("stmt 3: %T", body[3])
+	}
+	sw := body[4].(*SwitchStmt)
+	if len(sw.Cases) != 2 || len(sw.Cases[1].Values) != 2 || sw.Default == nil {
+		t.Errorf("switch: %d cases, default=%v", len(sw.Cases), sw.Default != nil)
+	}
+}
+
+func TestParseListsAndMaps(t *testing.T) {
+	e := parseExpr(t, `[1, 2, 3]`)
+	if l, ok := e.(*ListLit); !ok || len(l.Elems) != 3 {
+		t.Errorf("list: %s", ExprString(e))
+	}
+	e = parseExpr(t, `[:]`)
+	if m, ok := e.(*MapLit); !ok || len(m.Entries) != 0 {
+		t.Errorf("empty map: %s", ExprString(e))
+	}
+	e = parseExpr(t, `[name: "x", value: 3]`)
+	m, ok := e.(*MapLit)
+	if !ok || len(m.Entries) != 2 || m.Entries[0].Key != "name" {
+		t.Errorf("map: %s", ExprString(e))
+	}
+	e = parseExpr(t, `[]`)
+	if l, ok := e.(*ListLit); !ok || len(l.Elems) != 0 {
+		t.Errorf("empty list: %s", ExprString(e))
+	}
+}
+
+func TestParseGStringInterpolation(t *testing.T) {
+	e := parseExpr(t, `"temp is ${sensor.currentTemperature} deg"`)
+	g, ok := e.(*GStringLit)
+	if !ok || len(g.Exprs) != 1 {
+		t.Fatalf("gstring: %s", ExprString(e))
+	}
+	if _, ok := g.Exprs[0].(*PropertyExpr); !ok {
+		t.Errorf("interpolation expr: %T", g.Exprs[0])
+	}
+}
+
+func TestParseFigure1Preferences(t *testing.T) {
+	// The Virtual Thermostat preferences block from the paper's Figure 1.
+	src := `
+preferences {
+	section("Choose a temperature sensor ... ") {
+		input "sensor", "capability.temperatureMeasurement", title: "Sensor"
+	}
+	section("Select the heater or air conditioner outlet(s)... ") {
+		input "outlets", "capability.switch", title: "Outlets", multiple: true
+	}
+	section("Set the desired temperature ...") {
+		input "setpoint", "decimal", title: "Set Temp"
+	}
+	section("When there's been movement from (optional)") {
+		input "motion", "capability.motionSensor", title: "Motion", required: false
+	}
+	section("Within this number of minutes ...") {
+		input "minutes", "number", title: "Minutes", required: false
+	}
+	section("But never go below (or above if A/C) this value with or without motion ...") {
+		input "emergencySetpoint", "decimal", title: "Emer Temp", required: false
+	}
+	section("Select 'heat' for a heater and 'cool' for an air conditioner ...") {
+		input "mode", "enum", title: "Heating or cooling?", options: ["heat", "cool"]
+	}
+}
+`
+	s := parse(t, src)
+	prefs := s.TopLevelCalls()[0]
+	if prefs.Name != "preferences" {
+		t.Fatalf("top call = %q", prefs.Name)
+	}
+	sections := prefs.Closure.Body.Stmts
+	if len(sections) != 7 {
+		t.Fatalf("got %d sections, want 7", len(sections))
+	}
+	last := sections[6].(*ExprStmt).X.(*CallExpr)
+	in := last.Closure.Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if in.Name != "input" {
+		t.Fatalf("inner call = %q", in.Name)
+	}
+	var opts *ListLit
+	for _, na := range in.NamedArgs {
+		if na.Key == "options" {
+			opts = na.Value.(*ListLit)
+		}
+	}
+	if opts == nil || len(opts.Elems) != 2 {
+		t.Fatalf("options list missing: %s", ExprString(in))
+	}
+}
+
+func TestParseCompleteApp(t *testing.T) {
+	src := `
+/**
+ *  Brighten Dark Places
+ */
+definition(
+	name: "Brighten Dark Places",
+	namespace: "smartthings",
+	author: "SmartThings",
+	description: "Turn your lights on when an open/close sensor opens and the space is dark.",
+	category: "Convenience"
+)
+
+preferences {
+	section("When the door opens...") {
+		input "contact1", "capability.contactSensor", title: "Where?"
+	}
+	section("And it's dark...") {
+		input "luminance1", "capability.illuminanceMeasurement", title: "Where?"
+	}
+	section("Turn on a light...") {
+		input "switch1", "capability.switch", multiple: true
+	}
+}
+
+def installed() {
+	subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def updated() {
+	unsubscribe()
+	subscribe(contact1, "contact.open", contactOpenHandler)
+}
+
+def contactOpenHandler(evt) {
+	def lightSensorState = luminance1.currentIlluminance
+	log.debug "SENSOR = $lightSensorState"
+	if (lightSensorState != null && lightSensorState < 10) {
+		log.trace "light.on() ... [luminance: ${lightSensorState}]"
+		switch1.on()
+	}
+}
+`
+	s := parse(t, src)
+	if len(s.TopLevelCalls()) != 2 {
+		t.Errorf("top-level calls = %d, want 2", len(s.TopLevelCalls()))
+	}
+	ms := s.Methods()
+	for _, name := range []string{"installed", "updated", "contactOpenHandler"} {
+		if ms[name] == nil {
+			t.Errorf("missing method %q", name)
+		}
+	}
+	def := s.TopLevelCalls()[0]
+	if def.Name != "definition" || len(def.NamedArgs) != 5 {
+		t.Errorf("definition: %s", ExprString(def))
+	}
+	h := ms["contactOpenHandler"].Body.Stmts
+	ifs, ok := h[2].(*IfStmt)
+	if !ok {
+		t.Fatalf("stmt 2: %T", h[2])
+	}
+	cond := ifs.Cond.(*BinaryExpr)
+	if cond.Op != AndAnd {
+		t.Errorf("cond op = %v", cond.Op)
+	}
+}
+
+func TestParseTernaryAndElvisInApp(t *testing.T) {
+	s := parse(t, `
+def helper() {
+	def t = settings.threshold ?: 70
+	def msg = open ? "opened" : "closed"
+	return msg
+}
+`)
+	body := s.Methods()["helper"].Body.Stmts
+	if _, ok := body[0].(*VarDeclStmt).Init.(*ElvisExpr); !ok {
+		t.Errorf("elvis: %T", body[0].(*VarDeclStmt).Init)
+	}
+	if _, ok := body[1].(*VarDeclStmt).Init.(*TernaryExpr); !ok {
+		t.Errorf("ternary: %T", body[1].(*VarDeclStmt).Init)
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	s := parse(t, `
+def f() {
+	state.count = 0
+	state.count += 2
+	x = x * 2
+	arr[0] = 5
+	location.mode = "Away"
+}
+`)
+	body := s.Methods()["f"].Body.Stmts
+	if len(body) != 5 {
+		t.Fatalf("stmts = %d", len(body))
+	}
+	a1 := body[1].(*AssignStmt)
+	if a1.Op != PlusAssign {
+		t.Errorf("op = %v", a1.Op)
+	}
+	a3 := body[3].(*AssignStmt)
+	if _, ok := a3.LHS.(*IndexExpr); !ok {
+		t.Errorf("lhs: %T", a3.LHS)
+	}
+}
+
+func TestParseTryCatch(t *testing.T) {
+	s := parse(t, `
+def risky() {
+	try {
+		httpPost("http://example.com", "data")
+	} catch (e) {
+		log.error "post failed: $e"
+	} finally {
+		state.done = true
+	}
+}
+`)
+	ts, ok := s.Methods()["risky"].Body.Stmts[0].(*TryStmt)
+	if !ok {
+		t.Fatalf("not a try: %T", s.Methods()["risky"].Body.Stmts[0])
+	}
+	if len(ts.Catches) != 1 || ts.Finally == nil {
+		t.Errorf("catches=%d finally=%v", len(ts.Catches), ts.Finally != nil)
+	}
+}
+
+func TestParseImportsSkipped(t *testing.T) {
+	s := parse(t, `
+import groovy.time.TimeCategory
+import java.text.SimpleDateFormat
+
+def f() { return 1 }
+`)
+	if len(s.Decls) != 1 {
+		t.Errorf("decls = %d, want 1 (imports dropped)", len(s.Decls))
+	}
+}
+
+func TestParseSpreadCall(t *testing.T) {
+	s := parse(t, `def f() { switches*.on() }`)
+	c := s.Methods()["f"].Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if !c.Spread || c.Name != "on" {
+		t.Errorf("spread call: %s", ExprString(c))
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := ParseScript("def f() {\n  if (x {\n}")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type: %T", err)
+	}
+	if pe.Pos.Line < 2 {
+		t.Errorf("error position %v should be on line >= 2", pe.Pos)
+	}
+	if !strings.Contains(err.Error(), ":") {
+		t.Errorf("error should contain position: %q", err)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestParseNewDate(t *testing.T) {
+	e := parseExpr(t, `new Date(now() + 1000)`)
+	n, ok := e.(*NewExpr)
+	if !ok || n.Type != "Date" || len(n.Args) != 1 {
+		t.Errorf("new Date: %s", ExprString(e))
+	}
+}
+
+func TestParseIndexVsListArg(t *testing.T) {
+	// foo[0] is indexing; foo [0] is a command call with a list argument.
+	s := parse(t, "def f() { a = foo[0] }")
+	as := s.Methods()["f"].Body.Stmts[0].(*AssignStmt)
+	if _, ok := as.RHS.(*IndexExpr); !ok {
+		t.Errorf("foo[0]: %T", as.RHS)
+	}
+	s = parse(t, "def f() { runIn [60, 120] }")
+	es := s.Methods()["f"].Body.Stmts[0].(*ExprStmt)
+	c, ok := es.X.(*CallExpr)
+	if !ok || len(c.Args) != 1 {
+		t.Fatalf("runIn [list]: %s", ExprString(es.X))
+	}
+	if _, ok := c.Args[0].(*ListLit); !ok {
+		t.Errorf("arg: %T", c.Args[0])
+	}
+}
+
+func TestWalkVisitsAllSubscribes(t *testing.T) {
+	s := parse(t, `
+def installed() {
+	subscribe(motion1, "motion.active", onMotion)
+	if (contact1) {
+		subscribe(contact1, "contact", onContact)
+	}
+	devices.each { subscribe(it, "switch.on", onSwitch) }
+}
+`)
+	count := 0
+	Walk(s, func(n Node) bool {
+		if c, ok := n.(*CallExpr); ok && c.Name == "subscribe" {
+			count++
+		}
+		return true
+	})
+	if count != 3 {
+		t.Errorf("found %d subscribe calls, want 3", count)
+	}
+}

@@ -1,0 +1,180 @@
+// Package groovy implements a lexer and parser for the subset of the
+// Groovy language used by Samsung SmartThings smart apps.
+//
+// SmartThings apps are Groovy scripts: a sequence of top-level method
+// declarations (event handlers and helpers) and top-level DSL calls
+// (definition, preferences, mappings). The subset covers the constructs
+// the IotSan paper's translator handles (§6): dynamic typing, closures,
+// GString interpolation, list/map literals, builder-style calls without
+// parentheses, safe navigation, the Elvis operator, and Groovy's
+// collection utilities.
+package groovy
+
+import "fmt"
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF  Kind = iota
+	SEMI      // ';' or inserted at newline
+	IDENT
+	INT
+	NUMBER // decimal literal
+	STRING // single-quoted, no interpolation
+	GSTRING
+
+	// Keywords.
+	KwDef
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwIn
+	KwReturn
+	KwTrue
+	KwFalse
+	KwNull
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwPrivate
+	KwPublic
+	KwProtected
+	KwStatic
+	KwFinal
+	KwNew
+	KwInstanceof
+	KwImport
+	KwAs
+	KwTry
+	KwCatch
+	KwFinally
+	KwThrow
+	KwVoid
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrack
+	RBrack
+	LBrace
+	RBrace
+	Comma
+	Colon
+	Dot
+	SafeDot   // ?.
+	SpreadDot // *.
+	Question
+	Elvis // ?:
+	Arrow // ->
+	Range // ..
+
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	StarStar // **
+
+	Eq  // ==
+	Neq // !=
+	Lt
+	Gt
+	Le
+	Ge
+	Compare // <=>
+
+	AndAnd
+	OrOr
+	Not
+
+	Inc // ++
+	Dec // --
+
+	At // @ (annotations, skipped by parser)
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", SEMI: ";", IDENT: "identifier", INT: "int", NUMBER: "number",
+	STRING: "string", GSTRING: "gstring",
+	KwDef: "def", KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwIn: "in", KwReturn: "return", KwTrue: "true", KwFalse: "false",
+	KwNull: "null", KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwBreak: "break", KwContinue: "continue", KwPrivate: "private",
+	KwPublic: "public", KwProtected: "protected", KwStatic: "static",
+	KwFinal: "final", KwNew: "new", KwInstanceof: "instanceof",
+	KwImport: "import", KwAs: "as", KwTry: "try", KwCatch: "catch",
+	KwFinally: "finally", KwThrow: "throw", KwVoid: "void",
+	LParen: "(", RParen: ")", LBrack: "[", RBrack: "]", LBrace: "{",
+	RBrace: "}", Comma: ",", Colon: ":", Dot: ".", SafeDot: "?.",
+	SpreadDot: "*.", Question: "?", Elvis: "?:", Arrow: "->", Range: "..",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", StarStar: "**", Eq: "==", Neq: "!=", Lt: "<", Gt: ">",
+	Le: "<=", Ge: ">=", Compare: "<=>", AndAnd: "&&", OrOr: "||", Not: "!",
+	Inc: "++", Dec: "--", At: "@",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"def": KwDef, "if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"in": KwIn, "return": KwReturn, "true": KwTrue, "false": KwFalse,
+	"null": KwNull, "switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"break": KwBreak, "continue": KwContinue, "private": KwPrivate,
+	"public": KwPublic, "protected": KwProtected, "static": KwStatic,
+	"final": KwFinal, "new": KwNew, "instanceof": KwInstanceof,
+	"import": KwImport, "as": KwAs, "try": KwTry, "catch": KwCatch,
+	"finally": KwFinally, "throw": KwThrow, "void": KwVoid,
+}
+
+// StringPart is one segment of a GString: either literal text or the
+// source of an interpolated expression (the text between ${ and }).
+type StringPart struct {
+	Lit  string // literal text, valid when Expr == ""
+	Expr string // expression source, valid when non-empty
+	Pos  Pos    // position of the part (for sub-parsing diagnostics)
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind        Kind
+	Pos         Pos
+	Text        string       // raw text for IDENT, INT, NUMBER, STRING
+	Parts       []StringPart // for GSTRING
+	SpaceBefore bool         // whitespace or comment preceded this token
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, NUMBER:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

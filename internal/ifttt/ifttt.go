@@ -1,0 +1,294 @@
+// Package ifttt applies IotSan to the IFTTT trigger-action platform
+// (§11 "Application to other IoT Platforms"). Each applet ("IF This
+// Then That" rule) is translated into a single-handler smart app — the
+// paper notes "each rule is considered as an app, which has only a
+// single event handler" — and the existing dependency analyzer, model
+// generator, and checker are reused unchanged. Eight popular IoT-related
+// services are modeled as sensor or actuator devices.
+package ifttt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"iotsan/internal/config"
+	"iotsan/internal/ir"
+	"iotsan/internal/smartapp"
+)
+
+// Trigger is an applet's "This" part.
+type Trigger struct {
+	Service string `json:"service"` // e.g. "smartthings", "ring", "alexa"
+	Device  string `json:"device"`  // device/channel identifier
+	Event   string `json:"event"`   // "motion.active", "voice.phrase", ...
+}
+
+// Action is an applet's "That" part.
+type Action struct {
+	Service string `json:"service"`
+	Device  string `json:"device"`
+	Command string `json:"command"` // "on", "siren", "unlock", ...
+}
+
+// Applet is one published IFTTT rule.
+type Applet struct {
+	Name    string  `json:"name"`
+	Trigger Trigger `json:"trigger"`
+	Action  Action  `json:"action"`
+}
+
+// ParseApplets decodes the crawler's JSON dump of published applets
+// (the format of Mi et al.'s IFTTT crawler, which the paper reuses).
+func ParseApplets(data []byte) ([]Applet, error) {
+	var out []Applet
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("ifttt: %w", err)
+	}
+	for i, a := range out {
+		if a.Name == "" {
+			return nil, fmt.Errorf("ifttt: applet %d has no name", i)
+		}
+		if a.Trigger.Event == "" || a.Action.Command == "" {
+			return nil, fmt.Errorf("ifttt: applet %q incomplete", a.Name)
+		}
+	}
+	return out, nil
+}
+
+// serviceModels maps the 8 modeled services to device models: voice
+// assistants and doorbells are sensors; switch/light/thermostat/lock
+// services are actuators; VoIP calls are modeled as a tone actuator
+// whose "beeping" state records that a call was placed.
+var serviceModels = map[string]string{
+	"smartthings": "", // resolved by capability below
+	"alexa":       "Button Controller",
+	"assistant":   "Button Controller",
+	"ring":        "Motion Sensor",
+	"hue":         "Smart Bulb",
+	"wemo":        "Smart Power Outlet",
+	"nest":        "Thermostat",
+	"voip":        "Speaker",
+}
+
+// Services returns the modeled service names.
+func Services() []string {
+	return []string{"smartthings", "alexa", "assistant", "ring", "hue", "wemo", "nest", "voip"}
+}
+
+// modelFor resolves the device model for a service and attribute or
+// command hint.
+func modelFor(service, hint string) (string, error) {
+	if m, ok := serviceModels[service]; ok && m != "" {
+		return m, nil
+	}
+	if service != "smartthings" {
+		return "", fmt.Errorf("ifttt: unsupported service %q", service)
+	}
+	switch {
+	case strings.HasPrefix(hint, "motion"):
+		return "Motion Sensor", nil
+	case strings.HasPrefix(hint, "contact"):
+		return "Contact Sensor", nil
+	case strings.HasPrefix(hint, "presence"):
+		return "Presence Sensor", nil
+	case strings.HasPrefix(hint, "lock"), hint == "unlock":
+		return "Smart Lock", nil
+	case strings.HasPrefix(hint, "alarm"), hint == "siren", hint == "strobe", hint == "both", hint == "off":
+		return "Siren Alarm", nil
+	case strings.HasPrefix(hint, "smoke"):
+		return "Smoke Detector", nil
+	case strings.HasPrefix(hint, "switch"), hint == "on":
+		return "Smart Switch", nil
+	case strings.HasPrefix(hint, "door"), hint == "open", hint == "close":
+		return "Garage Door Opener", nil
+	case strings.HasPrefix(hint, "water"):
+		return "Water Leak Sensor", nil
+	case strings.HasPrefix(hint, "temperature"):
+		return "Temperature Sensor", nil
+	}
+	return "", fmt.Errorf("ifttt: cannot infer device model for %q/%q", service, hint)
+}
+
+// triggerEvent maps service triggers onto SmartThings-style attribute
+// events: voice phrases become button pushes, doorbell rings become
+// motion.
+func triggerEvent(t Trigger) string {
+	switch t.Service {
+	case "alexa", "assistant":
+		return "button.pushed"
+	case "ring":
+		return "motion.active"
+	}
+	return t.Event
+}
+
+// actionCommand maps service actions to device commands.
+func actionCommand(a Action) string {
+	switch a.Service {
+	case "voip":
+		return "beep" // a placed call
+	case "nest":
+		if a.Command == "heat" || a.Command == "cool" {
+			return a.Command
+		}
+		return "heat"
+	}
+	return a.Command
+}
+
+// capabilityForEvent maps an attribute event to the input capability the
+// generated app declares.
+func capabilityForEvent(event string) string {
+	attr := event
+	if i := strings.IndexByte(event, '.'); i >= 0 {
+		attr = event[:i]
+	}
+	switch attr {
+	case "motion":
+		return "motionSensor"
+	case "contact":
+		return "contactSensor"
+	case "presence":
+		return "presenceSensor"
+	case "button":
+		return "button"
+	case "smoke":
+		return "smokeDetector"
+	case "water":
+		return "waterSensor"
+	case "temperature":
+		return "temperatureMeasurement"
+	case "lock":
+		return "lock"
+	case "alarm":
+		return "alarm"
+	case "switch":
+		return "switch"
+	}
+	return "switch"
+}
+
+func capabilityForCommand(cmd string) string {
+	switch cmd {
+	case "on", "off":
+		return "switch"
+	case "lock", "unlock":
+		return "lock"
+	case "siren", "strobe", "both":
+		return "alarm"
+	case "open", "close":
+		return "garageDoorControl"
+	case "beep":
+		return "tone"
+	case "heat", "cool", "auto":
+		return "thermostat"
+	case "play", "stop", "pause":
+		return "musicPlayer"
+	case "take":
+		return "imageCapture"
+	}
+	return "switch"
+}
+
+// ToGroovy renders the applet as a SmartThings-style app with a single
+// event handler holding a single command — the translation of §11.
+func ToGroovy(a Applet) string {
+	event := triggerEvent(a.Trigger)
+	cmd := actionCommand(a.Action)
+	return fmt.Sprintf(`
+definition(name: %q, namespace: "ifttt", author: "ifttt",
+    description: "IFTTT applet: if %s %s then %s %s", category: "IFTTT")
+preferences {
+    section("Trigger") { input "trigger", "capability.%s" }
+    section("Target") { input "target", "capability.%s" }
+}
+def installed() { subscribe(trigger, %q, ruleHandler) }
+def updated() { unsubscribe(); subscribe(trigger, %q, ruleHandler) }
+def ruleHandler(evt) {
+    target.%s()
+}
+`, a.Name, a.Trigger.Device, a.Trigger.Event, a.Action.Device, a.Action.Command,
+		capabilityForEvent(event), capabilityForCommand(cmd), event, event, cmd)
+}
+
+// BuildSystem translates a set of applets into a configured system: one
+// app per rule, one device per distinct (service, device) endpoint.
+func BuildSystem(applets []Applet) (*config.System, map[string]*ir.App, error) {
+	sys := &config.System{
+		Name:  "ifttt-home",
+		Modes: []string{"Home", "Away", "Night"},
+		Mode:  "Home",
+	}
+	apps := map[string]*ir.App{}
+	devSeen := map[string]bool{}
+
+	addDevice := func(service, devID, hint, assoc string) error {
+		if devSeen[devID] {
+			return nil
+		}
+		model, err := modelFor(service, hint)
+		if err != nil {
+			return err
+		}
+		devSeen[devID] = true
+		sys.Devices = append(sys.Devices, config.Device{
+			ID: devID, Label: devID, Model: model, Association: assoc,
+		})
+		return nil
+	}
+
+	for _, a := range applets {
+		trigID := a.Trigger.Service + "_" + a.Trigger.Device
+		actID := a.Action.Service + "_" + a.Action.Device
+		if err := addDevice(a.Trigger.Service, trigID,
+			strings.SplitN(triggerEvent(a.Trigger), ".", 2)[0], assocForTrigger(a.Trigger)); err != nil {
+			return nil, nil, err
+		}
+		if err := addDevice(a.Action.Service, actID, actionCommand(a.Action),
+			assocForAction(a.Action)); err != nil {
+			return nil, nil, err
+		}
+		app, err := smartapp.Translate(ToGroovy(a))
+		if err != nil {
+			return nil, nil, fmt.Errorf("ifttt: translating %q: %w", a.Name, err)
+		}
+		apps[a.Name] = app
+		sys.Apps = append(sys.Apps, config.AppInstance{
+			App: a.Name,
+			Bindings: map[string]config.Binding{
+				"trigger": {DeviceIDs: []string{trigID}},
+				"target":  {DeviceIDs: []string{actID}},
+			},
+		})
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sys, apps, nil
+}
+
+// assocForTrigger/assocForAction attach property roles to well-known
+// endpoints so the default catalog binds (main door, alarm, ...).
+func assocForTrigger(t Trigger) string {
+	if strings.Contains(t.Device, "front") && strings.HasPrefix(t.Event, "contact") {
+		return "entry contact"
+	}
+	return ""
+}
+
+func assocForAction(a Action) string {
+	switch {
+	case a.Command == "siren" || a.Command == "strobe" || a.Command == "both" || a.Command == "off":
+		return "alarm"
+	case a.Command == "lock" || a.Command == "unlock":
+		if strings.Contains(a.Device, "front") || strings.Contains(a.Device, "main") {
+			return "main door"
+		}
+	case a.Service == "voip":
+		return "voip call"
+	case a.Command == "open" || a.Command == "close":
+		return "garage door"
+	}
+	return ""
+}

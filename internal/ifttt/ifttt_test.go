@@ -1,0 +1,74 @@
+package ifttt
+
+import (
+	"strings"
+	"testing"
+
+	"iotsan/internal/smartapp"
+)
+
+func TestParseApplets(t *testing.T) {
+	data := []byte(`[
+		{"name":"r1","trigger":{"service":"smartthings","device":"m1","event":"motion.active"},
+		 "action":{"service":"hue","device":"l1","command":"on"}}
+	]`)
+	apps, err := ParseApplets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || apps[0].Trigger.Event != "motion.active" {
+		t.Errorf("parsed: %+v", apps)
+	}
+	if _, err := ParseApplets([]byte(`[{"name":""}]`)); err == nil {
+		t.Error("expected error for incomplete applet")
+	}
+}
+
+func TestToGroovyTranslates(t *testing.T) {
+	for _, a := range Table9Applets() {
+		src := ToGroovy(a)
+		app, err := smartapp.Translate(src)
+		if err != nil {
+			t.Errorf("%s: %v\n%s", a.Name, err, src)
+			continue
+		}
+		if len(app.Subscriptions) != 1 {
+			t.Errorf("%s: %d subscriptions, want 1", a.Name, len(app.Subscriptions))
+		}
+	}
+}
+
+func TestBuildSystem(t *testing.T) {
+	sys, apps, err := BuildSystem(Table9Applets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Apps) != 10 || len(apps) != 10 {
+		t.Errorf("apps = %d/%d, want 10", len(sys.Apps), len(apps))
+	}
+	if len(sys.Devices) == 0 {
+		t.Error("no devices created")
+	}
+}
+
+// TestTable9 reproduces the IFTTT validation: all four unsafe physical
+// states of Table 9 are violated.
+func TestTable9(t *testing.T) {
+	res, err := RunTable9(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"ifttt.siren-on-intruder",
+		"ifttt.no-spurious-siren",
+		"ifttt.door-unlocked-away",
+		"ifttt.call-on-intruder",
+	}
+	got := strings.Join(res.ViolatedProperties, ",")
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing violated property %s (got %s)", w, got)
+		}
+	}
+	t.Logf("violations=%d properties=%v", res.Violations, res.ViolatedProperties)
+}

@@ -1,0 +1,163 @@
+package ifttt
+
+import (
+	"time"
+
+	"iotsan/internal/checker"
+	"iotsan/internal/model"
+)
+
+// Table9Applets returns the 10 smart-home rules of the paper's §11
+// validation set. Rule numbers follow the paper's table: rules 1/3 light
+// on intrusion without alarming, rule 2 fires the siren on a voice
+// command, rule 4 auto-silences the siren, rules 5/6 unlock doors on
+// voice commands, rules 7/8 light on intrusion, rule 9 is benign, rule
+// 10 places a phone call only on a doorbell button.
+func Table9Applets() []Applet {
+	return []Applet{
+		{Name: "rule1", // motion → hue light (no siren)
+			Trigger: Trigger{Service: "smartthings", Device: "hall_motion", Event: "motion.active"},
+			Action:  Action{Service: "hue", Device: "hall_hue", Command: "on"}},
+		{Name: "rule2", // alexa phrase → siren
+			Trigger: Trigger{Service: "alexa", Device: "echo", Event: "voice.phrase"},
+			Action:  Action{Service: "smartthings", Device: "siren", Command: "siren"}},
+		{Name: "rule3", // ring doorbell motion → porch wemo light
+			Trigger: Trigger{Service: "ring", Device: "doorbell", Event: "ding"},
+			Action:  Action{Service: "wemo", Device: "porch_light", Command: "on"}},
+		{Name: "rule4", // siren on → siren off (auto-silencer)
+			Trigger: Trigger{Service: "smartthings", Device: "siren", Event: "alarm.siren"},
+			Action:  Action{Service: "smartthings", Device: "siren", Command: "off"}},
+		{Name: "rule5", // assistant phrase → unlock front door
+			Trigger: Trigger{Service: "assistant", Device: "home_mini", Event: "voice.phrase"},
+			Action:  Action{Service: "smartthings", Device: "front_lock", Command: "unlock"}},
+		{Name: "rule6", // alexa phrase → unlock main door
+			Trigger: Trigger{Service: "alexa", Device: "echo_dot", Event: "voice.phrase"},
+			Action:  Action{Service: "smartthings", Device: "main_lock", Command: "unlock"}},
+		{Name: "rule7", // motion → hue accent (no call)
+			Trigger: Trigger{Service: "smartthings", Device: "yard_motion", Event: "motion.active"},
+			Action:  Action{Service: "hue", Device: "accent_hue", Command: "on"}},
+		{Name: "rule8", // back contact open → wemo fan (no call)
+			Trigger: Trigger{Service: "smartthings", Device: "back_contact", Event: "contact.open"},
+			Action:  Action{Service: "wemo", Device: "fan", Command: "on"}},
+		{Name: "rule9", // temperature → nest heat (benign)
+			Trigger: Trigger{Service: "smartthings", Device: "room_temp", Event: "temperature"},
+			Action:  Action{Service: "nest", Device: "nest_thermo", Command: "heat"}},
+		{Name: "rule10", // doorbell button → voip call
+			Trigger: Trigger{Service: "alexa", Device: "door_button", Event: "voice.phrase"},
+			Action:  Action{Service: "voip", Device: "call_owner", Command: "ring"}},
+	}
+}
+
+// Table9Properties are the four unsafe physical states of Table 9,
+// instantiated over the IFTTT system's devices.
+func Table9Properties() []model.Invariant {
+	return []model.Invariant{
+		{
+			ID:          "ifttt.siren-on-intruder",
+			Description: "Siren/strobe is not activated when intruder (i.e., motion) is detected",
+			Holds: func(v *model.View) bool {
+				if v.Mode() != "Away" || !v.AnyMotion() {
+					return true
+				}
+				for _, d := range v.ByAssociation("alarm") {
+					if !v.AttrEquals(d, "alarm", "off") {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			ID:          "ifttt.no-spurious-siren",
+			Description: "Siren/strobe is activated when no intruder is detected",
+			Holds: func(v *model.View) bool {
+				alarmed := false
+				for _, d := range v.ByAssociation("alarm") {
+					if !v.AttrEquals(d, "alarm", "off") {
+						alarmed = true
+					}
+				}
+				if !alarmed {
+					return true
+				}
+				return v.AnyMotion() || v.SmokeDetected() || anyContactOpen(v)
+			},
+		},
+		{
+			ID:          "ifttt.door-unlocked-away",
+			Description: "The main/front door is unlocked when no one is at home",
+			Holds: func(v *model.View) bool {
+				if v.Mode() != "Away" {
+					return true
+				}
+				for _, d := range v.ByAssociation("main door") {
+					if v.AttrEquals(d, "lock", "unlocked") {
+						return false
+					}
+				}
+				return true
+			},
+		},
+		{
+			ID:          "ifttt.call-on-intruder",
+			Description: "A phone call is not triggered when intruder is detected",
+			Holds: func(v *model.View) bool {
+				if v.Mode() != "Away" {
+					return true
+				}
+				if !v.AnyMotion() && !anyContactOpen(v) {
+					return true
+				}
+				for _, d := range v.ByAssociation("voip call") {
+					if v.AttrEquals(d, "tone", "beeping") {
+						return true
+					}
+				}
+				return false
+			},
+		},
+	}
+}
+
+func anyContactOpen(v *model.View) bool {
+	for _, d := range v.ByCapability("contactSensor") {
+		if v.AttrEquals(d, "contact", "open") {
+			return true
+		}
+	}
+	return false
+}
+
+// Table9Result reports the violated properties with their responsible
+// rules (derived from the violation trails).
+type Table9Result struct {
+	ViolatedProperties []string
+	Violations         int
+	Result             *checker.Result
+}
+
+// RunTable9 verifies the validation applet set against the four
+// properties, reproducing Table 9's shape (7 violations of 4 unsafe
+// physical states in the paper).
+func RunTable9(maxEvents int) (*Table9Result, error) {
+	sys, apps, err := BuildSystem(Table9Applets())
+	if err != nil {
+		return nil, err
+	}
+	sys.Mode = "Away" // the paper's scenario: intrusion while away
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents:      maxEvents,
+		Invariants:     Table9Properties(),
+		InspectCascade: true, // strict Spin-style checking (§2.3)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := checker.Run(m.System(), checker.Options{
+		MaxDepth: maxEvents + 8, MaxStates: 300000, Deadline: 20 * time.Second,
+	})
+	out := &Table9Result{Result: res}
+	out.ViolatedProperties = res.PropertyIDs()
+	out.Violations = len(res.Violations)
+	return out, nil
+}

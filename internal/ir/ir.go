@@ -1,0 +1,474 @@
+// Package ir defines the intermediate representation that smart apps are
+// translated into before model generation — the analogue of the Bandera
+// BIR stage in the IotSan pipeline (§6). An ir.App carries the app's
+// metadata, its configuration surface (inputs), its event wiring
+// (subscriptions and schedules), and its executable method bodies
+// (Groovy ASTs annotated with inferred types).
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iotsan/internal/groovy"
+)
+
+// InputKind classifies a preferences input.
+type InputKind int
+
+// Input kinds.
+const (
+	InputDevice InputKind = iota // capability.*
+	InputNumber                  // number / decimal
+	InputEnum
+	InputText
+	InputBool
+	InputTime
+	InputPhone
+	InputContact
+	InputMode
+	InputIcon // decorative, ignored by the model
+)
+
+func (k InputKind) String() string {
+	switch k {
+	case InputDevice:
+		return "device"
+	case InputNumber:
+		return "number"
+	case InputEnum:
+		return "enum"
+	case InputText:
+		return "text"
+	case InputBool:
+		return "bool"
+	case InputTime:
+		return "time"
+	case InputPhone:
+		return "phone"
+	case InputContact:
+		return "contact"
+	case InputMode:
+		return "mode"
+	case InputIcon:
+		return "icon"
+	}
+	return fmt.Sprintf("InputKind(%d)", int(k))
+}
+
+// Input is one user-configurable binding declared in preferences (Fig. 1).
+type Input struct {
+	Name       string
+	Kind       InputKind
+	Capability string // for InputDevice: "switch", "motionSensor", ...
+	Title      string
+	Multiple   bool
+	Required   bool // SmartThings defaults required to true
+	Options    []string
+	Default    Value
+}
+
+// Subscription is one subscribe(...) registration: the app asks to be
+// notified of events from a device input, the location, or the app itself.
+type Subscription struct {
+	Source    string // input name, or "location" / "app"
+	Attribute string // event attribute ("contact"), or "" for all
+	Value     string // specific value filter ("contact.open"), "" for any
+	Handler   string // method name invoked
+}
+
+// ScheduleKind distinguishes timer registrations.
+type ScheduleKind int
+
+// Schedule kinds.
+const (
+	ScheduleCron  ScheduleKind = iota // schedule("0 0 ...", handler) / schedule(time, handler)
+	ScheduleRunIn                     // runIn(seconds, handler)
+	ScheduleDaily                     // runDaily / sunrise / sunset wiring
+)
+
+// Schedule is one timer registration.
+type Schedule struct {
+	Kind    ScheduleKind
+	Seconds int64 // delay for runIn; period approximation for cron
+	Handler string
+}
+
+// App is a translated smart app.
+type App struct {
+	Name        string
+	Namespace   string
+	Description string
+	Category    string
+
+	Inputs        []Input
+	Subscriptions []Subscription
+	Schedules     []Schedule
+
+	// Methods holds every method body keyed by name. Handler methods are
+	// those referenced by Subscriptions/Schedules.
+	Methods map[string]*groovy.MethodDecl
+
+	// Fields lists script-level variables (rare in market apps).
+	Fields []string
+
+	// Types holds inferred static types for AST nodes (identifiers,
+	// calls, property accesses), produced by the typeinfer package.
+	Types map[groovy.Node]Type
+
+	// Source retains the original Groovy for diagnostics.
+	Source string
+}
+
+// Input returns the input with the given name, or nil.
+func (a *App) Input(name string) *Input {
+	for i := range a.Inputs {
+		if a.Inputs[i].Name == name {
+			return &a.Inputs[i]
+		}
+	}
+	return nil
+}
+
+// HandlerNames returns the set of methods registered as event or timer
+// handlers, sorted.
+func (a *App) HandlerNames() []string {
+	set := map[string]bool{}
+	for _, s := range a.Subscriptions {
+		set[s.Handler] = true
+	}
+	for _, s := range a.Schedules {
+		set[s.Handler] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		if _, ok := a.Methods[n]; ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- Types (inference results) ----
+
+// TypeKind is the base kind of an inferred type.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindDynamic TypeKind = iota
+	KindBool
+	KindInt
+	KindNum
+	KindString
+	KindDevice
+	KindList
+	KindMap
+	KindNull
+	KindVoid
+	KindEvent    // event object passed to handlers
+	KindLocation // the location object
+)
+
+// Type is an inferred static type; Elem is set for lists, Capability for
+// devices.
+type Type struct {
+	Kind       TypeKind
+	Elem       *Type
+	Capability string
+}
+
+// Common types.
+var (
+	Dynamic = Type{Kind: KindDynamic}
+	Bool    = Type{Kind: KindBool}
+	Int     = Type{Kind: KindInt}
+	Num     = Type{Kind: KindNum}
+	String  = Type{Kind: KindString}
+	Null    = Type{Kind: KindNull}
+	Void    = Type{Kind: KindVoid}
+	Event   = Type{Kind: KindEvent}
+)
+
+// IsNumericKind reports whether the type is int or decimal.
+func (t Type) IsNumericKind() bool { return t.Kind == KindInt || t.Kind == KindNum }
+
+// DeviceType returns the type of a device exposing the given capability.
+func DeviceType(capability string) Type {
+	return Type{Kind: KindDevice, Capability: capability}
+}
+
+// ListOf returns the type of a homogeneous list.
+func ListOf(elem Type) Type {
+	e := elem
+	return Type{Kind: KindList, Elem: &e}
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case KindDynamic:
+		return "def"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "int"
+	case KindNum:
+		return "decimal"
+	case KindString:
+		return "String"
+	case KindDevice:
+		if t.Capability != "" {
+			return "Device<" + t.Capability + ">"
+		}
+		return "Device"
+	case KindList:
+		if t.Elem != nil {
+			return t.Elem.String() + "[]"
+		}
+		return "List"
+	case KindMap:
+		return "Map"
+	case KindNull:
+		return "null"
+	case KindVoid:
+		return "void"
+	case KindEvent:
+		return "Event"
+	case KindLocation:
+		return "Location"
+	}
+	return fmt.Sprintf("Type(%d)", int(t.Kind))
+}
+
+// ---- Runtime values ----
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	VNull ValueKind = iota
+	VBool
+	VInt
+	VNum
+	VStr
+	VList
+	VMap
+	VDevice  // reference to a device instance (index into the system)
+	VDevices // multi-bound device input
+	VClosure // closure value (AST reference)
+	VTime    // model time value (seconds)
+)
+
+// Value is a runtime value in the evaluator and in persisted app state.
+// The zero Value is null.
+type Value struct {
+	Kind    ValueKind
+	B       bool
+	I       int64
+	F       float64
+	S       string
+	L       []Value
+	M       map[string]Value
+	Dev     int // device instance index for VDevice
+	Closure *groovy.ClosureExpr
+}
+
+// Convenience constructors.
+func NullV() Value          { return Value{} }
+func BoolV(b bool) Value    { return Value{Kind: VBool, B: b} }
+func IntV(i int64) Value    { return Value{Kind: VInt, I: i} }
+func NumV(f float64) Value  { return Value{Kind: VNum, F: f} }
+func StrV(s string) Value   { return Value{Kind: VStr, S: s} }
+func ListV(l []Value) Value { return Value{Kind: VList, L: l} }
+func DeviceV(idx int) Value { return Value{Kind: VDevice, Dev: idx} }
+func DevicesV(l []Value) Value {
+	return Value{Kind: VDevices, L: l}
+}
+func MapV(m map[string]Value) Value { return Value{Kind: VMap, M: m} }
+
+// Truthy implements Groovy truth: null/false/0/""/empty collections are
+// false, everything else true.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case VNull:
+		return false
+	case VBool:
+		return v.B
+	case VInt:
+		return v.I != 0
+	case VNum:
+		return v.F != 0
+	case VStr:
+		return v.S != ""
+	case VList, VDevices:
+		return len(v.L) > 0
+	case VMap:
+		return len(v.M) > 0
+	}
+	return true
+}
+
+// IsNumeric reports whether v is an int or decimal.
+func (v Value) IsNumeric() bool { return v.Kind == VInt || v.Kind == VNum }
+
+// AsFloat returns the numeric value of v (0 for non-numerics).
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case VInt:
+		return float64(v.I)
+	case VNum:
+		return v.F
+	case VBool:
+		if v.B {
+			return 1
+		}
+	}
+	return 0
+}
+
+// AsInt returns the value truncated to int64.
+func (v Value) AsInt() int64 {
+	if v.Kind == VNum {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Equal compares two values Groovy-style: numerics compare by value
+// across int/decimal, strings by content.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case VNull:
+		return true
+	case VBool:
+		return v.B == o.B
+	case VStr:
+		return v.S == o.S
+	case VDevice:
+		return v.Dev == o.Dev
+	case VList, VDevices:
+		if len(v.L) != len(o.L) {
+			return false
+		}
+		for i := range v.L {
+			if !v.L[i].Equal(o.L[i]) {
+				return false
+			}
+		}
+		return true
+	case VMap:
+		if len(v.M) != len(o.M) {
+			return false
+		}
+		for k, a := range v.M {
+			b, ok := o.M[k]
+			if !ok || !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value Groovy-style (used for GString interpolation).
+func (v Value) String() string {
+	switch v.Kind {
+	case VNull:
+		return "null"
+	case VBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case VInt:
+		return fmt.Sprintf("%d", v.I)
+	case VNum:
+		return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.4f", v.F), "0"), ".")
+	case VStr:
+		return v.S
+	case VList, VDevices:
+		parts := make([]string, len(v.L))
+		for i, e := range v.L {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case VMap:
+		keys := make([]string, 0, len(v.M))
+		for k := range v.M {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + ":" + v.M[k].String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case VDevice:
+		return fmt.Sprintf("device#%d", v.Dev)
+	case VClosure:
+		return "{ ... }"
+	case VTime:
+		return fmt.Sprintf("t+%ds", v.I)
+	}
+	return "?"
+}
+
+// Encode appends a deterministic binary encoding of v to buf, for state
+// hashing. The encoding is unambiguous (kind-tagged, length-prefixed).
+func (v Value) Encode(buf []byte) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case VBool:
+		if v.B {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case VInt, VTime:
+		buf = appendInt64(buf, v.I)
+	case VNum:
+		buf = appendInt64(buf, int64(v.F*1000))
+	case VStr:
+		buf = appendString(buf, v.S)
+	case VDevice:
+		buf = appendInt64(buf, int64(v.Dev))
+	case VList, VDevices:
+		buf = appendInt64(buf, int64(len(v.L)))
+		for _, e := range v.L {
+			buf = e.Encode(buf)
+		}
+	case VMap:
+		keys := make([]string, 0, len(v.M))
+		for k := range v.M {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf = appendInt64(buf, int64(len(keys)))
+		for _, k := range keys {
+			buf = appendString(buf, k)
+			buf = v.M[k].Encode(buf)
+		}
+	}
+	return buf
+}
+
+func appendInt64(buf []byte, v int64) []byte {
+	u := uint64(v)
+	return append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendInt64(buf, int64(len(s)))
+	return append(buf, s...)
+}

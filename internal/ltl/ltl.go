@@ -1,0 +1,449 @@
+// Package ltl implements the linear temporal logic used to express
+// IotSan's safe-physical-state properties (§8: "These kinds of
+// properties can be verified using linear temporal logic").
+//
+// The package provides a parser for full propositional LTL (G F X U W R,
+// boolean connectives, named atoms), a classifier for the safety
+// fragment, and monitor compilation for the forms the model checker
+// evaluates on every reached state:
+//
+//	G p          — an invariant over propositional p
+//	G (p -> X q) — a one-step response
+//
+// Liveness formulas parse but are rejected by CompileSafety; bounded
+// model checking of safety properties is what IotSan (like Spin used as
+// a falsifier, §2.3) performs.
+package ltl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a formula node operator.
+type Op int
+
+// Operators.
+const (
+	OpAtom Op = iota
+	OpTrue
+	OpFalse
+	OpNot
+	OpAnd
+	OpOr
+	OpImplies
+	OpIff
+	OpGlobally   // G
+	OpEventually // F
+	OpNext       // X
+	OpUntil      // U
+	OpWeakUntil  // W
+	OpRelease    // R
+)
+
+// Formula is an LTL formula tree.
+type Formula struct {
+	Op   Op
+	Atom string
+	L, R *Formula
+}
+
+// String renders the formula in the input syntax.
+func (f *Formula) String() string {
+	switch f.Op {
+	case OpAtom:
+		return f.Atom
+	case OpTrue:
+		return "true"
+	case OpFalse:
+		return "false"
+	case OpNot:
+		return "!" + f.L.paren()
+	case OpAnd:
+		return f.L.paren() + " && " + f.R.paren()
+	case OpOr:
+		return f.L.paren() + " || " + f.R.paren()
+	case OpImplies:
+		return f.L.paren() + " -> " + f.R.paren()
+	case OpIff:
+		return f.L.paren() + " <-> " + f.R.paren()
+	case OpGlobally:
+		return "G " + f.L.paren()
+	case OpEventually:
+		return "F " + f.L.paren()
+	case OpNext:
+		return "X " + f.L.paren()
+	case OpUntil:
+		return f.L.paren() + " U " + f.R.paren()
+	case OpWeakUntil:
+		return f.L.paren() + " W " + f.R.paren()
+	case OpRelease:
+		return f.L.paren() + " R " + f.R.paren()
+	}
+	return "?"
+}
+
+func (f *Formula) paren() string {
+	switch f.Op {
+	case OpAtom, OpTrue, OpFalse, OpNot, OpGlobally, OpEventually, OpNext:
+		return f.String()
+	}
+	return "(" + f.String() + ")"
+}
+
+// Atoms returns the distinct atom names in the formula, in first-use
+// order.
+func (f *Formula) Atoms() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Formula)
+	walk = func(n *Formula) {
+		if n == nil {
+			return
+		}
+		if n.Op == OpAtom && !seen[n.Atom] {
+			seen[n.Atom] = true
+			out = append(out, n.Atom)
+		}
+		walk(n.L)
+		walk(n.R)
+	}
+	walk(f)
+	return out
+}
+
+// IsPropositional reports whether the formula contains no temporal
+// operators.
+func (f *Formula) IsPropositional() bool {
+	if f == nil {
+		return true
+	}
+	switch f.Op {
+	case OpGlobally, OpEventually, OpNext, OpUntil, OpWeakUntil, OpRelease:
+		return false
+	}
+	return f.L.IsPropositional() && f.R.IsPropositional()
+}
+
+// EvalProp evaluates a propositional formula under an atom assignment.
+// It panics on temporal operators; callers classify first.
+func (f *Formula) EvalProp(env func(atom string) bool) bool {
+	switch f.Op {
+	case OpAtom:
+		return env(f.Atom)
+	case OpTrue:
+		return true
+	case OpFalse:
+		return false
+	case OpNot:
+		return !f.L.EvalProp(env)
+	case OpAnd:
+		return f.L.EvalProp(env) && f.R.EvalProp(env)
+	case OpOr:
+		return f.L.EvalProp(env) || f.R.EvalProp(env)
+	case OpImplies:
+		return !f.L.EvalProp(env) || f.R.EvalProp(env)
+	case OpIff:
+		return f.L.EvalProp(env) == f.R.EvalProp(env)
+	}
+	panic("ltl: EvalProp on temporal formula " + f.String())
+}
+
+// ---- Parser ----
+
+// A ParseError reports a syntax error in a formula.
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ltl: %s at %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+type fparser struct {
+	in  string
+	pos int
+}
+
+// Parse parses an LTL formula.
+func Parse(input string) (*Formula, error) {
+	p := &fparser{in: input}
+	f, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.in) {
+		return nil, &ParseError{p.in, p.pos, "trailing input"}
+	}
+	return f, nil
+}
+
+// MustParse parses or panics; for the static property catalog.
+func MustParse(input string) *Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *fparser) skipWS() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *fparser) peekStr(s string) bool {
+	p.skipWS()
+	return strings.HasPrefix(p.in[p.pos:], s)
+}
+
+func (p *fparser) accept(s string) bool {
+	if p.peekStr(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *fparser) parseIff() (*Formula, error) {
+	l, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("<->") {
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		l = &Formula{Op: OpIff, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) parseImplies() (*Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	// Right-associative.
+	if p.accept("->") {
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Op: OpImplies, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *fparser) parseOr() (*Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Formula{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) parseAnd() (*Formula, error) {
+	l, err := p.parseBinaryTemporal()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.parseBinaryTemporal()
+		if err != nil {
+			return nil, err
+		}
+		l = &Formula{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *fparser) parseBinaryTemporal() (*Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptWord("U"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Formula{Op: OpUntil, L: l, R: r}
+		case p.acceptWord("W"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Formula{Op: OpWeakUntil, L: l, R: r}
+		case p.acceptWord("R"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Formula{Op: OpRelease, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// acceptWord matches a single-letter operator not glued to an atom.
+func (p *fparser) acceptWord(w string) bool {
+	p.skipWS()
+	if !strings.HasPrefix(p.in[p.pos:], w) {
+		return false
+	}
+	next := p.pos + len(w)
+	if next < len(p.in) && isAtomChar(p.in[next]) {
+		return false
+	}
+	p.pos = next
+	return true
+}
+
+func isAtomChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *fparser) parseUnary() (*Formula, error) {
+	p.skipWS()
+	switch {
+	case p.accept("!"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Op: OpNot, L: f}, nil
+	case p.acceptWord("G"), p.acceptWord("[]"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Op: OpGlobally, L: f}, nil
+	case p.acceptWord("F"), p.acceptWord("<>"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Op: OpEventually, L: f}, nil
+	case p.acceptWord("X"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Formula{Op: OpNext, L: f}, nil
+	case p.accept("("):
+		f, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, &ParseError{p.in, p.pos, "expected ')'"}
+		}
+		return f, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *fparser) parseAtom() (*Formula, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.in) && isAtomChar(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, &ParseError{p.in, p.pos, "expected atom or '('"}
+	}
+	word := p.in[start:p.pos]
+	switch word {
+	case "true":
+		return &Formula{Op: OpTrue}, nil
+	case "false":
+		return &Formula{Op: OpFalse}, nil
+	case "G", "F", "X", "U", "W", "R":
+		return nil, &ParseError{p.in, start, "temporal operator used as atom"}
+	}
+	return &Formula{Op: OpAtom, Atom: word}, nil
+}
+
+// ---- Safety monitors ----
+
+// MonitorKind classifies compiled safety monitors.
+type MonitorKind int
+
+// Monitor kinds.
+const (
+	// Invariant monitors check a propositional formula on every state
+	// (from G p).
+	Invariant MonitorKind = iota
+	// NextResponse monitors check G (p -> X q): if p held in the
+	// previous state, q must hold now.
+	NextResponse
+)
+
+// Monitor is a compiled safety-property observer, stepped on every
+// state of an execution.
+type Monitor struct {
+	Kind    MonitorKind
+	Source  *Formula
+	p, q    *Formula
+	armed   bool // for NextResponse: p held in the previous state
+	started bool
+}
+
+// CompileSafety compiles a safety-fragment formula to a monitor. It
+// accepts G p (p propositional) and G (p -> X q); other shapes return an
+// error.
+func CompileSafety(f *Formula) (*Monitor, error) {
+	if f.Op != OpGlobally {
+		return nil, fmt.Errorf("ltl: %s is not a G-rooted safety formula", f)
+	}
+	body := f.L
+	if body.IsPropositional() {
+		return &Monitor{Kind: Invariant, Source: f, p: body}, nil
+	}
+	if body.Op == OpImplies && body.L.IsPropositional() &&
+		body.R.Op == OpNext && body.R.L.IsPropositional() {
+		return &Monitor{Kind: NextResponse, Source: f, p: body.L, q: body.R.L}, nil
+	}
+	return nil, fmt.Errorf("ltl: %s is outside the supported safety fragment", f)
+}
+
+// Reset prepares the monitor for a fresh execution.
+func (m *Monitor) Reset() {
+	m.armed = false
+	m.started = false
+}
+
+// Step observes the next state (via its atom assignment) and reports
+// whether the property still holds.
+func (m *Monitor) Step(env func(atom string) bool) bool {
+	switch m.Kind {
+	case Invariant:
+		return m.p.EvalProp(env)
+	case NextResponse:
+		ok := true
+		if m.started && m.armed {
+			ok = m.q.EvalProp(env)
+		}
+		m.armed = m.p.EvalProp(env)
+		m.started = true
+		return ok
+	}
+	return true
+}

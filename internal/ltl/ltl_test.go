@@ -1,0 +1,190 @@
+package ltl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndRender(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"G p", "G p"},
+		{"G (a -> b)", "G (a -> b)"},
+		{"G !(a && b)", "G !(a && b)"},
+		{"p U q", "p U q"},
+		{"F (p && X q)", "F (p && X q)"},
+		{"[] (a || b)", "G (a || b)"},
+		{"<> done", "F done"},
+		{"a -> b -> c", "a -> (b -> c)"}, // right-associative
+		{"!a || b && c", "!a || (b && c)"},
+		{"G (anyone_home || main_door_locked)", "G (anyone_home || main_door_locked)"},
+	}
+	for _, tt := range tests {
+		f, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got := f.String(); got != tt.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "G", "(a", "a &&", "G (p -> )", "a b", "U p"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := MustParse("G (a -> (b && !a) || c)")
+	got := f.Atoms()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("atoms = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("atoms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvalProp(t *testing.T) {
+	f := MustParse("(a && !b) || (c -> d)")
+	env := func(m map[string]bool) func(string) bool {
+		return func(a string) bool { return m[a] }
+	}
+	if !f.EvalProp(env(map[string]bool{"a": true, "b": false})) {
+		t.Error("a&&!b should hold")
+	}
+	if !f.EvalProp(env(map[string]bool{"c": false})) {
+		t.Error("c->d with !c should hold")
+	}
+	if f.EvalProp(env(map[string]bool{"a": true, "b": true, "c": true, "d": false})) {
+		t.Error("should not hold")
+	}
+}
+
+func TestCompileSafetyInvariant(t *testing.T) {
+	m, err := CompileSafety(MustParse("G !(away && unlocked)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != Invariant {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	ok := m.Step(func(a string) bool { return a == "away" })
+	if !ok {
+		t.Error("away && !unlocked should satisfy")
+	}
+	ok = m.Step(func(a string) bool { return true })
+	if ok {
+		t.Error("away && unlocked should violate")
+	}
+}
+
+func TestCompileSafetyNextResponse(t *testing.T) {
+	m, err := CompileSafety(MustParse("G (req -> X ack)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != NextResponse {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	m.Reset()
+	states := []map[string]bool{
+		{"req": true},                // arm
+		{"ack": true},                // satisfied
+		{"req": true},                // arm again
+		{"req": false, "ack": false}, // violated
+	}
+	results := []bool{true, true, true, false}
+	for i, st := range states {
+		got := m.Step(func(a string) bool { return st[a] })
+		if got != results[i] {
+			t.Errorf("step %d = %v, want %v", i, got, results[i])
+		}
+	}
+}
+
+func TestCompileSafetyRejectsLiveness(t *testing.T) {
+	for _, in := range []string{"F p", "G F p", "p U q", "G (p -> F q)"} {
+		if _, err := CompileSafety(MustParse(in)); err == nil {
+			t.Errorf("CompileSafety(%q): expected rejection", in)
+		}
+	}
+}
+
+// TestRoundTripProperty: rendering a parsed formula and reparsing it
+// yields an equivalent formula (property-based).
+func TestRoundTripProperty(t *testing.T) {
+	atoms := []string{"a", "b", "c", "p", "q"}
+	// Generate random formulas from a seed sequence.
+	var gen func(seed int64, depth int) *Formula
+	gen = func(seed int64, depth int) *Formula {
+		if depth <= 0 {
+			return &Formula{Op: OpAtom, Atom: atoms[abs(seed)%int64(len(atoms))]}
+		}
+		switch abs(seed) % 8 {
+		case 0:
+			return &Formula{Op: OpAtom, Atom: atoms[abs(seed/8)%int64(len(atoms))]}
+		case 1:
+			return &Formula{Op: OpNot, L: gen(seed/3, depth-1)}
+		case 2:
+			return &Formula{Op: OpAnd, L: gen(seed/3, depth-1), R: gen(seed/5, depth-1)}
+		case 3:
+			return &Formula{Op: OpOr, L: gen(seed/3, depth-1), R: gen(seed/5, depth-1)}
+		case 4:
+			return &Formula{Op: OpImplies, L: gen(seed/3, depth-1), R: gen(seed/5, depth-1)}
+		case 5:
+			return &Formula{Op: OpGlobally, L: gen(seed/3, depth-1)}
+		case 6:
+			return &Formula{Op: OpUntil, L: gen(seed/3, depth-1), R: gen(seed/5, depth-1)}
+		default:
+			return &Formula{Op: OpNext, L: gen(seed/3, depth-1)}
+		}
+	}
+	prop := func(seed int64) bool {
+		f := gen(seed, 4)
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", f.String(), err)
+			return false
+		}
+		return g.String() == f.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestEvalPropTotality: propositional evaluation never panics for
+// propositional formulas (property-based).
+func TestEvalPropTotality(t *testing.T) {
+	prop := func(a, b, c bool) bool {
+		f := MustParse("((x -> y) <-> (!x || y)) && (z || !z)")
+		env := map[string]bool{"x": a, "y": b, "z": c}
+		return f.EvalProp(func(at string) bool { return env[at] })
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormulaStringNoTrailingSpace(t *testing.T) {
+	f := MustParse("G ( a && b )")
+	if s := f.String(); strings.Contains(s, "  ") {
+		t.Errorf("double space in %q", s)
+	}
+}

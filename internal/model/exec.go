@@ -1,0 +1,501 @@
+package model
+
+import (
+	"fmt"
+
+	"iotsan/internal/checker"
+	"iotsan/internal/device"
+	"iotsan/internal/eval"
+	"iotsan/internal/ir"
+)
+
+// Property identifiers raised by the execution engine (the event-driven
+// properties of §8; the state invariants live in the props package).
+const (
+	PropConflicting   = "conflicting-commands"
+	PropRepeated      = "repeated-commands"
+	PropLeakNetwork   = "leak-network-interface"
+	PropLeakSMS       = "leak-sms-recipient"
+	PropSuspUnsub     = "suspicious-unsubscribe"
+	PropSuspFakeEvent = "suspicious-fake-event"
+	PropRobustness    = "failure-notification"
+	PropExecError     = "handler-exec-error"
+)
+
+// failMode enumerates the device/communication failure scenarios the
+// model explores per external event (§8 "To model natural or induced
+// device/communication failures ...").
+type failMode int
+
+const (
+	failNone       failMode = iota
+	failSensorOff           // the sensor is offline: the physical event is not sensed
+	failSensorComm          // the sensor senses it but the report is lost
+	failActuators           // actuator commands during the cascade are lost
+)
+
+func (f failMode) String() string {
+	switch f {
+	case failSensorOff:
+		return "sensor offline"
+	case failSensorComm:
+		return "sensor report lost"
+	case failActuators:
+		return "actuator command lost"
+	}
+	return "no failure"
+}
+
+// cyberEvent is an event propagating inside the platform.
+type cyberEvent struct {
+	Source int // device index, or src* pseudo-source
+	Attr   string
+	Value  ir.Value
+	VStr   string // string form used for subscription filters
+	Label  string
+}
+
+// executor runs handler cascades against a state; it implements
+// eval.Host for the app whose handler is currently executing.
+type executor struct {
+	m *Model
+	s *State
+
+	queue    []cyberEvent
+	steps    []string
+	viols    []checker.Violation
+	curApp   int
+	failMode failMode
+
+	dispatches int
+	// notified marks apps that alerted the user this cascade (for the
+	// robustness property).
+	notified map[int]bool
+	// dropped marks apps whose actuator commands were lost.
+	dropped map[int]bool
+}
+
+func (m *Model) newExecutor(s *State, fm failMode) *executor {
+	return &executor{
+		m: m, s: s, failMode: fm,
+		notified: map[int]bool{}, dropped: map[int]bool{},
+	}
+}
+
+func (x *executor) violate(prop, detail string) {
+	x.viols = append(x.viols, checker.Violation{Property: prop, Detail: detail})
+}
+
+func (x *executor) stepf(format string, args ...any) {
+	x.steps = append(x.steps, fmt.Sprintf(format, args...))
+}
+
+// ---- sensor/actuator state updates (Algorithm 1) ----
+
+// sensorUpdate applies an external physical event to a sensor device
+// (Algorithm 1, sensor_state_update) and enqueues the notification.
+func (x *executor) sensorUpdate(dev int, attrIdx int, val int16) {
+	d := x.m.Devices[dev]
+	a := d.Attrs[attrIdx]
+	if x.failMode == failSensorOff {
+		x.stepf("%s offline: physical event not sensed", d.Label)
+		return
+	}
+	if x.s.Devices[dev].Attrs[attrIdx] == val {
+		return // not a state change
+	}
+	x.s.Devices[dev].Attrs[attrIdx] = val
+	vstr := encodedString(a, val)
+	x.stepf("%s.%s = %s", d.Label, a.Name, vstr)
+	if x.failMode == failSensorComm {
+		x.stepf("communication failure: state change event from %s lost", d.Label)
+		return
+	}
+	x.enqueue(cyberEvent{
+		Source: dev, Attr: a.Name, Value: decodeAttr(a, val), VStr: vstr,
+		Label: d.Label,
+	})
+}
+
+// actuatorUpdate applies a command result to an actuator (Algorithm 1,
+// actuator_state_update): verify conflicting/repeated, update, notify.
+func (x *executor) actuatorUpdate(dev int, cmd *device.Command, argVal int16) {
+	d := x.m.Devices[dev]
+	rec := CmdRec{Dev: dev, Cmd: cmd.Name, Arg: argVal, App: x.curApp,
+		Attr: cmd.Attribute, Value: cmd.Value}
+
+	if x.m.Opts.CheckConflicts {
+		for _, prev := range x.s.Cmds {
+			if prev.Dev != dev {
+				continue
+			}
+			if prev.Cmd == rec.Cmd && prev.Arg == rec.Arg {
+				x.violate(PropRepeated, fmt.Sprintf(
+					"%s receives repeated %q commands (%s and %s)",
+					d.Label, rec.Cmd, x.m.Apps[prev.App].App.Name, x.m.Apps[rec.App].App.Name))
+				break
+			}
+		}
+		for _, prev := range x.s.Cmds {
+			if prev.Dev != dev || prev.Attr != rec.Attr {
+				continue
+			}
+			if prev.Value != "" && rec.Value != "" && prev.Value != rec.Value {
+				x.violate(PropConflicting, fmt.Sprintf(
+					"%s receives conflicting commands %q and %q (%s vs %s)",
+					d.Label, prev.Cmd, rec.Cmd, x.m.Apps[prev.App].App.Name, x.m.Apps[rec.App].App.Name))
+				break
+			}
+		}
+	}
+	x.s.Cmds = append(x.s.Cmds, rec)
+
+	if x.failMode == failActuators {
+		x.dropped[x.curApp] = true
+		x.stepf("command %s.%s() lost (device/communication failure)", d.Label, cmd.Name)
+		return
+	}
+
+	ai := d.AttrIndex(cmd.Attribute)
+	if ai < 0 {
+		return
+	}
+	a := d.Attrs[ai]
+	var nv int16
+	if cmd.TakesArg {
+		nv = argVal
+	} else {
+		nv = int16(indexOf(a.Values, cmd.Value))
+		if nv < 0 {
+			return
+		}
+	}
+	if x.s.Devices[dev].Attrs[ai] == nv {
+		return // no state change, no notification
+	}
+	x.s.Devices[dev].Attrs[ai] = nv
+	vstr := encodedString(a, nv)
+	x.stepf("%s.%s = %s", d.Label, a.Name, vstr)
+	x.enqueue(cyberEvent{
+		Source: dev, Attr: a.Name, Value: decodeAttr(a, nv), VStr: vstr,
+		Label: d.Label,
+	})
+}
+
+func (x *executor) enqueue(ev cyberEvent) {
+	if x.m.Opts.Design == Concurrent {
+		// Queue one pending invocation per matching subscription; the
+		// checker interleaves them.
+		for si, sub := range x.m.subs {
+			if x.matches(sub, ev) {
+				x.s.Queue = append(x.s.Queue, Pending{
+					SubIdx: si, Source: ev.Source, Val: encodeEventVal(ev), Raw: ev.VStr,
+				})
+			}
+		}
+		return
+	}
+	x.queue = append(x.queue, ev)
+}
+
+func (x *executor) matches(sub resolvedSub, ev cyberEvent) bool {
+	if x.s.Apps[sub.AppIdx].Unsubscribed {
+		return false
+	}
+	if sub.Attr != ev.Attr {
+		return false
+	}
+	switch {
+	case sub.Source == ev.Source:
+	case ev.Source == srcSynth && sub.Source >= 0:
+		// Synthetic sendEvent events reach any subscriber of the
+		// attribute (fake events impersonate devices).
+	default:
+		return false
+	}
+	return sub.Value == "" || sub.Value == ev.VStr
+}
+
+// drain dispatches pending events until quiescence (sequential design,
+// Algorithm 1 lines 4-6). Invariants are inspected after every handler
+// execution, not only at quiescence: a Spin never-claim steps with each
+// intermediate state, so transient unsafe states (e.g. a siren pulsed on
+// and immediately off by another app) are still caught.
+func (x *executor) drain() {
+	for len(x.queue) > 0 {
+		if x.dispatches >= x.m.Opts.maxCascade() {
+			x.stepf("cascade truncated after %d dispatches", x.dispatches)
+			x.queue = nil
+			return
+		}
+		ev := x.queue[0]
+		x.queue = x.queue[1:]
+		x.dispatches++
+		for si, sub := range x.m.subs {
+			_ = si
+			if x.matches(sub, ev) {
+				x.runHandler(sub, ev)
+				x.inspectIntermediate()
+			}
+		}
+	}
+	x.finishCascade()
+}
+
+// inspectIntermediate evaluates the invariants on the current
+// (mid-cascade) state.
+func (x *executor) inspectIntermediate() {
+	if !x.m.Opts.InspectCascade || len(x.m.Opts.Invariants) == 0 {
+		return
+	}
+	x.viols = append(x.viols, x.m.Inspect(x.s)...)
+}
+
+// finishCascade evaluates the robustness property at the end of a
+// cascade: an app whose command was lost must have notified the user.
+func (x *executor) finishCascade() {
+	if x.failMode != failActuators || !x.m.Opts.CheckRobustness {
+		return
+	}
+	for app := range x.dropped {
+		if !x.notified[app] {
+			x.violate(PropRobustness, fmt.Sprintf(
+				"%s does not verify actuator commands and sends no SMS/Push on failure",
+				x.m.Apps[app].App.Name))
+		}
+	}
+}
+
+// runHandler executes one subscribed handler for an event.
+func (x *executor) runHandler(sub resolvedSub, ev cyberEvent) {
+	app := x.m.Apps[sub.AppIdx]
+	prev := x.curApp
+	x.curApp = sub.AppIdx
+	defer func() { x.curApp = prev }()
+
+	x.stepf("%s.%s(evt: %s/%s)", app.App.Name, sub.Handler, ev.Attr, ev.VStr)
+
+	e := &eval.Evaluator{App: app.App, Bindings: app.Bindings, Host: x}
+	evt := &eval.Event{Device: ev.Source, Name: ev.Attr, Value: ev.Value, DisplayName: ev.Label}
+	if ev.Source < 0 {
+		evt.Device = -1
+	}
+	if err := e.CallHandler(sub.Handler, evt); err != nil {
+		x.violate(PropExecError, err.Error())
+	}
+}
+
+// fireTimer runs a scheduled callback (EvTimer external choice).
+func (x *executor) fireTimer(appIdx int, handler string) {
+	app := x.m.Apps[appIdx]
+	prev := x.curApp
+	x.curApp = appIdx
+	defer func() { x.curApp = prev }()
+
+	x.stepf("timer fires: %s.%s()", app.App.Name, handler)
+	e := &eval.Evaluator{App: app.App, Bindings: app.Bindings, Host: x}
+	m := app.App.Methods[handler]
+	if m == nil {
+		return
+	}
+	var err error
+	if len(m.Params) > 0 {
+		err = e.CallHandler(handler, &eval.Event{Device: -1, Name: "timer", Value: ir.StrV("fired")})
+	} else {
+		_, err = e.CallMethodByName(handler, nil)
+	}
+	if err != nil {
+		x.violate(PropExecError, err.Error())
+	}
+}
+
+// ---- eval.Host implementation ----
+
+func (x *executor) DeviceAttr(dev int, attr string) (ir.Value, bool) {
+	return x.m.AttrValue(x.s, dev, attr)
+}
+
+func (x *executor) DeviceLabel(dev int) string { return x.m.Devices[dev].Label }
+
+func (x *executor) DeviceCommand(dev int, cmd string, args []ir.Value) {
+	d := x.m.Devices[dev]
+	_, c := d.Model.FindCommand(cmd)
+	if c == nil {
+		x.stepf("%s does not support command %q (ignored)", d.Label, cmd)
+		return
+	}
+	var arg int16
+	if c.TakesArg && len(args) > 0 {
+		arg = int16(args[0].AsInt())
+	}
+	x.stepf("%s sends %s.%s()", x.m.Apps[x.curApp].App.Name, d.Label, cmd)
+	x.actuatorUpdate(dev, c, arg)
+}
+
+func (x *executor) LocationMode() string {
+	return x.m.Cfg.Modes[x.s.Mode]
+}
+
+func (x *executor) SetLocationMode(mode string) {
+	mi := x.m.ModeIndex(mode)
+	if mi < 0 {
+		x.stepf("unknown location mode %q (ignored)", mode)
+		return
+	}
+	if x.s.Mode == uint8(mi) {
+		return
+	}
+	x.s.Mode = uint8(mi)
+	x.stepf("location.mode = %s", mode)
+	x.enqueue(cyberEvent{Source: srcLocation, Attr: "mode",
+		Value: ir.StrV(mode), VStr: mode, Label: "location"})
+}
+
+func (x *executor) Modes() []string { return x.m.Cfg.Modes }
+
+func (x *executor) Now() int64 { return x.s.Time }
+
+func (x *executor) AppState() map[string]ir.Value {
+	as := &x.s.Apps[x.curApp]
+	if as.KV == nil {
+		as.KV = map[string]ir.Value{}
+	}
+	return as.KV
+}
+
+func (x *executor) SendSMS(phone, msg string) {
+	app := x.m.Apps[x.curApp]
+	x.notified[x.curApp] = true
+	x.stepf("%s sends SMS to %q", app.App.Name, phone)
+	if !x.m.Opts.CheckLeakage {
+		return
+	}
+	if !x.recipientConfigured(phone) {
+		x.violate(PropLeakSMS, fmt.Sprintf(
+			"%s sends SMS to %q, which is not a configured recipient", app.App.Name, phone))
+	}
+}
+
+// recipientConfigured checks the SMS recipient against the system's
+// phone numbers and the app's own phone-input bindings (§3: recipients
+// must match the configured phone numbers or contacts).
+func (x *executor) recipientConfigured(phone string) bool {
+	for _, p := range x.m.Cfg.Phones {
+		if p == phone {
+			return true
+		}
+	}
+	app := x.m.Apps[x.curApp]
+	for _, in := range app.App.Inputs {
+		if in.Kind != ir.InputPhone && in.Kind != ir.InputContact && in.Kind != ir.InputText {
+			continue
+		}
+		if b, ok := app.Bindings[in.Name]; ok && b.Kind == ir.VStr && b.S == phone {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *executor) SendPush(msg string) {
+	x.notified[x.curApp] = true
+	x.stepf("%s sends push notification", x.m.Apps[x.curApp].App.Name)
+}
+
+func (x *executor) SendNotificationToContacts(msg string) {
+	x.notified[x.curApp] = true
+	x.stepf("%s notifies contacts", x.m.Apps[x.curApp].App.Name)
+}
+
+func (x *executor) HTTPRequest(method, url string) {
+	app := x.m.Apps[x.curApp]
+	x.stepf("%s issues %s %s", app.App.Name, method, url)
+	if x.m.Opts.CheckLeakage {
+		x.violate(PropLeakNetwork, fmt.Sprintf(
+			"%s sends data via network interface (%s %s)", app.App.Name, method, url))
+	}
+}
+
+func (x *executor) Unsubscribe() {
+	app := x.m.Apps[x.curApp]
+	x.s.Apps[x.curApp].Unsubscribed = true
+	x.stepf("%s executes unsubscribe()", app.App.Name)
+	if x.m.Opts.CheckLeakage {
+		x.violate(PropSuspUnsub, fmt.Sprintf(
+			"%s executes the security-sensitive command unsubscribe at run time", app.App.Name))
+	}
+}
+
+func (x *executor) SendEvent(name, value string) {
+	app := x.m.Apps[x.curApp]
+	x.stepf("%s raises synthetic event %s=%s", app.App.Name, name, value)
+	if x.m.Opts.CheckLeakage && attributeExists(name) {
+		x.violate(PropSuspFakeEvent, fmt.Sprintf(
+			"%s generates a fake %q event (value %q) with no physical cause",
+			app.App.Name, name, value))
+	}
+	x.enqueue(cyberEvent{Source: srcSynth, Attr: name,
+		Value: ir.StrV(value), VStr: value, Label: app.App.Name})
+}
+
+func attributeExists(name string) bool {
+	for _, cn := range device.Capabilities() {
+		if device.CapabilityByName(cn).Attribute(name) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *executor) Schedule(handler string, delaySeconds int64) {
+	as := &x.s.Apps[x.curApp]
+	for i := range as.Timers {
+		if as.Timers[i].Handler == handler {
+			as.Timers[i].Delay = delaySeconds // runIn overwrites by default
+			return
+		}
+	}
+	as.Timers = append(as.Timers, Timer{Handler: handler, Delay: delaySeconds})
+	x.stepf("%s schedules %s in %ds", x.m.Apps[x.curApp].App.Name, handler, delaySeconds)
+}
+
+func (x *executor) Unschedule() {
+	x.s.Apps[x.curApp].Timers = nil
+}
+
+func (x *executor) Log(level, msg string) {
+	// Log output is not part of the model state; retained in trails for
+	// debuggability at verbose levels only.
+}
+
+// ---- helpers ----
+
+func indexOf(values []string, v string) int {
+	for i, x := range values {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func decodeAttr(a device.Attribute, raw int16) ir.Value {
+	if a.Numeric {
+		return ir.IntV(int64(raw))
+	}
+	if int(raw) < len(a.Values) {
+		return ir.StrV(a.Values[raw])
+	}
+	return ir.NullV()
+}
+
+func encodedString(a device.Attribute, raw int16) string {
+	return decodeAttr(a, raw).String()
+}
+
+func encodeEventVal(ev cyberEvent) int16 {
+	if ev.Value.IsNumeric() {
+		return int16(ev.Value.AsInt())
+	}
+	return 0
+}

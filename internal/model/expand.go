@@ -1,0 +1,206 @@
+package model
+
+import (
+	"fmt"
+
+	"iotsan/internal/checker"
+	"iotsan/internal/ir"
+)
+
+// System adapts the model to the checker's transition-system interface.
+func (m *Model) System() checker.System { return sysAdapter{m} }
+
+type sysAdapter struct{ m *Model }
+
+func (a sysAdapter) Initial() checker.State { return a.m.Initial() }
+
+func (a sysAdapter) Expand(s checker.State) []checker.Transition {
+	return a.m.Expand(s.(*State))
+}
+
+func (a sysAdapter) Inspect(s checker.State) []checker.Violation {
+	return a.m.Inspect(s.(*State))
+}
+
+// Inspect evaluates the compiled safe-physical-state invariants on a
+// state (§8 "Safety Properties").
+func (m *Model) Inspect(s *State) []checker.Violation {
+	if len(m.Opts.Invariants) == 0 {
+		return nil
+	}
+	v := &View{M: m, S: s}
+	var out []checker.Violation
+	for _, inv := range m.Opts.Invariants {
+		if !inv.Holds(v) {
+			out = append(out, checker.Violation{Property: inv.ID, Detail: inv.Description})
+		}
+	}
+	return out
+}
+
+// Expand returns the successor transitions of a state: the
+// non-deterministic choice of the next external physical event
+// (Algorithm 1 line 2), crossed with failure scenarios when enabled; in
+// the concurrent design, also the choice of which pending handler
+// invocation to dispatch next.
+func (m *Model) Expand(s *State) []checker.Transition {
+	var out []checker.Transition
+
+	if m.Opts.Design == Concurrent {
+		// Interleaving choices: dispatch any pending handler invocation.
+		for i := range s.Queue {
+			out = append(out, m.dispatchPending(s, i))
+		}
+	}
+
+	if s.EventsUsed >= m.Opts.MaxEvents {
+		return out
+	}
+
+	fms := []failMode{failNone}
+	if m.Opts.Failures {
+		fms = []failMode{failNone, failSensorOff, failSensorComm, failActuators}
+	}
+
+	for _, ev := range m.external {
+		if ev.Kind == EvDevice {
+			// Skip non-events: the generated value equals the current one.
+			if s.Devices[ev.Dev].Attrs[ev.AttrIdx] == ev.Val {
+				continue
+			}
+		}
+		if ev.Kind == EvMode && s.Mode == uint8(ev.Val) {
+			continue
+		}
+		for _, fm := range fms {
+			if ev.Kind != EvDevice && (fm == failSensorOff || fm == failSensorComm) {
+				continue // sensor failures apply to sensed events only
+			}
+			out = append(out, m.applyExternal(s, ev, fm))
+		}
+	}
+
+	// Scheduled timers are external choices too: they may fire at any
+	// point between other events.
+	for ai := range s.Apps {
+		for _, t := range s.Apps[ai].Timers {
+			ev := ExtEvent{Kind: EvTimer, AppIdx: ai, Handler: t.Handler,
+				Label: fmt.Sprintf("timer: %s.%s", m.Apps[ai].App.Name, t.Handler)}
+			for _, fm := range fms {
+				if fm == failSensorOff || fm == failSensorComm {
+					continue
+				}
+				out = append(out, m.applyExternal(s, ev, fm))
+			}
+		}
+	}
+	return out
+}
+
+// applyExternal executes one external event choice, producing the
+// successor state. In the sequential design the full cascade runs to
+// quiescence inside this transition (Algorithm 1 lines 3-6).
+func (m *Model) applyExternal(s *State, ev ExtEvent, fm failMode) checker.Transition {
+	ns := s.Clone()
+	ns.EventsUsed++
+	ns.Time = int64(ns.EventsUsed) * 60
+	ns.Cmds = nil // fresh cascade: command log resets per external event
+
+	x := m.newExecutor(ns, fm)
+	label := ev.Label
+	if fm != failNone {
+		label += " [" + fm.String() + "]"
+	}
+
+	switch ev.Kind {
+	case EvDevice:
+		x.sensorUpdate(ev.Dev, ev.AttrIdx, ev.Val)
+	case EvTouch:
+		x.deliverTouch(ev.AppIdx)
+	case EvSun:
+		phase := "sunrise"
+		if ev.Val == 1 {
+			phase = "sunset"
+		}
+		x.enqueue(cyberEvent{Source: srcSun, Attr: "sun",
+			Value: ir.StrV(phase), VStr: phase, Label: "location"})
+	case EvTimer:
+		removeTimer(&ns.Apps[ev.AppIdx], ev.Handler)
+		x.fireTimer(ev.AppIdx, ev.Handler)
+	case EvMode:
+		x.SetLocationMode(m.Cfg.Modes[ev.Val])
+	}
+
+	if m.Opts.Design == Sequential {
+		x.drain()
+	} else if ev.Kind != EvDevice || fm != failSensorOff {
+		x.finishCascade()
+	}
+
+	return checker.Transition{Label: label, Steps: x.steps, Next: ns, Violations: x.viols}
+}
+
+// deliverTouch routes an app-touch event to the app's touch handlers.
+func (x *executor) deliverTouch(appIdx int) {
+	ev := cyberEvent{Source: srcApp, Attr: "touch",
+		Value: ir.StrV("touched"), VStr: "touched", Label: "app"}
+	for si, sub := range x.m.subs {
+		if sub.Source != srcApp || sub.AppIdx != appIdx {
+			continue
+		}
+		if x.s.Apps[sub.AppIdx].Unsubscribed {
+			continue
+		}
+		if x.m.Opts.Design == Concurrent {
+			x.s.Queue = append(x.s.Queue, Pending{SubIdx: si, Source: srcApp, Raw: "touched"})
+			continue
+		}
+		x.runHandler(sub, ev)
+	}
+}
+
+func removeTimer(as *AppState, handler string) {
+	for i := range as.Timers {
+		if as.Timers[i].Handler == handler {
+			as.Timers = append(as.Timers[:i], as.Timers[i+1:]...)
+			return
+		}
+	}
+}
+
+// dispatchPending runs one queued handler invocation (concurrent design:
+// handler-level interleaving, §8 "Concurrency Model").
+func (m *Model) dispatchPending(s *State, i int) checker.Transition {
+	ns := s.Clone()
+	p := ns.Queue[i]
+	ns.Queue = append(ns.Queue[:i], ns.Queue[i+1:]...)
+
+	sub := m.subs[p.SubIdx]
+	x := m.newExecutor(ns, failNone)
+	ev := m.pendingEvent(p)
+	x.runHandler(sub, ev)
+
+	return checker.Transition{
+		Label: fmt.Sprintf("dispatch %s/%s to %s.%s",
+			ev.Attr, ev.VStr, m.Apps[sub.AppIdx].App.Name, sub.Handler),
+		Steps: x.steps, Next: ns, Violations: x.viols,
+	}
+}
+
+// pendingEvent reconstructs the cyber event payload of a queued
+// invocation.
+func (m *Model) pendingEvent(p Pending) cyberEvent {
+	ev := cyberEvent{Source: p.Source, VStr: p.Raw, Label: "event"}
+	sub := m.subs[p.SubIdx]
+	ev.Attr = sub.Attr
+	if p.Source >= 0 {
+		d := m.Devices[p.Source]
+		ev.Label = d.Label
+		if ai := d.AttrIndex(sub.Attr); ai >= 0 && d.Attrs[ai].Numeric {
+			ev.Value = ir.IntV(int64(p.Val))
+			return ev
+		}
+	}
+	ev.Value = ir.StrV(p.Raw)
+	return ev
+}

@@ -1,0 +1,411 @@
+// Package model implements IotSan's Model Generator (§8): it combines
+// translated apps, the system configuration, and device models into a
+// checkable transition system.
+//
+// The package supports both designs the paper evaluates (§8 "Concurrency
+// Model"): the sequential design of Algorithm 1, where each external
+// event's cascade of internal events is handled atomically in FIFO
+// order, and the concurrent design, where pending handler invocations
+// interleave freely (one handler execution per transition). Device and
+// communication failures are modeled by enumerating sensor/actuator
+// availability per external event.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"iotsan/internal/config"
+	"iotsan/internal/device"
+	"iotsan/internal/ir"
+)
+
+// Design selects the concurrency model (§8).
+type Design int
+
+// Designs.
+const (
+	Sequential Design = iota // Algorithm 1: atomic cascades (default)
+	Concurrent               // handler-level interleaving
+)
+
+func (d Design) String() string {
+	if d == Concurrent {
+		return "concurrent"
+	}
+	return "sequential"
+}
+
+// Options configure model generation.
+type Options struct {
+	Design    Design
+	MaxEvents int // external events per execution (paper's "number of events")
+	// Failures enumerates device/communication failures: per external
+	// event, the sensor may be offline or its report lost; per cascade,
+	// actuator commands may be lost (§8).
+	Failures bool
+	// CheckConflicts enables the free-of-conflicting-commands and
+	// free-of-repeated-commands properties.
+	CheckConflicts bool
+	// CheckLeakage enables the information-leakage and
+	// security-sensitive-command properties.
+	CheckLeakage bool
+	// CheckRobustness enables the device-failure robustness property
+	// (only meaningful with Failures).
+	CheckRobustness bool
+	// Invariants are the safe-physical-state monitors evaluated on every
+	// reached state.
+	Invariants []Invariant
+	// MaxCascade bounds internal event dispatches per external event in
+	// the sequential design (livelock guard).
+	MaxCascade int
+	// UserDeviceEvents adds physical user interaction with actuators to
+	// the event space (flipping a switch by hand, using a key in a
+	// lock): every enum attribute can change externally, not only those
+	// of sensor capabilities. The Output Analyzer enables this so apps
+	// triggered by actuator events are reachable standalone.
+	UserDeviceEvents bool
+	// UserModeEvents adds user-initiated location-mode changes (via the
+	// companion app) to the external event space. The Output Analyzer
+	// enables this so mode-triggered behaviour is reachable when the app
+	// under test is verified standalone (§9 phase 1).
+	UserModeEvents bool
+	// InspectCascade evaluates invariants after every handler execution
+	// inside a cascade (Spin-style statement-level assertion checking),
+	// catching transient unsafe states that the cascade later corrects.
+	// Off by default: the sequential design treats cascades as atomic.
+	InspectCascade bool
+	// RelevantAttrs, when non-nil, restricts external event generation
+	// to the named attributes (the facade derives the set from the
+	// handlers' input events, pruning sensor events no app observes).
+	RelevantAttrs map[string]bool
+}
+
+func (o *Options) maxCascade() int {
+	if o.MaxCascade <= 0 {
+		return 64
+	}
+	return o.MaxCascade
+}
+
+// Invariant is a compiled safe-physical-state property: Holds must be
+// true in every reachable state.
+type Invariant struct {
+	ID          string
+	Description string
+	Holds       func(v *View) bool
+}
+
+// DevInst is one device instance in the model.
+type DevInst struct {
+	Idx     int
+	ID      string
+	Label   string
+	Model   *device.Model
+	Assoc   string
+	Attrs   []device.Attribute // flattened, deduplicated schema
+	attrIdx map[string]int
+}
+
+// AttrIndex returns the index of attr in the instance's layout, or -1.
+func (d *DevInst) AttrIndex(attr string) int {
+	if i, ok := d.attrIdx[attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// AppInst is one installed app instance with resolved bindings.
+type AppInst struct {
+	Idx      int
+	App      *ir.App
+	Bindings map[string]ir.Value
+}
+
+// Subscription sources.
+const (
+	srcLocation = -1 // location mode events
+	srcApp      = -2 // app touch events
+	srcSun      = -3 // sunrise/sunset environment events
+	srcTimer    = -4 // timer callbacks
+	srcSynth    = -5 // synthetic sendEvent events
+)
+
+// resolvedSub is a flattened subscription: which handler of which app a
+// given event reaches.
+type resolvedSub struct {
+	AppIdx  int
+	Handler string
+	Source  int // device index or one of the src* pseudo-sources
+	Attr    string
+	Value   string // event value filter, "" = any
+}
+
+// Model is the generated system model.
+type Model struct {
+	Cfg     *config.System
+	Devices []*DevInst
+	Apps    []*AppInst
+	Opts    Options
+
+	subs     []resolvedSub
+	external []ExtEvent
+}
+
+// ExtEventKind classifies externally generated events.
+type ExtEventKind int
+
+// External event kinds.
+const (
+	EvDevice ExtEventKind = iota // physical event sensed by a device
+	EvTouch                      // user taps the app
+	EvSun                        // sunrise/sunset
+	EvTimer                      // a scheduled timer fires (dynamic)
+	EvMode                       // the user changes the location mode manually
+)
+
+// ExtEvent is one external event choice for the main loop of Algorithm 1.
+type ExtEvent struct {
+	Kind    ExtEventKind
+	Dev     int    // device index for EvDevice
+	AttrIdx int    // attribute index within the device
+	Val     int16  // encoded attribute value
+	AppIdx  int    // app index for EvTouch / EvTimer
+	Handler string // for EvTimer
+	Label   string
+}
+
+// New generates a model from a validated configuration and the
+// translated apps (keyed by app name).
+func New(cfg *config.System, apps map[string]*ir.App, opts Options) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 3
+	}
+	m := &Model{Cfg: cfg, Opts: opts}
+
+	for i, d := range cfg.Devices {
+		dm := device.ModelByName(d.Model)
+		inst := &DevInst{
+			Idx: i, ID: d.ID, Label: labelOf(d), Model: dm, Assoc: d.Association,
+			Attrs: dm.Attributes(), attrIdx: map[string]int{},
+		}
+		for j, a := range inst.Attrs {
+			inst.attrIdx[a.Name] = j
+		}
+		m.Devices = append(m.Devices, inst)
+	}
+
+	devIdx := map[string]int{}
+	for i, d := range m.Devices {
+		devIdx[d.ID] = i
+	}
+
+	for ai, inst := range cfg.Apps {
+		app := apps[inst.App]
+		if app == nil {
+			return nil, fmt.Errorf("model: app %q not translated", inst.App)
+		}
+		bound := map[string]ir.Value{}
+		for _, in := range app.Inputs {
+			b, ok := inst.Bindings[in.Name]
+			if !ok {
+				if in.Default.Kind != ir.VNull {
+					bound[in.Name] = in.Default
+				} else {
+					bound[in.Name] = ir.NullV()
+				}
+				continue
+			}
+			if in.Kind == ir.InputDevice {
+				var devs []ir.Value
+				for _, id := range b.DeviceIDs {
+					di, ok := devIdx[id]
+					if !ok {
+						return nil, fmt.Errorf("model: app %q input %q: unknown device %q", inst.App, in.Name, id)
+					}
+					devs = append(devs, ir.DeviceV(di))
+				}
+				if in.Multiple {
+					bound[in.Name] = ir.DevicesV(devs)
+				} else if len(devs) > 0 {
+					bound[in.Name] = devs[0]
+				} else {
+					bound[in.Name] = ir.NullV()
+				}
+			} else {
+				bound[in.Name] = config.BindingValue(b.Value)
+			}
+		}
+		m.Apps = append(m.Apps, &AppInst{Idx: ai, App: app, Bindings: bound})
+	}
+
+	m.resolveSubscriptions()
+	m.buildExternalEvents()
+	return m, nil
+}
+
+func labelOf(d config.Device) string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return d.ID
+}
+
+// resolveSubscriptions flattens app subscriptions to (source, attr,
+// value) → handler entries. A subscription on a multi-device input
+// yields one entry per bound device.
+func (m *Model) resolveSubscriptions() {
+	for _, app := range m.Apps {
+		for _, sub := range app.App.Subscriptions {
+			switch sub.Source {
+			case "location":
+				switch sub.Attribute {
+				case "sunrise", "sunset", "sunriseTime", "sunsetTime":
+					m.subs = append(m.subs, resolvedSub{
+						AppIdx: app.Idx, Handler: sub.Handler, Source: srcSun,
+						Attr: "sun", Value: trimTime(sub.Attribute),
+					})
+				default:
+					m.subs = append(m.subs, resolvedSub{
+						AppIdx: app.Idx, Handler: sub.Handler, Source: srcLocation,
+						Attr: "mode", Value: sub.Value,
+					})
+				}
+			case "app":
+				m.subs = append(m.subs, resolvedSub{
+					AppIdx: app.Idx, Handler: sub.Handler, Source: srcApp, Attr: "touch",
+				})
+			default:
+				bound := app.Bindings[sub.Source]
+				for _, dv := range devicesOf(bound) {
+					m.subs = append(m.subs, resolvedSub{
+						AppIdx: app.Idx, Handler: sub.Handler, Source: dv,
+						Attr: sub.Attribute, Value: sub.Value,
+					})
+				}
+			}
+		}
+	}
+}
+
+func trimTime(s string) string {
+	if s == "sunriseTime" {
+		return "sunrise"
+	}
+	if s == "sunsetTime" {
+		return "sunset"
+	}
+	return s
+}
+
+func devicesOf(v ir.Value) []int {
+	switch v.Kind {
+	case ir.VDevice:
+		return []int{v.Dev}
+	case ir.VDevices, ir.VList:
+		var out []int
+		for _, e := range v.L {
+			if e.Kind == ir.VDevice {
+				out = append(out, e.Dev)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// buildExternalEvents enumerates the physical event space the main loop
+// permutes (Algorithm 1 line 2): every sensor attribute value of every
+// sensor device, app-touch events for apps subscribed to them, and
+// sunrise/sunset when subscribed.
+func (m *Model) buildExternalEvents() {
+	for _, d := range m.Devices {
+		for ai, a := range d.Attrs {
+			if !m.attrIsSensed(d, a.Name) {
+				if !m.Opts.UserDeviceEvents || a.Numeric {
+					continue
+				}
+			}
+			if m.Opts.RelevantAttrs != nil && !m.Opts.RelevantAttrs[a.Name] {
+				continue
+			}
+			if a.Numeric {
+				for _, gv := range a.GenValues {
+					m.external = append(m.external, ExtEvent{
+						Kind: EvDevice, Dev: d.Idx, AttrIdx: ai, Val: int16(gv),
+						Label: fmt.Sprintf("%s.%s = %d", d.Label, a.Name, gv),
+					})
+				}
+			} else {
+				for vi, v := range a.Values {
+					m.external = append(m.external, ExtEvent{
+						Kind: EvDevice, Dev: d.Idx, AttrIdx: ai, Val: int16(vi),
+						Label: fmt.Sprintf("%s.%s = %s", d.Label, a.Name, v),
+					})
+				}
+			}
+		}
+	}
+	touched := map[int]bool{}
+	sun := false
+	for _, s := range m.subs {
+		if s.Source == srcApp && !touched[s.AppIdx] {
+			touched[s.AppIdx] = true
+			m.external = append(m.external, ExtEvent{
+				Kind: EvTouch, AppIdx: s.AppIdx,
+				Label: fmt.Sprintf("app touch: %s", m.Apps[s.AppIdx].App.Name),
+			})
+		}
+		if s.Source == srcSun {
+			sun = true
+		}
+	}
+	if sun {
+		m.external = append(m.external,
+			ExtEvent{Kind: EvSun, Val: 0, Label: "sunrise"},
+			ExtEvent{Kind: EvSun, Val: 1, Label: "sunset"},
+		)
+	}
+	if m.Opts.UserModeEvents {
+		for i, mode := range m.Cfg.Modes {
+			m.external = append(m.external, ExtEvent{
+				Kind: EvMode, Val: int16(i),
+				Label: "user sets mode " + mode,
+			})
+		}
+	}
+	sort.SliceStable(m.external, func(i, j int) bool {
+		return m.external[i].Label < m.external[j].Label
+	})
+}
+
+// attrIsSensed reports whether an attribute of this device generates
+// external (environment) events: it belongs to a capability flagged as a
+// sensor.
+func (m *Model) attrIsSensed(d *DevInst, attr string) bool {
+	for _, cn := range d.Model.Capabilities {
+		c := device.CapabilityByName(cn)
+		if c.Sensor && c.Attribute(attr) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ExternalEvents exposes the enumerated event space (for diagnostics and
+// the Promela emitter).
+func (m *Model) ExternalEvents() []ExtEvent { return m.external }
+
+// ModeIndex returns the index of a mode name in the configuration,
+// adding semantics for unknown modes (clamped to existing).
+func (m *Model) ModeIndex(mode string) int {
+	for i, x := range m.Cfg.Modes {
+		if x == mode {
+			return i
+		}
+	}
+	return -1
+}

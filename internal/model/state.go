@@ -1,0 +1,248 @@
+package model
+
+import (
+	"sort"
+
+	"iotsan/internal/ir"
+)
+
+// DevState is the dynamic state of one device instance.
+type DevState struct {
+	Online bool
+	Attrs  []int16 // enum value index or numeric value, per attribute
+}
+
+// Timer is a pending scheduled callback of an app.
+type Timer struct {
+	Handler string
+	Delay   int64
+}
+
+// AppState is the dynamic state of one app instance.
+type AppState struct {
+	KV           map[string]ir.Value // the persistent `state` map
+	Unsubscribed bool
+	Timers       []Timer
+}
+
+// Pending is one queued handler invocation (concurrent design): the
+// event payload destined for a specific resolved subscription.
+type Pending struct {
+	SubIdx int   // index into Model.subs
+	Source int   // device index or pseudo-source
+	Val    int16 // encoded event value (device/mode events)
+	Raw    string
+}
+
+// CmdRec records an actuator command within the current cascade for the
+// conflicting/repeated command properties (Algorithm 1 line 16).
+type CmdRec struct {
+	Dev   int
+	Cmd   string
+	Arg   int16
+	App   int
+	Attr  string
+	Value string // target attribute value ("" for argument commands)
+}
+
+// State is the full system state. It is a value in the model-checking
+// sense: cloned on branch, encoded for hashing.
+type State struct {
+	Time       int64
+	Mode       uint8
+	EventsUsed int
+	Devices    []DevState
+	Apps       []AppState
+	// Queue holds pending handler invocations (concurrent design only;
+	// always empty between transitions in the sequential design).
+	Queue []Pending
+	// Cmds is the per-cascade command log (concurrent design carries it
+	// across transitions until the next external injection).
+	Cmds []CmdRec
+}
+
+// Initial builds the initial state from the configuration: devices at
+// their schema defaults, apps with empty persistent state, all online.
+func (m *Model) Initial() *State {
+	s := &State{
+		Devices: make([]DevState, len(m.Devices)),
+		Apps:    make([]AppState, len(m.Apps)),
+	}
+	mi := m.ModeIndex(m.Cfg.Mode)
+	if mi < 0 {
+		mi = 0
+	}
+	s.Mode = uint8(mi)
+	for i, d := range m.Devices {
+		ds := DevState{Online: true, Attrs: make([]int16, len(d.Attrs))}
+		for j, a := range d.Attrs {
+			ds.Attrs[j] = int16(a.Default)
+		}
+		// Apply configured initial attribute overrides.
+		for attr, val := range m.Cfg.Devices[i].Initial {
+			j := d.AttrIndex(attr)
+			if j < 0 {
+				continue
+			}
+			a := d.Attrs[j]
+			if a.Numeric {
+				if n, err := parseInt(val); err == nil {
+					ds.Attrs[j] = int16(n)
+				}
+			} else if k := indexOf(a.Values, val); k >= 0 {
+				ds.Attrs[j] = int16(k)
+			}
+		}
+		s.Devices[i] = ds
+	}
+	return s
+}
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	var neg bool
+	for i, c := range s {
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, errBadInt
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+var errBadInt = errInvalid("invalid integer")
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return string(e) }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	n := &State{
+		Time: s.Time, Mode: s.Mode, EventsUsed: s.EventsUsed,
+		Devices: make([]DevState, len(s.Devices)),
+		Apps:    make([]AppState, len(s.Apps)),
+	}
+	for i, d := range s.Devices {
+		nd := DevState{Online: d.Online, Attrs: make([]int16, len(d.Attrs))}
+		copy(nd.Attrs, d.Attrs)
+		n.Devices[i] = nd
+	}
+	for i, a := range s.Apps {
+		na := AppState{Unsubscribed: a.Unsubscribed}
+		if a.KV != nil {
+			na.KV = make(map[string]ir.Value, len(a.KV))
+			for k, v := range a.KV {
+				na.KV[k] = cloneValue(v)
+			}
+		}
+		if len(a.Timers) > 0 {
+			na.Timers = append([]Timer(nil), a.Timers...)
+		}
+		n.Apps[i] = na
+	}
+	if len(s.Queue) > 0 {
+		n.Queue = append([]Pending(nil), s.Queue...)
+	}
+	if len(s.Cmds) > 0 {
+		n.Cmds = append([]CmdRec(nil), s.Cmds...)
+	}
+	return n
+}
+
+func cloneValue(v ir.Value) ir.Value {
+	switch v.Kind {
+	case ir.VList, ir.VDevices:
+		l := make([]ir.Value, len(v.L))
+		for i, e := range v.L {
+			l[i] = cloneValue(e)
+		}
+		v.L = l
+	case ir.VMap:
+		m := make(map[string]ir.Value, len(v.M))
+		for k, e := range v.M {
+			m[k] = cloneValue(e)
+		}
+		v.M = m
+	}
+	return v
+}
+
+// Encode appends a deterministic binary encoding of the state (the
+// "state vector" Spin would hash) to buf.
+func (s *State) Encode(buf []byte) []byte {
+	buf = append(buf, s.Mode, byte(s.EventsUsed))
+	for _, d := range s.Devices {
+		if d.Online {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, a := range d.Attrs {
+			buf = append(buf, byte(a), byte(a>>8))
+		}
+	}
+	for _, a := range s.Apps {
+		if a.Unsubscribed {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, byte(len(a.Timers)))
+		for _, t := range a.Timers {
+			buf = append(buf, []byte(t.Handler)...)
+			buf = append(buf, 0)
+		}
+		if len(a.KV) > 0 {
+			keys := make([]string, 0, len(a.KV))
+			for k := range a.KV {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				buf = append(buf, []byte(k)...)
+				buf = append(buf, 0)
+				buf = a.KV[k].Encode(buf)
+			}
+		}
+		buf = append(buf, 0xFE)
+	}
+	for _, p := range s.Queue {
+		buf = append(buf, byte(p.SubIdx), byte(p.Source), byte(p.Val), byte(p.Val>>8))
+		buf = append(buf, []byte(p.Raw)...)
+		buf = append(buf, 0)
+	}
+	buf = append(buf, 0xFD)
+	for _, c := range s.Cmds {
+		buf = append(buf, byte(c.Dev), byte(c.App))
+		buf = append(buf, []byte(c.Cmd)...)
+		buf = append(buf, 0, byte(c.Arg), byte(c.Arg>>8))
+	}
+	return buf
+}
+
+// AttrValue decodes a device attribute from the state as an ir.Value:
+// enum attributes become their string value, numeric ones their number.
+func (m *Model) AttrValue(s *State, dev int, attr string) (ir.Value, bool) {
+	d := m.Devices[dev]
+	i := d.AttrIndex(attr)
+	if i < 0 {
+		return ir.NullV(), false
+	}
+	a := d.Attrs[i]
+	raw := s.Devices[dev].Attrs[i]
+	if a.Numeric {
+		return ir.IntV(int64(raw)), true
+	}
+	if int(raw) < len(a.Values) {
+		return ir.StrV(a.Values[raw]), true
+	}
+	return ir.NullV(), false
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"iotsan/internal/ir"
+)
+
+// View is a read-only window over one state, used by property monitors
+// (the props package builds Invariants whose atoms query a View).
+type View struct {
+	M *Model
+	S *State
+}
+
+// Mode returns the current location mode.
+func (v *View) Mode() string { return v.M.Cfg.Modes[v.S.Mode] }
+
+// Attr reads an attribute of a device by index.
+func (v *View) Attr(dev int, attr string) (ir.Value, bool) {
+	return v.M.AttrValue(v.S, dev, attr)
+}
+
+// ByAssociation returns the devices carrying the given association role
+// (§7 device association info).
+func (v *View) ByAssociation(assoc string) []*DevInst {
+	var out []*DevInst
+	for _, d := range v.M.Devices {
+		if d.Assoc == assoc {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByCapability returns the devices exposing a capability.
+func (v *View) ByCapability(capName string) []*DevInst {
+	var out []*DevInst
+	for _, d := range v.M.Devices {
+		if d.Model.HasCapability(capName) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AttrEquals reports whether the device's attribute currently holds the
+// given string value.
+func (v *View) AttrEquals(d *DevInst, attr, value string) bool {
+	val, ok := v.Attr(d.Idx, attr)
+	return ok && val.Kind == ir.VStr && val.S == value
+}
+
+// AttrNumber returns a numeric attribute value.
+func (v *View) AttrNumber(d *DevInst, attr string) (int64, bool) {
+	val, ok := v.Attr(d.Idx, attr)
+	if !ok || !val.IsNumeric() {
+		return 0, false
+	}
+	return val.AsInt(), true
+}
+
+// AnyoneHome reports whether any presence sensor reports "present".
+// Without presence sensors the home is conservatively considered
+// occupied (presence-conditioned properties never fire).
+func (v *View) AnyoneHome() bool {
+	devs := v.ByCapability("presenceSensor")
+	if len(devs) == 0 {
+		return true
+	}
+	for _, d := range devs {
+		if v.AttrEquals(d, "presence", "present") {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyMotion reports whether any motion sensor is active.
+func (v *View) AnyMotion() bool {
+	for _, d := range v.ByCapability("motionSensor") {
+		if v.AttrEquals(d, "motion", "active") {
+			return true
+		}
+	}
+	return false
+}
+
+// SmokeDetected reports whether any smoke detector reports smoke.
+func (v *View) SmokeDetected() bool {
+	for _, d := range v.ByCapability("smokeDetector") {
+		if v.AttrEquals(d, "smoke", "detected") {
+			return true
+		}
+	}
+	return false
+}
+
+// CODetected reports whether any CO detector reports carbon monoxide.
+func (v *View) CODetected() bool {
+	for _, d := range v.ByCapability("carbonMonoxideDetector") {
+		if v.AttrEquals(d, "carbonMonoxide", "detected") {
+			return true
+		}
+	}
+	return false
+}
+
+// LeakDetected reports whether any water sensor is wet.
+func (v *View) LeakDetected() bool {
+	for _, d := range v.ByCapability("waterSensor") {
+		if v.AttrEquals(d, "water", "wet") {
+			return true
+		}
+	}
+	return false
+}

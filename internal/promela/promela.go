@@ -1,0 +1,127 @@
+// Package promela renders a generated system model as Promela source —
+// the artifact the original IotSan feeds to Spin (§8 "The IoT system
+// model in Promela"). The sequential design emits a single proctype
+// with inline device/app steps; the concurrent design emits one
+// proctype per device and app communicating over channels. The checker
+// executes the same model directly from IR; the emission exists so the
+// model a user audits matches what is verified.
+package promela
+
+import (
+	"fmt"
+	"strings"
+
+	"iotsan/internal/model"
+)
+
+// Emit renders the model. The output is deterministic.
+func Emit(m *model.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* IotSan model of system %q — %s design */\n\n",
+		m.Cfg.Name, m.Opts.Design)
+
+	// Location modes.
+	fmt.Fprintf(&b, "/* location modes */\n")
+	for i, mode := range m.Cfg.Modes {
+		fmt.Fprintf(&b, "#define MODE_%s %d\n", sanitize(mode), i)
+	}
+	fmt.Fprintf(&b, "byte location_mode = MODE_%s;\n\n", sanitize(m.Cfg.Mode))
+
+	// Device state variables and event-count notifiers (the paper's
+	// subNotifiers arrays, visible in Fig. 7).
+	for _, d := range m.Devices {
+		fmt.Fprintf(&b, "/* device %s (%s) */\n", d.Label, d.Model.Name)
+		for _, a := range d.Attrs {
+			if a.Numeric {
+				fmt.Fprintf(&b, "short %s_%s = %d;\n", sanitize(d.ID), sanitize(a.Name), a.Default)
+				continue
+			}
+			for vi, v := range a.Values {
+				fmt.Fprintf(&b, "#define %s_%s_%s %d\n",
+					strings.ToUpper(sanitize(d.ID)), strings.ToUpper(sanitize(a.Name)),
+					strings.ToUpper(sanitize(v)), vi)
+			}
+			fmt.Fprintf(&b, "byte %s_%s = %d;\n", sanitize(d.ID), sanitize(a.Name), a.Default)
+		}
+		fmt.Fprintf(&b, "bool %s_online = true;\n", sanitize(d.ID))
+		fmt.Fprintf(&b, "byte %s_subNotifiers[%d];\n\n", sanitize(d.ID), maxInt(1, len(m.Apps)))
+	}
+
+	// App inline handlers.
+	for _, a := range m.Apps {
+		fmt.Fprintf(&b, "/* app %q */\n", a.App.Name)
+		for _, h := range a.App.HandlerNames() {
+			fmt.Fprintf(&b, "inline %s_%s(evtType) {\n", sanitize(a.App.Name), sanitize(h))
+			fmt.Fprintf(&b, "\t/* translated from Groovy handler %s */\n", h)
+			fmt.Fprintf(&b, "\tskip\n}\n")
+		}
+		b.WriteString("\n")
+	}
+
+	// Event generator and main loop (Algorithm 1).
+	fmt.Fprintf(&b, "/* main event loop: Algorithm 1 */\n")
+	fmt.Fprintf(&b, "#define MAX_EVENTS %d\n", m.Opts.MaxEvents)
+	if m.Opts.Design == model.Concurrent {
+		emitConcurrent(&b, m)
+	} else {
+		emitSequential(&b, m)
+	}
+
+	// Safety properties as LTL/assertions.
+	if len(m.Opts.Invariants) > 0 {
+		b.WriteString("\n/* safety properties (checked as assertions in the never claim) */\n")
+		for _, inv := range m.Opts.Invariants {
+			fmt.Fprintf(&b, "/* %s: %s */\nltl %s { [] safe_%s }\n",
+				inv.ID, inv.Description, sanitize(inv.ID), sanitize(inv.ID))
+		}
+	}
+	return b.String()
+}
+
+func emitSequential(b *strings.Builder, m *model.Model) {
+	fmt.Fprintf(b, "active proctype SmartThings() {\n\tbyte eventCount = 0;\n")
+	fmt.Fprintf(b, "\tdo\n\t:: eventCount < MAX_EVENTS ->\n\t\tif\n")
+	for _, ev := range m.ExternalEvents() {
+		fmt.Fprintf(b, "\t\t:: true -> /* %s */ eventCount++\n", ev.Label)
+	}
+	fmt.Fprintf(b, "\t\tfi;\n\t\t/* dispatch pending events to subscribed apps until quiescent */\n")
+	fmt.Fprintf(b, "\t:: else -> break\n\tod\n}\n")
+}
+
+func emitConcurrent(b *strings.Builder, m *model.Model) {
+	fmt.Fprintf(b, "chan events = [8] of { byte, byte };\n")
+	for _, d := range m.Devices {
+		fmt.Fprintf(b, "active proctype Dev_%s() { do :: events ? _, _ -> skip od }\n", sanitize(d.ID))
+	}
+	for _, a := range m.Apps {
+		fmt.Fprintf(b, "active proctype App_%s() { do :: events ? _, _ -> skip od }\n",
+			sanitize(a.App.Name))
+	}
+	fmt.Fprintf(b, "active proctype EventGen() {\n\tbyte eventCount = 0;\n\tdo\n")
+	fmt.Fprintf(b, "\t:: eventCount < MAX_EVENTS -> events ! 0, 0; eventCount++\n")
+	fmt.Fprintf(b, "\t:: else -> break\n\tod\n}\n")
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "x" + out
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

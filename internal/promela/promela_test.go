@@ -1,0 +1,77 @@
+package promela
+
+import (
+	"strings"
+	"testing"
+
+	"iotsan/internal/config"
+	"iotsan/internal/corpus"
+	"iotsan/internal/ir"
+	"iotsan/internal/model"
+	"iotsan/internal/smartapp"
+)
+
+func buildModel(t *testing.T, design model.Design) *model.Model {
+	t.Helper()
+	app, err := smartapp.Translate(corpus.MustSource("Unlock Door"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &config.System{
+		Name: "emit-home", Modes: []string{"Home", "Away"}, Mode: "Home",
+		Devices: []config.Device{
+			{ID: "lock1", Label: "Lock", Model: "Smart Lock"},
+			{ID: "pres1", Label: "Pres", Model: "Presence Sensor"},
+		},
+		Apps: []config.AppInstance{{App: "Unlock Door", Bindings: map[string]config.Binding{
+			"lock1": {DeviceIDs: []string{"lock1"}},
+		}}},
+	}
+	m, err := model.New(cfg, map[string]*ir.App{"Unlock Door": app},
+		model.Options{MaxEvents: 2, Design: design})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEmitSequential(t *testing.T) {
+	out := Emit(buildModel(t, model.Sequential))
+	for _, want := range []string{
+		"active proctype SmartThings()",
+		"#define MAX_EVENTS 2",
+		"byte lock1_lock",
+		"#define LOCK1_LOCK_UNLOCKED 1",
+		"lock1_subNotifiers",
+		"inline Unlock_Door_appTouch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in emitted Promela:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitConcurrent(t *testing.T) {
+	out := Emit(buildModel(t, model.Concurrent))
+	for _, want := range []string{
+		"chan events", "proctype Dev_lock1()", "proctype App_Unlock_Door()",
+		"proctype EventGen()",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in emitted Promela", want)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	tests := map[string]string{
+		"Let There Be Dark!": "Let_There_Be_Dark_",
+		"9lives":             "x9lives",
+		"ok_name":            "ok_name",
+	}
+	for in, want := range tests {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package iotsan is a from-scratch Go implementation of IotSan
+// (Nguyen et al., CoNEXT 2018): a model-checking-based sanitizer that
+// finds unsafe physical and cyber states in smart-home IoT systems.
+//
+// The pipeline mirrors the paper's architecture (Fig. 3):
+//
+//	sources ──Translator──▶ ir.App ──App Dependency Analyzer──▶ related sets
+//	   │                                             │
+//	configuration ──────────Model Generator──────────┤
+//	   │                                             ▼
+//	safety properties ───────────────────▶ Model Checker ──▶ Output Analyzer
+//
+// Analyze runs the full pipeline; the sub-packages under internal/
+// expose each stage (groovy parsing, type inference, dependency
+// analysis, model generation, the explicit-state checker, the property
+// catalog, violation attribution, Promela emission, and the IFTTT
+// front-end).
+package iotsan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iotsan/internal/attribution"
+	"iotsan/internal/checker"
+	"iotsan/internal/config"
+	"iotsan/internal/depgraph"
+	"iotsan/internal/ir"
+	"iotsan/internal/model"
+	"iotsan/internal/props"
+	"iotsan/internal/smartapp"
+)
+
+// Re-exported types forming the public API surface.
+type (
+	// System is a deployment configuration (devices, apps, bindings).
+	System = config.System
+	// Device is one installed device.
+	Device = config.Device
+	// AppInstance is one installed app with its bindings.
+	AppInstance = config.AppInstance
+	// Binding is one configured input value.
+	Binding = config.Binding
+	// Violation is a detected property violation with its trail.
+	Violation = checker.Found
+	// AttributionReport is the Output Analyzer's verdict for an app.
+	AttributionReport = attribution.Report
+)
+
+// Design selects the model's concurrency design (§8).
+type Design = model.Design
+
+// Designs.
+const (
+	Sequential = model.Sequential
+	Concurrent = model.Concurrent
+)
+
+// Options configure an analysis run.
+type Options struct {
+	// MaxEvents is the number of external events the checker injects
+	// (default 3).
+	MaxEvents int
+	// Design selects sequential (default) or concurrent modeling.
+	Design Design
+	// Failures enumerates device/communication failures.
+	Failures bool
+	// Properties selects property ids to verify (nil = the full
+	// 45-property catalog).
+	Properties []string
+	// Thresholds parameterise numeric properties.
+	Thresholds props.Thresholds
+	// NoDepGraph disables related-set decomposition (ablation; the
+	// whole system is checked as one group).
+	NoDepGraph bool
+	// Store selects the visited-state store (Exhaustive default).
+	Bitstate bool
+	// MaxStatesPerSet caps exploration per related set (0 = 1e6).
+	MaxStatesPerSet int
+	// Deadline caps wall-clock time per related set.
+	Deadline time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 3
+	}
+	if o.MaxStatesPerSet <= 0 {
+		o.MaxStatesPerSet = 1_000_000
+	}
+	if o.Thresholds == (props.Thresholds{}) {
+		o.Thresholds = props.DefaultThresholds()
+	}
+	return o
+}
+
+// GroupResult is the verification result of one related set.
+type GroupResult struct {
+	Apps           []string
+	Handlers       int
+	Result         *checker.Result
+	InvariantCount int
+}
+
+// Report is the outcome of a full analysis.
+type Report struct {
+	// Violations are the distinct violations across all related sets.
+	Violations []Violation
+	// Groups holds per-related-set results.
+	Groups []GroupResult
+	// Scale summarises the dependency-analysis reduction (Table 7a).
+	Scale depgraph.ScaleStats
+	// Apps maps app names to their translations (for reuse).
+	Apps map[string]*ir.App
+	// Elapsed is total verification time.
+	Elapsed time.Duration
+}
+
+// ViolatedProperties returns the distinct violated property ids.
+func (r *Report) ViolatedProperties() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range r.Violations {
+		if !seen[v.Property] {
+			seen[v.Property] = true
+			out = append(out, v.Property)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Translate parses and translates one smart app from Groovy source.
+func Translate(source string) (*ir.App, error) { return smartapp.Translate(source) }
+
+// Analyze verifies a configured system. sources maps app names (as they
+// appear in sys.Apps) to their Groovy sources.
+func Analyze(sys *System, sources map[string]string, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+
+	apps := map[string]*ir.App{}
+	for name, src := range sources {
+		app, err := smartapp.Translate(src)
+		if err != nil {
+			return nil, fmt.Errorf("iotsan: translating %q: %w", name, err)
+		}
+		apps[name] = app
+	}
+	for _, inst := range sys.Apps {
+		if apps[inst.App] == nil {
+			return nil, fmt.Errorf("iotsan: no source for installed app %q", inst.App)
+		}
+	}
+	return analyzeTranslated(sys, apps, opts)
+}
+
+// AnalyzeTranslated verifies a system whose apps are already translated.
+func AnalyzeTranslated(sys *System, apps map[string]*ir.App, opts Options) (*Report, error) {
+	return analyzeTranslated(sys, apps, opts.withDefaults())
+}
+
+func analyzeTranslated(sys *System, apps map[string]*ir.App, opts Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Apps: apps}
+
+	// App Dependency Analyzer (§5): group installed apps into related
+	// sets via their handlers' input/output events.
+	var handlers []smartapp.HandlerInfo
+	handlerApp := map[int]string{} // handler index → installed app name
+	for _, inst := range sys.Apps {
+		for _, hi := range smartapp.AnalyzeHandlers(apps[inst.App]) {
+			handlerApp[len(handlers)] = inst.App
+			handlers = append(handlers, hi)
+		}
+	}
+	rep.Scale = depgraph.Scale(handlers)
+
+	groups := relatedAppGroups(sys, handlers, handlerApp, opts.NoDepGraph)
+
+	seen := map[string]bool{}
+	for _, groupApps := range groups {
+		sub := subSystem(sys, groupApps)
+		gr, err := verifyGroup(sub, apps, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Groups = append(rep.Groups, *gr)
+		for _, f := range gr.Result.Violations {
+			if f.Property == model.PropExecError {
+				continue
+			}
+			key := f.Property + "\x00" + f.Detail
+			if !seen[key] {
+				seen[key] = true
+				rep.Violations = append(rep.Violations, f)
+			}
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// relatedAppGroups converts handler-level related sets into groups of
+// installed app names.
+func relatedAppGroups(sys *System, handlers []smartapp.HandlerInfo, handlerApp map[int]string, noDepGraph bool) [][]string {
+	if noDepGraph {
+		var all []string
+		for _, inst := range sys.Apps {
+			all = append(all, inst.App)
+		}
+		return [][]string{dedupe(all)}
+	}
+	g := depgraph.Build(handlers)
+	// Map each graph vertex back to installed app names by matching the
+	// handler infos.
+	idxOf := map[string]int{}
+	for i, h := range handlers {
+		idxOf[fmt.Sprintf("%s/%s/%p", h.App.Name, h.Handler, h.App)] = i
+	}
+	var groups [][]string
+	seenGroups := map[string]bool{}
+	for _, rs := range g.FinalSets() {
+		var names []string
+		for _, hi := range g.Handlers(rs) {
+			key := fmt.Sprintf("%s/%s/%p", hi.App.Name, hi.Handler, hi.App)
+			if i, ok := idxOf[key]; ok {
+				names = append(names, handlerApp[i])
+			}
+		}
+		names = dedupe(names)
+		k := fmt.Sprint(names)
+		if !seenGroups[k] && len(names) > 0 {
+			seenGroups[k] = true
+			groups = append(groups, names)
+		}
+	}
+	return groups
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subSystem restricts a configuration to the given apps, keeping every
+// device (associations drive property compilation).
+func subSystem(sys *System, appNames []string) *System {
+	want := map[string]bool{}
+	for _, n := range appNames {
+		want[n] = true
+	}
+	sub := &System{
+		Name: sys.Name, Modes: sys.Modes, Mode: sys.Mode,
+		Devices: sys.Devices, Phones: sys.Phones,
+	}
+	for _, inst := range sys.Apps {
+		if want[inst.App] {
+			sub.Apps = append(sub.Apps, inst)
+		}
+	}
+	return sub
+}
+
+func verifyGroup(sub *System, apps map[string]*ir.App, opts Options) (*GroupResult, error) {
+	invs, err := props.CompileInvariants(sub, filterPhysical(opts.Properties), opts.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	sel := propertySelection(opts.Properties)
+
+	m, err := model.New(sub, apps, model.Options{
+		Design:          opts.Design,
+		MaxEvents:       opts.MaxEvents,
+		Failures:        opts.Failures,
+		CheckConflicts:  sel[model.PropConflicting] || sel[model.PropRepeated],
+		CheckLeakage:    sel[model.PropLeakNetwork],
+		CheckRobustness: opts.Failures && sel[model.PropRobustness],
+		Invariants:      invs,
+		RelevantAttrs:   relevantAttrs(sub, apps),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	copts := checker.Options{
+		MaxDepth:  opts.MaxEvents + 64,
+		MaxStates: opts.MaxStatesPerSet,
+		Deadline:  opts.Deadline,
+	}
+	if opts.Bitstate {
+		copts.Store = checker.Bitstate
+	}
+	res := checker.Run(m.System(), copts)
+
+	var names []string
+	handlers := 0
+	for _, inst := range sub.Apps {
+		names = append(names, inst.App)
+		handlers += len(apps[inst.App].HandlerNames())
+	}
+	return &GroupResult{Apps: names, Handlers: handlers, Result: res, InvariantCount: len(invs)}, nil
+}
+
+// propertySelection returns a predicate set over property ids; a nil
+// selection enables everything.
+func propertySelection(ids []string) map[string]bool {
+	sel := map[string]bool{}
+	if ids == nil {
+		for _, id := range props.IDs() {
+			sel[id] = true
+		}
+		return sel
+	}
+	for _, id := range ids {
+		sel[id] = true
+	}
+	return sel
+}
+
+func filterPhysical(ids []string) []string {
+	if ids == nil {
+		return nil
+	}
+	var out []string
+	for _, id := range ids {
+		if p, ok := props.ByID(id); ok && p.Kind == props.Physical {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// relevantAttrs computes the sensor attributes worth generating events
+// for: those the installed apps subscribe to or read, plus those the
+// applicable properties observe.
+func relevantAttrs(sys *System, apps map[string]*ir.App) map[string]bool {
+	attrs := map[string]bool{}
+	for _, inst := range sys.Apps {
+		app := apps[inst.App]
+		if app == nil {
+			continue
+		}
+		for _, hi := range smartapp.AnalyzeHandlers(app) {
+			for _, in := range hi.Inputs {
+				attrs[in.Attr] = true
+			}
+		}
+	}
+	// Properties observe presence/smoke/co/water/motion/etc.; include
+	// the sensed attributes of the devices that applicable properties
+	// reference, so missing-response violations remain reachable.
+	for _, p := range props.Catalog() {
+		if p.Kind != props.Physical || !p.Applicable(sys) {
+			continue
+		}
+		for _, capName := range p.Capabilities {
+			addSensedAttrs(attrs, capName)
+		}
+	}
+	// anyone_home guards most properties: presence must vary if present.
+	attrs["presence"] = true
+	return attrs
+}
+
+func addSensedAttrs(attrs map[string]bool, capName string) {
+	c := deviceCap(capName)
+	if c == nil || !c.Sensor {
+		return
+	}
+	for _, a := range c.Attributes {
+		attrs[a.Name] = true
+	}
+}
+
+// Attribute runs the Output Analyzer for a newly installed app (§9).
+func Attribute(sys *System, newAppSource string, installedSources map[string]string, opts attribution.Options) (*AttributionReport, error) {
+	newApp, err := smartapp.Translate(newAppSource)
+	if err != nil {
+		return nil, err
+	}
+	apps := map[string]*ir.App{newApp.Name: newApp}
+	for name, src := range installedSources {
+		a, err := smartapp.Translate(src)
+		if err != nil {
+			return nil, fmt.Errorf("iotsan: translating %q: %w", name, err)
+		}
+		apps[name] = a
+	}
+	return attribution.AttributeNewApp(sys, newApp, apps, opts)
+}
