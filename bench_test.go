@@ -8,6 +8,7 @@ package iotsan_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"iotsan/internal/experiments"
 	"iotsan/internal/ifttt"
 	"iotsan/internal/model"
+	"iotsan/internal/props"
 	"iotsan/internal/smartapp"
 )
 
@@ -316,6 +318,56 @@ func BenchmarkAblationBitstate(b *testing.B) {
 		results[false].StatesExplored, results[false].StatesStored, results[false].StatesMatched)
 	b.Logf("bitstate:   explored=%d stored=%d matched=%d",
 		results[true].StatesExplored, results[true].StatesStored, results[true].StatesMatched)
+}
+
+// BenchmarkParallelCheck measures the parallel frontier strategy's
+// scaling on the largest market group: the same bounded exploration
+// with 1 worker versus GOMAXPROCS workers (plus the sequential DFS as
+// the single-core baseline). The workload is capped by MaxStates so
+// every variant performs the same amount of expansion work.
+func BenchmarkParallelCheck(b *testing.B) {
+	largest := 1
+	for g := 2; g <= 6; g++ {
+		if len(corpus.Group(g)) > len(corpus.Group(largest)) {
+			largest = g
+		}
+	}
+	sources := corpus.Group(largest)
+	apps, err := experiments.TranslateAll(sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := experiments.ExpertConfig("parallel-bench", sources, apps)
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 3, CheckConflicts: true, Invariants: invs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const cap = 20000
+	run := func(strategy checker.StrategyKind, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			var res *checker.Result
+			for i := 0; i < b.N; i++ {
+				res = checker.Run(m.System(), checker.Options{
+					MaxDepth: 66, MaxStates: cap,
+					Strategy: strategy, Workers: workers,
+				})
+			}
+			b.ReportMetric(float64(res.StatesExplored)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+			b.ReportMetric(float64(res.StatesExplored), "states")
+		}
+	}
+	b.Run("dfs", run(checker.StrategyDFS, 0))
+	b.Run("workers=1", run(checker.StrategyParallel, 1))
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		b.Run(fmt.Sprintf("workers=%d", n), run(checker.StrategyParallel, 0))
+	}
 }
 
 func max(a, b int) int {

@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"iotsan"
 	"iotsan/internal/corpus"
 	"iotsan/internal/experiments"
 	"iotsan/internal/ifttt"
@@ -27,7 +28,16 @@ import (
 func main() {
 	table := flag.String("table", "all", "table to regenerate (5, 6, 7a, 7b, 8, 9, attribution, all)")
 	events := flag.Int("events", 2, "external events for Tables 5/6")
+	strategy := flag.String("strategy", "dfs", "checker search strategy: dfs (sequential) or parallel")
+	workers := flag.Int("workers", 0, "checker goroutines for -strategy parallel (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	strat, err := iotsan.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.SetEngine(strat, *workers)
 
 	run := func(name string, fn func() error) {
 		if *table != "all" && *table != name {

@@ -31,11 +31,17 @@ func main() {
 		failures   = flag.Bool("failures", false, "enumerate device/communication failures")
 		concurrent = flag.Bool("concurrent", false, "use the concurrent design instead of sequential")
 		trails     = flag.Bool("trails", true, "print counter-example trails")
+		strategy   = flag.String("strategy", "dfs", "checker search strategy: dfs (sequential) or parallel")
+		workers    = flag.Int("workers", 0, "checker goroutines for -strategy parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	strat, err := iotsan.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
 	}
 
 	sys, err := config.Load(*configPath)
@@ -51,7 +57,8 @@ func main() {
 		}
 	}
 
-	opts := iotsan.Options{MaxEvents: *events, Failures: *failures}
+	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
+		Strategy: strat, Workers: *workers}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

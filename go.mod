@@ -1,0 +1,3 @@
+module iotsan
+
+go 1.24

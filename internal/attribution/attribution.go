@@ -62,6 +62,12 @@ type Options struct {
 	Failures bool
 	// Thresholds parameterise the physical properties.
 	Thresholds props.Thresholds
+	// Strategy selects the checker search strategy for each
+	// verification run (sequential DFS default).
+	Strategy checker.StrategyKind
+	// Workers is the checker goroutine count for the parallel strategy
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -234,6 +240,7 @@ func verify(sys *config.System, instances []config.AppInstance, apps map[string]
 	}
 	res := checker.Run(m.System(), checker.Options{
 		MaxDepth: opts.MaxEvents + 4, MaxStates: 25000,
+		Strategy: opts.Strategy, Workers: opts.Workers,
 	})
 	ids := res.PropertyIDs()
 	// Execution errors are tooling diagnostics, not safety violations.

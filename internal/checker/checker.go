@@ -1,14 +1,29 @@
 // Package checker is the explicit-state safety model checker at the core
-// of IotSan — the stand-in for Spin (§2.3). It performs a depth-first
-// search over a transition system, de-duplicating visited states by a
+// of IotSan — the stand-in for Spin (§2.3). It explores a transition
+// system from its initial state, de-duplicating visited states by a
 // hash of their encoded state vector, and reports property violations
 // together with Spin-style counter-example trails (Fig. 7).
+//
+// The search is organised as an engine with pluggable strategies:
+//
+//   - StrategyDFS (default) is a single-goroutine iterative depth-first
+//     search, the direct analogue of Spin's sequential verifier. It
+//     threads the counter-example trail through the DFS stack, so trails
+//     follow the depth-first exploration order exactly.
+//   - StrategyParallel is a level-synchronous parallel breadth-first
+//     frontier search in the spirit of Holzmann's multi-core Spin:
+//     worker goroutines claim states from the current frontier, expand
+//     them concurrently, and deduplicate through a lock-striped sharded
+//     visited store. Counter-example trails are reconstructed from
+//     per-state parent links instead of a threaded trail slice.
 //
 // Two visited-state stores are provided, mirroring Spin's verification
 // modes: an exhaustive hash-compact store, and BITSTATE supertrace
 // hashing — an approximate store that keeps k hash bits per state in a
 // bit array, trading completeness for memory (§2.3; Holzmann's analysis
-// of bitstate hashing).
+// of bitstate hashing). Both come in a sequential flavour and a
+// concurrency-safe flavour (mutex-striped shards for the hash store,
+// atomic bit operations for the bit array) selected by the strategy.
 package checker
 
 import (
@@ -18,6 +33,10 @@ import (
 
 // State is an opaque system state that can append a deterministic
 // encoding of itself (its state vector) to a buffer.
+//
+// States handed to the checker must be immutable once returned from
+// System.Initial or a Transition: the parallel strategy encodes and
+// expands states from multiple goroutines without synchronisation.
 type State interface {
 	Encode(buf []byte) []byte
 }
@@ -40,6 +59,11 @@ type Transition struct {
 }
 
 // System is the transition system under verification.
+//
+// Expand and Inspect must be safe for concurrent calls on distinct
+// states: the parallel strategy invokes them from several goroutines at
+// once. Implementations must treat the receiver and the argument state
+// as read-only, cloning into fresh successor states.
 type System interface {
 	// Initial returns the initial state.
 	Initial() State
@@ -61,15 +85,54 @@ const (
 	Bitstate
 )
 
+// StrategyKind selects the search strategy.
+type StrategyKind int
+
+// Strategies.
+const (
+	// StrategyDFS is the sequential iterative depth-first search
+	// (default). Trails and exploration order are deterministic.
+	StrategyDFS StrategyKind = iota
+	// StrategyParallel is the parallel breadth-first frontier search:
+	// Options.Workers goroutines expand the frontier concurrently over a
+	// sharded visited store. The distinct-violation set matches
+	// StrategyDFS on a fully explored state space; trails are
+	// reconstructed from parent links and may differ between runs.
+	StrategyParallel
+)
+
+func (k StrategyKind) String() string {
+	if k == StrategyParallel {
+		return "parallel"
+	}
+	return "dfs"
+}
+
+// ParseStrategy maps a command-line strategy name to its kind.
+func ParseStrategy(name string) (StrategyKind, error) {
+	switch name {
+	case "", "dfs", "sequential":
+		return StrategyDFS, nil
+	case "parallel", "bfs", "frontier":
+		return StrategyParallel, nil
+	}
+	return StrategyDFS, fmt.Errorf("checker: unknown strategy %q (want dfs or parallel)", name)
+}
+
 // Options configure a verification run.
 type Options struct {
 	Store StoreKind
+	// Strategy selects the search strategy (StrategyDFS default).
+	Strategy StrategyKind
+	// Workers is the number of expansion goroutines for
+	// StrategyParallel (0 = GOMAXPROCS). Ignored by StrategyDFS.
+	Workers int
 	// BitstateBits is log2 of the bit-array size for Bitstate (default
 	// 26 → 64 Mbit = 8 MB).
 	BitstateBits uint
 	// BitstateK is the number of hash functions (default 3).
 	BitstateK int
-	// MaxDepth bounds the DFS depth in transitions (default 64).
+	// MaxDepth bounds the search depth in transitions (default 64).
 	MaxDepth int
 	// MaxStates bounds the number of states explored (0 = unlimited).
 	MaxStates int
@@ -130,203 +193,20 @@ func (r *Result) PropertyIDs() []string {
 	return out
 }
 
-// store is the visited-state set abstraction.
-type store interface {
-	// seen inserts the state hash, reporting whether it was already
-	// present.
-	seen(h uint64) bool
-	// size returns the number of stored entries (approximate for
-	// bitstate).
-	size() int
-}
-
-type hashStore struct{ m map[uint64]struct{} }
-
-func (s *hashStore) seen(h uint64) bool {
-	if _, ok := s.m[h]; ok {
-		return true
-	}
-	s.m[h] = struct{}{}
-	return false
-}
-
-func (s *hashStore) size() int { return len(s.m) }
-
-// bitStore is Spin's BITSTATE: k hash probes into a 2^bits bit array.
-type bitStore struct {
-	bits  []uint64
-	mask  uint64
-	k     int
-	count int
-}
-
-func newBitStore(logBits uint, k int) *bitStore {
-	if logBits == 0 {
-		logBits = 26
-	}
-	if logBits < 10 {
-		logBits = 10
-	}
-	if k <= 0 {
-		k = 3
-	}
-	n := uint64(1) << logBits
-	return &bitStore{bits: make([]uint64, n/64), mask: n - 1, k: k}
-}
-
-func (s *bitStore) seen(h uint64) bool {
-	all := true
-	x := h
-	for i := 0; i < s.k; i++ {
-		// SplitMix64 step derives independent probe positions.
-		x += 0x9e3779b97f4a7c15
-		z := x
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		z ^= z >> 31
-		pos := z & s.mask
-		w, b := pos/64, pos%64
-		if s.bits[w]&(1<<b) == 0 {
-			all = false
-			s.bits[w] |= 1 << b
-		}
-	}
-	if !all {
-		s.count++
-	}
-	return all
-}
-
-func (s *bitStore) size() int { return s.count }
-
-type nopStore struct{ count int }
-
-func (s *nopStore) seen(uint64) bool { s.count++; return false }
-func (s *nopStore) size() int        { return s.count }
-
-// fnv1a hashes a state vector.
-func fnv1a(data []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, b := range data {
-		h ^= uint64(b)
-		h *= prime
-	}
-	return h
-}
-
-// Run verifies the system, exploring depth-first from the initial state.
+// Run verifies the system with the strategy selected in opts.
 func Run(sys System, opts Options) *Result {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = 64
 	}
-	var st store
-	switch {
-	case opts.NoDedup:
-		st = &nopStore{}
-	case opts.Store == Bitstate:
-		st = newBitStore(opts.BitstateBits, opts.BitstateK)
-	default:
-		st = &hashStore{m: map[uint64]struct{}{}}
+	e := newEngine(sys, opts)
+	var s strategy
+	if opts.Strategy == StrategyParallel {
+		s = &parallelBFS{workers: opts.Workers}
+	} else {
+		s = &sequentialDFS{}
 	}
-
-	res := &Result{}
-	start := time.Now()
-	distinct := map[string]bool{}
-
-	record := func(v Violation, trail []TrailStep, depth int) {
-		key := v.Property + "\x00" + v.Detail
-		if distinct[key] {
-			return
-		}
-		distinct[key] = true
-		res.Violations = append(res.Violations, Found{
-			Violation: v,
-			Trail:     append([]TrailStep(nil), trail...),
-			Depth:     depth,
-		})
-	}
-
-	limitHit := func() bool {
-		if opts.MaxStates > 0 && res.StatesExplored >= opts.MaxStates {
-			return true
-		}
-		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
-			return true
-		}
-		if opts.MaxViolations > 0 && len(res.Violations) >= opts.MaxViolations {
-			return true
-		}
-		return false
-	}
-
-	// Iterative DFS.
-	type frame struct {
-		state State
-		succs []Transition
-		next  int
-	}
-	var trail []TrailStep
-	buf := make([]byte, 0, 512)
-
-	init := sys.Initial()
-	buf = init.Encode(buf[:0])
-	st.seen(fnv1a(buf))
-	res.StatesExplored++
-	for _, v := range sys.Inspect(init) {
-		record(v, nil, 0)
-	}
-
-	stack := []frame{{state: init}}
-	stack[0].succs = sys.Expand(init)
-
-	for len(stack) > 0 {
-		if limitHit() {
-			res.Truncated = true
-			break
-		}
-		top := &stack[len(stack)-1]
-		if top.next >= len(top.succs) || len(stack) > opts.MaxDepth {
-			if len(stack) > opts.MaxDepth {
-				res.Truncated = true
-			}
-			stack = stack[:len(stack)-1]
-			if len(trail) > 0 {
-				trail = trail[:len(trail)-1]
-			}
-			continue
-		}
-		tr := top.succs[top.next]
-		top.next++
-
-		depth := len(stack)
-		trail = append(trail, TrailStep{Label: tr.Label, Steps: tr.Steps})
-		if depth > res.MaxDepthReached {
-			res.MaxDepthReached = depth
-		}
-		for _, v := range tr.Violations {
-			record(v, trail, depth)
-		}
-		for _, v := range sys.Inspect(tr.Next) {
-			record(v, trail, depth)
-		}
-
-		buf = tr.Next.Encode(buf[:0])
-		if st.seen(fnv1a(buf)) {
-			res.StatesMatched++
-			trail = trail[:len(trail)-1]
-			continue
-		}
-		res.StatesExplored++
-		stack = append(stack, frame{state: tr.Next, succs: sys.Expand(tr.Next)})
-	}
-
-	res.StatesStored = st.size()
-	res.Elapsed = time.Since(start)
-	return res
+	s.search(e)
+	return e.finish()
 }
 
 // FormatTrail renders a counter-example trail in the style of the

@@ -7,11 +7,14 @@ import (
 )
 
 // chainState is a toy system: a counter that can be incremented or
-// doubled up to a bound; states with value == bad violate.
+// doubled up to a bound; states with value == bad violate. depth is
+// part of the state vector because Expand's behavior depends on it —
+// omitting it would alias states that expand differently, and the two
+// strategies would then legitimately explore different state counts.
 type chainState struct{ v, depth int }
 
 func (s *chainState) Encode(buf []byte) []byte {
-	return append(buf, byte(s.v), byte(s.v>>8))
+	return append(buf, byte(s.v), byte(s.v>>8), byte(s.depth))
 }
 
 type chainSys struct {
@@ -97,30 +100,36 @@ func TestMaxViolationsStopsEarly(t *testing.T) {
 // claims an unseen state was seen before any insertions collide
 // (property: first insert of any hash returns false).
 func TestBitstoreNeverFalseNegativeOnFirstInsert(t *testing.T) {
-	f := func(h uint64) bool {
+	f := func(h1, h2 uint64) bool {
 		s := newBitStore(16, 3)
-		return !s.seen(h) && s.seen(h)
+		d := digest{h1, h2}
+		return !s.seen(d) && s.seen(d)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
 }
 
-// TestHashStoreExact: the exhaustive store is exact over hashes.
+// TestHashStoreExact: the exhaustive stores are exact over hashes.
 func TestHashStoreExact(t *testing.T) {
-	f := func(hs []uint64) bool {
-		s := &hashStore{m: map[uint64]struct{}{}}
-		seen := map[uint64]bool{}
-		for _, h := range hs {
-			if s.seen(h) != seen[h] {
-				return false
+	for name, mk := range map[string]func() store{
+		"hashStore":        func() store { return &hashStore{m: map[uint64]struct{}{}} },
+		"shardedHashStore": func() store { return newShardedHashStore() },
+	} {
+		f := func(hs []uint64) bool {
+			s := mk()
+			seen := map[uint64]bool{}
+			for _, h := range hs {
+				if s.seen(digest{h1: h, h2: h * 3}) != seen[h] {
+					return false
+				}
+				seen[h] = true
 			}
-			seen[h] = true
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
 	}
 }
 

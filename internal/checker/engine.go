@@ -1,0 +1,151 @@
+package checker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// strategy is a search algorithm over the engine's shared machinery
+// (visited store, hashing, limits, violation recording).
+type strategy interface {
+	search(e *engine)
+}
+
+// engine holds the state shared by all strategies of one verification
+// run. Counters are atomic and violation recording is mutex-guarded so
+// the same engine serves both the sequential and the parallel strategy.
+type engine struct {
+	sys   System
+	opts  Options
+	st    store
+	start time.Time
+
+	// needH2 is set when the store derives probes from the second hash
+	// (bitstate); the exhaustive stores key on h1 alone, so the second
+	// hashing pass is skipped on their per-state hot path.
+	needH2 bool
+
+	// bufs pools the state-vector encode buffers; workers check one out
+	// per expansion batch instead of allocating per state.
+	bufs sync.Pool
+
+	explored  atomic.Int64
+	matched   atomic.Int64
+	maxDepth  atomic.Int64
+	violCount atomic.Int64
+	truncated atomic.Bool
+
+	mu       sync.Mutex // guards violations + distinct
+	distinct map[string]bool
+	found    []Found
+}
+
+func newEngine(sys System, opts Options) *engine {
+	return &engine{
+		sys:    sys,
+		opts:   opts,
+		st:     newStore(opts, opts.Strategy == StrategyParallel),
+		start:  time.Now(),
+		needH2: opts.Store == Bitstate && !opts.NoDedup,
+		bufs: sync.Pool{New: func() any {
+			b := make([]byte, 0, 512)
+			return &b
+		}},
+		distinct: map[string]bool{},
+	}
+}
+
+// digest encodes s into buf (reusing its capacity) and returns the
+// fingerprint plus the grown buffer. h2 is only computed when the
+// store probes with it.
+func (e *engine) digest(s State, buf []byte) (digest, []byte) {
+	buf = s.Encode(buf[:0])
+	d := digest{h1: fnv1a(buf)}
+	if e.needH2 {
+		d.h2 = hash2(buf)
+	}
+	return d, buf
+}
+
+func (e *engine) getBuf() *[]byte  { return e.bufs.Get().(*[]byte) }
+func (e *engine) putBuf(b *[]byte) { e.bufs.Put(b) }
+
+// record registers a violation if its (property, detail) pair is new,
+// reporting whether it was recorded. The trail is copied. The
+// MaxViolations cap is enforced here, under the lock, so concurrent
+// workers can never overshoot it between their own limit checks.
+func (e *engine) record(v Violation, trail []TrailStep, depth int) bool {
+	key := v.Property + "\x00" + v.Detail
+	e.mu.Lock()
+	if e.distinct[key] ||
+		(e.opts.MaxViolations > 0 && len(e.found) >= e.opts.MaxViolations) {
+		e.mu.Unlock()
+		return false
+	}
+	e.distinct[key] = true
+	e.found = append(e.found, Found{
+		Violation: v,
+		Trail:     append([]TrailStep(nil), trail...),
+		Depth:     depth,
+	})
+	e.mu.Unlock()
+	e.violCount.Add(1)
+	return true
+}
+
+// limitHit reports whether a search limit has been reached. Strategies
+// must consult it after every recorded violation and explored state —
+// not only per iteration — so MaxViolations and Deadline cannot be
+// overshot by a whole expansion.
+func (e *engine) limitHit() bool {
+	if e.opts.MaxStates > 0 && int(e.explored.Load()) >= e.opts.MaxStates {
+		return true
+	}
+	if e.opts.Deadline > 0 && time.Since(e.start) > e.opts.Deadline {
+		return true
+	}
+	if e.opts.MaxViolations > 0 && int(e.violCount.Load()) >= e.opts.MaxViolations {
+		return true
+	}
+	return false
+}
+
+// noteDepth raises MaxDepthReached to d.
+func (e *engine) noteDepth(d int) {
+	for {
+		cur := e.maxDepth.Load()
+		if int64(d) <= cur || e.maxDepth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// visitInitial stores and inspects the initial state, returning it with
+// its digest.
+func (e *engine) visitInitial() (State, digest) {
+	init := e.sys.Initial()
+	buf := e.getBuf()
+	d, b := e.digest(init, *buf)
+	*buf = b
+	e.putBuf(buf)
+	e.st.seen(d)
+	e.explored.Add(1)
+	for _, v := range e.sys.Inspect(init) {
+		e.record(v, nil, 0)
+	}
+	return init, d
+}
+
+// finish assembles the Result.
+func (e *engine) finish() *Result {
+	return &Result{
+		Violations:      e.found,
+		StatesExplored:  int(e.explored.Load()),
+		StatesMatched:   int(e.matched.Load()),
+		StatesStored:    e.st.size(),
+		MaxDepthReached: int(e.maxDepth.Load()),
+		Truncated:       e.truncated.Load(),
+		Elapsed:         time.Since(e.start),
+	}
+}

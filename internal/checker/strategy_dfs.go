@@ -1,0 +1,81 @@
+package checker
+
+// sequentialDFS is the default strategy: a single-goroutine iterative
+// depth-first search that threads the counter-example trail through the
+// DFS stack. Exploration order, trails, and table outputs are fully
+// deterministic given the system's Expand order.
+type sequentialDFS struct{}
+
+func (sequentialDFS) search(e *engine) {
+	init, _ := e.visitInitial()
+	if e.limitHit() {
+		e.truncated.Store(true)
+		return
+	}
+
+	type frame struct {
+		state State
+		succs []Transition
+		next  int
+	}
+	var trail []TrailStep
+	bufp := e.getBuf()
+	defer e.putBuf(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf }()
+
+	stack := []frame{{state: init, succs: e.sys.Expand(init)}}
+
+	for len(stack) > 0 {
+		if e.limitHit() {
+			e.truncated.Store(true)
+			break
+		}
+		top := &stack[len(stack)-1]
+		if top.next >= len(top.succs) || len(stack) > e.opts.MaxDepth {
+			if len(stack) > e.opts.MaxDepth {
+				e.truncated.Store(true)
+			}
+			stack = stack[:len(stack)-1]
+			if len(trail) > 0 {
+				trail = trail[:len(trail)-1]
+			}
+			continue
+		}
+		tr := top.succs[top.next]
+		top.next++
+
+		depth := len(stack)
+		trail = append(trail, TrailStep{Label: tr.Label, Steps: tr.Steps})
+		e.noteDepth(depth)
+		hit := false
+		for _, v := range tr.Violations {
+			if e.record(v, trail, depth) && e.limitHit() {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			for _, v := range e.sys.Inspect(tr.Next) {
+				if e.record(v, trail, depth) && e.limitHit() {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			e.truncated.Store(true)
+			break
+		}
+
+		var d digest
+		d, buf = e.digest(tr.Next, buf)
+		if e.st.seen(d) {
+			e.matched.Add(1)
+			trail = trail[:len(trail)-1]
+			continue
+		}
+		e.explored.Add(1)
+		stack = append(stack, frame{state: tr.Next, succs: e.sys.Expand(tr.Next)})
+	}
+}

@@ -1,0 +1,201 @@
+package checker
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelBFS is the parallel frontier strategy: a level-synchronous
+// breadth-first search in the spirit of Holzmann's multi-core Spin.
+// Each level, workers claim frontier states through an atomic cursor
+// (dynamic load balancing — no per-worker partition can go idle while
+// others still hold work), expand them concurrently via System.Expand,
+// and deduplicate successors through the sharded visited store. The
+// per-worker next-frontier slices are merged between levels, which
+// doubles as the termination barrier.
+//
+// Trails cannot be threaded through a stack here, so every newly stored
+// state records a parent link (state hash → parent hash + transition
+// label/steps); on a violation the trail is reconstructed by walking
+// the links back to the root. The distinct-violation set matches
+// sequential DFS whenever the search is not truncated; the trail
+// witnessing a violation is whichever path reached it first.
+type parallelBFS struct {
+	workers int
+}
+
+// frontierEntry is one state awaiting expansion, with its fingerprint
+// (the key of its parent link).
+type frontierEntry struct {
+	state State
+	d     digest
+}
+
+// parentEdge is the incoming BFS-tree edge of a stored state.
+type parentEdge struct {
+	parent uint64 // h1 of the predecessor state (rootHash for the root)
+	label  string
+	steps  []string
+}
+
+// parentShards stripes the parent-link table; writes happen once per
+// stored state, reads only during trail reconstruction.
+const parentShards = 64
+
+type parentStore struct {
+	root   uint64
+	shards [parentShards]struct {
+		mu sync.Mutex
+		m  map[uint64]parentEdge
+	}
+}
+
+func newParentStore(root uint64) *parentStore {
+	p := &parentStore{root: root}
+	for i := range p.shards {
+		p.shards[i].m = make(map[uint64]parentEdge)
+	}
+	return p
+}
+
+func (p *parentStore) put(h uint64, edge parentEdge) {
+	sh := &p.shards[h>>58&(parentShards-1)]
+	sh.mu.Lock()
+	if _, ok := sh.m[h]; !ok { // first writer wins: keep the BFS tree acyclic
+		sh.m[h] = edge
+	}
+	sh.mu.Unlock()
+}
+
+func (p *parentStore) get(h uint64) (parentEdge, bool) {
+	sh := &p.shards[h>>58&(parentShards-1)]
+	sh.mu.Lock()
+	e, ok := sh.m[h]
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// trailTo reconstructs the trail from the root to the state with hash h
+// by walking parent links. maxLen bounds the walk against hash-collision
+// cycles.
+func (p *parentStore) trailTo(h uint64, maxLen int) []TrailStep {
+	var rev []TrailStep
+	for h != p.root && len(rev) <= maxLen {
+		e, ok := p.get(h)
+		if !ok {
+			break
+		}
+		rev = append(rev, TrailStep{Label: e.label, Steps: e.steps})
+		h = e.parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (s *parallelBFS) search(e *engine) {
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	init, d0 := e.visitInitial()
+	if e.limitHit() {
+		e.truncated.Store(true)
+		return
+	}
+	parents := newParentStore(d0.h1)
+
+	frontier := []frontierEntry{{state: init, d: d0}}
+	for depth := 1; len(frontier) > 0; depth++ {
+		if depth > e.opts.MaxDepth {
+			// States at MaxDepth exist but may not be expanded — the
+			// same truncation point as the DFS depth bound.
+			e.truncated.Store(true)
+			break
+		}
+		next := make([][]frontierEntry, workers)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				bufp := e.getBuf()
+				defer e.putBuf(bufp)
+				buf := *bufp
+				defer func() { *bufp = buf }()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(frontier) {
+						return
+					}
+					if e.limitHit() {
+						e.truncated.Store(true)
+						return
+					}
+					ent := frontier[i]
+					buf = s.expand(e, parents, ent, depth, &next[w], buf)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if e.truncated.Load() {
+			break
+		}
+		frontier = frontier[:0]
+		for _, part := range next {
+			frontier = append(frontier, part...)
+		}
+	}
+}
+
+// expand processes one frontier state: records transition and state
+// violations for every successor, deduplicates through the visited
+// store, links new states to their parent, and appends them to the
+// worker's next-frontier slice.
+func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry, depth int, out *[]frontierEntry, buf []byte) []byte {
+	var prefix []TrailStep // parent trail, reconstructed lazily
+	havePrefix := false
+	record := func(v Violation, tr Transition) bool {
+		if !havePrefix {
+			prefix = parents.trailTo(ent.d.h1, e.opts.MaxDepth)
+			havePrefix = true
+		}
+		trail := append(append([]TrailStep(nil), prefix...), TrailStep{Label: tr.Label, Steps: tr.Steps})
+		return e.record(v, trail, depth)
+	}
+
+	for _, tr := range e.sys.Expand(ent.state) {
+		e.noteDepth(depth)
+		for _, v := range tr.Violations {
+			if record(v, tr) && e.limitHit() {
+				e.truncated.Store(true)
+				return buf
+			}
+		}
+		for _, v := range e.sys.Inspect(tr.Next) {
+			if record(v, tr) && e.limitHit() {
+				e.truncated.Store(true)
+				return buf
+			}
+		}
+
+		var d digest
+		d, buf = e.digest(tr.Next, buf)
+		if e.st.seen(d) {
+			e.matched.Add(1)
+			continue
+		}
+		parents.put(d.h1, parentEdge{parent: ent.d.h1, label: tr.Label, steps: tr.Steps})
+		e.explored.Add(1)
+		*out = append(*out, frontierEntry{state: tr.Next, d: d})
+		if e.limitHit() {
+			e.truncated.Store(true)
+			return buf
+		}
+	}
+	return buf
+}

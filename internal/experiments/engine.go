@@ -1,0 +1,26 @@
+package experiments
+
+import "iotsan"
+
+// engineStrategy/engineWorkers route every table experiment through a
+// checker engine configuration; the bench CLI sets them from its
+// -strategy/-workers flags. The zero values select the sequential DFS,
+// which reproduces the paper's single-core Spin-style runs.
+var (
+	engineStrategy iotsan.Strategy
+	engineWorkers  int
+)
+
+// SetEngine selects the checker engine used by the Run* experiments
+// (workers 0 = GOMAXPROCS for the parallel strategy).
+func SetEngine(strategy iotsan.Strategy, workers int) {
+	engineStrategy = strategy
+	engineWorkers = workers
+}
+
+// engineOptions applies the configured engine to an analysis run.
+func engineOptions(o iotsan.Options) iotsan.Options {
+	o.Strategy = engineStrategy
+	o.Workers = engineWorkers
+	return o
+}

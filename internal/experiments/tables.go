@@ -81,10 +81,10 @@ func RunTable5(maxEvents int, groups []int) (*Table5Result, error) {
 		// repeat until clean (§10.1).
 		for iter := 0; iter < len(sources); iter++ {
 			sys := ExpertConfig(fmt.Sprintf("group-%d", g), remaining, apps)
-			rep, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{
+			rep, err := iotsan.AnalyzeTranslated(sys, apps, engineOptions(iotsan.Options{
 				MaxEvents: maxEvents, MaxStatesPerSet: 60000,
 				Deadline: 10 * time.Second,
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}
@@ -124,10 +124,10 @@ func RunTable5(maxEvents int, groups []int) (*Table5Result, error) {
 		// Failure run on the cleaned group: which additional properties
 		// appear only under device/communication failures?
 		sys := ExpertConfig(fmt.Sprintf("group-%d-failures", g), remaining, apps)
-		rep, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{
+		rep, err := iotsan.AnalyzeTranslated(sys, apps, engineOptions(iotsan.Options{
 			MaxEvents: maxEvents, Failures: true,
 			MaxStatesPerSet: 60000, Deadline: 10 * time.Second,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -222,10 +222,10 @@ func RunTable6(maxEvents int, volunteers int, groupLimit int) (*Table6Result, er
 			res.Configurations++
 			sys := VolunteerConfig(fmt.Sprintf("vol-g%d-v%d", gi, v), sources, apps,
 				int64(gi*100+v+1))
-			rep, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{
+			rep, err := iotsan.AnalyzeTranslated(sys, apps, engineOptions(iotsan.Options{
 				MaxEvents: maxEvents, MaxStatesPerSet: 40000,
 				Deadline: 8 * time.Second,
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}
@@ -327,10 +327,10 @@ func RunTable7b(maxEventsList []int, stateCap int) ([]Table7bRow, error) {
 		row := Table7bRow{Events: n}
 
 		for _, design := range []iotsan.Design{iotsan.Concurrent, iotsan.Sequential} {
-			rep, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{
+			rep, err := iotsan.AnalyzeTranslated(sys, apps, engineOptions(iotsan.Options{
 				MaxEvents: n, Design: design,
 				MaxStatesPerSet: stateCap, Deadline: 12 * time.Second,
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}
@@ -378,10 +378,10 @@ func RunTable8(events []int, stateCap int) ([]Table8Row, error) {
 	sys := ExpertConfig("table8", sources, apps)
 	var rows []Table8Row
 	for _, n := range events {
-		rep, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{
+		rep, err := iotsan.AnalyzeTranslated(sys, apps, engineOptions(iotsan.Options{
 			MaxEvents: n, NoDepGraph: true,
 			MaxStatesPerSet: stateCap, Deadline: 30 * time.Second,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -426,6 +426,7 @@ func RunAttribution(maxEvents int) ([]AttributionRow, error) {
 			apps := map[string]*ir.App{s.Name: app}
 			rep, err := attribution.AttributeNewApp(base, app, apps, attribution.Options{
 				MaxEvents: maxEvents, MaxConfigs: 12,
+				Strategy: engineStrategy, Workers: engineWorkers,
 			})
 			if err != nil {
 				return err

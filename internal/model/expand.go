@@ -8,6 +8,13 @@ import (
 )
 
 // System adapts the model to the checker's transition-system interface.
+//
+// The adapter satisfies the checker's concurrency contract: a Model is
+// immutable after New (subscriptions, the external event space, and the
+// device registry are all resolved at construction), and Expand/Inspect
+// mutate only executor-local data and fresh clones of the argument
+// state. The parallel checker strategy may therefore call Expand and
+// Inspect concurrently on distinct states.
 func (m *Model) System() checker.System { return sysAdapter{m} }
 
 type sysAdapter struct{ m *Model }

@@ -141,7 +141,10 @@ type resolvedSub struct {
 	Value   string // event value filter, "" = any
 }
 
-// Model is the generated system model.
+// Model is the generated system model. It is immutable once New
+// returns: verification reads it from many goroutines (the parallel
+// checker strategy), so any new field must be fully resolved during New
+// rather than filled in lazily.
 type Model struct {
 	Cfg     *config.System
 	Devices []*DevInst

@@ -46,7 +46,10 @@ type CmdRec struct {
 }
 
 // State is the full system state. It is a value in the model-checking
-// sense: cloned on branch, encoded for hashing.
+// sense: cloned on branch, encoded for hashing. Once a state has been
+// returned from Initial or inside a Transition it is never mutated
+// again — executors write only to the clone of the state they are
+// deriving — so states may be encoded and expanded concurrently.
 type State struct {
 	Time       int64
 	Mode       uint8

@@ -57,6 +57,23 @@ const (
 	Concurrent = model.Concurrent
 )
 
+// Strategy selects the checker's search strategy.
+type Strategy = checker.StrategyKind
+
+// Strategies.
+const (
+	// StrategyDFS is the sequential depth-first search (default):
+	// deterministic exploration order and trails.
+	StrategyDFS = checker.StrategyDFS
+	// StrategyParallel is the parallel breadth-first frontier search:
+	// Workers goroutines expand states concurrently over a sharded
+	// visited store.
+	StrategyParallel = checker.StrategyParallel
+)
+
+// ParseStrategy maps a strategy name ("dfs", "parallel") to its kind.
+func ParseStrategy(name string) (Strategy, error) { return checker.ParseStrategy(name) }
+
 // Options configure an analysis run.
 type Options struct {
 	// MaxEvents is the number of external events the checker injects
@@ -76,6 +93,12 @@ type Options struct {
 	NoDepGraph bool
 	// Store selects the visited-state store (Exhaustive default).
 	Bitstate bool
+	// Strategy selects the checker search strategy (StrategyDFS
+	// default; StrategyParallel uses Workers goroutines).
+	Strategy Strategy
+	// Workers is the number of checker goroutines for StrategyParallel
+	// (0 = GOMAXPROCS).
+	Workers int
 	// MaxStatesPerSet caps exploration per related set (0 = 1e6).
 	MaxStatesPerSet int
 	// Deadline caps wall-clock time per related set.
@@ -298,6 +321,8 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options) (*GroupResu
 		MaxDepth:  opts.MaxEvents + 64,
 		MaxStates: opts.MaxStatesPerSet,
 		Deadline:  opts.Deadline,
+		Strategy:  opts.Strategy,
+		Workers:   opts.Workers,
 	}
 	if opts.Bitstate {
 		copts.Store = checker.Bitstate
