@@ -19,7 +19,6 @@ import (
 	"iotsan/internal/experiments"
 	"iotsan/internal/ifttt"
 	"iotsan/internal/model"
-	"iotsan/internal/props"
 	"iotsan/internal/smartapp"
 )
 
@@ -326,38 +325,19 @@ func BenchmarkAblationBitstate(b *testing.B) {
 // the single-core baseline). The workload is capped by MaxStates so
 // every variant performs the same amount of expansion work.
 func BenchmarkParallelCheck(b *testing.B) {
-	largest := 1
-	for g := 2; g <= 6; g++ {
-		if len(corpus.Group(g)) > len(corpus.Group(largest)) {
-			largest = g
-		}
-	}
-	sources := corpus.Group(largest)
-	apps, err := experiments.TranslateAll(sources)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sys := experiments.ExpertConfig("parallel-bench", sources, apps)
-	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
-	if err != nil {
-		b.Fatal(err)
-	}
-	m, err := model.New(sys, apps, model.Options{
-		MaxEvents: 3, CheckConflicts: true, Invariants: invs,
-	})
+	m, copts, _, err := experiments.ParallelCheckWorkload()
 	if err != nil {
 		b.Fatal(err)
 	}
 
-	const cap = 20000
 	run := func(strategy checker.StrategyKind, workers int) func(b *testing.B) {
 		return func(b *testing.B) {
 			var res *checker.Result
 			for i := 0; i < b.N; i++ {
-				res = checker.Run(m.System(), checker.Options{
-					MaxDepth: 66, MaxStates: cap,
-					Strategy: strategy, Workers: workers,
-				})
+				o := copts
+				o.Strategy = strategy
+				o.Workers = workers
+				res = checker.Run(m.System(), o)
 			}
 			b.ReportMetric(float64(res.StatesExplored)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
 			b.ReportMetric(float64(res.StatesExplored), "states")

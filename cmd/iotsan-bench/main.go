@@ -10,43 +10,89 @@
 //	iotsan-bench -table 8      # Table 8: verification time vs events
 //	iotsan-bench -table 9      # Table 9: IFTTT rules
 //	iotsan-bench -table attribution
+//	iotsan-bench -table perf   # checker throughput (states/s) record
 //	iotsan-bench -table all
+//
+// Profiling and machine-readable performance records:
+//
+//	iotsan-bench -table perf -cpuprofile cpu.out -memprofile mem.out
+//	iotsan-bench -table perf -json     # writes BENCH_<date>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"iotsan"
+	"iotsan/internal/checker"
 	"iotsan/internal/corpus"
 	"iotsan/internal/experiments"
 	"iotsan/internal/ifttt"
 )
 
-func main() {
-	table := flag.String("table", "all", "table to regenerate (5, 6, 7a, 7b, 8, 9, attribution, all)")
+// main defers to realMain so the pprof writers (deferred there) always
+// flush — os.Exit would skip them and truncate the profiles.
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	table := flag.String("table", "all", "table to regenerate (5, 6, 7a, 7b, 8, 9, attribution, perf, all)")
 	events := flag.Int("events", 2, "external events for Tables 5/6")
 	strategy := flag.String("strategy", "dfs", "checker search strategy: dfs (sequential) or parallel")
 	workers := flag.Int("workers", 0, "checker goroutines for -strategy parallel (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	jsonOut := flag.Bool("json", false, "write the -table perf record to BENCH_<date>.json")
 	flag.Parse()
 
 	strat, err := iotsan.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	experiments.SetEngine(strat, *workers)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	code := 0
 	run := func(name string, fn func() error) {
-		if *table != "all" && *table != name {
+		if code != 0 || (*table != "all" && *table != name) {
 			return
 		}
 		fmt.Printf("==== Table %s ====\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "table %s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Println()
 	}
@@ -145,6 +191,8 @@ func main() {
 		return nil
 	})
 
+	run("perf", func() error { return runPerf(*jsonOut) })
+
 	run("attribution", func() error {
 		rows, err := experiments.RunAttribution(2)
 		if err != nil {
@@ -164,4 +212,79 @@ func main() {
 		fmt.Printf("malicious attribution: %d/%d (paper: 9/9 at 100%% ratio)\n", caught, total)
 		return nil
 	})
+	return code
+}
+
+// perfRecord is the machine-readable states/s record of one perf run;
+// one BENCH_<date>.json per PR tracks the throughput trajectory.
+type perfRecord struct {
+	Date     string    `json:"date"`
+	GoOS     string    `json:"goos"`
+	GoArch   string    `json:"goarch"`
+	CPUs     int       `json:"cpus"`
+	Workload string    `json:"workload"`
+	Runs     []perfRun `json:"runs"`
+}
+
+type perfRun struct {
+	Strategy     string  `json:"strategy"`
+	Workers      int     `json:"workers"`
+	States       int     `json:"states"`
+	Seconds      float64 `json:"seconds"`
+	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// runPerf measures checker throughput on the shared
+// BenchmarkParallelCheck workload (largest market group, full property
+// set, 20k-state cap) and optionally writes the record to
+// BENCH_<date>.json.
+func runPerf(writeJSON bool) error {
+	m, copts, desc, err := experiments.ParallelCheckWorkload()
+	if err != nil {
+		return err
+	}
+
+	rec := perfRecord{
+		Date: time.Now().Format("2006-01-02"), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		CPUs:     runtime.GOMAXPROCS(0),
+		Workload: desc,
+	}
+	type variant struct {
+		name     string
+		strategy checker.StrategyKind
+		workers  int
+	}
+	variants := []variant{
+		{"dfs", checker.StrategyDFS, 0},
+		{"parallel", checker.StrategyParallel, 1},
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		variants = append(variants, variant{"parallel", checker.StrategyParallel, n})
+	}
+	for _, v := range variants {
+		o := copts
+		o.Strategy = v.strategy
+		o.Workers = v.workers
+		start := time.Now()
+		res := checker.Run(m.System(), o)
+		sec := time.Since(start).Seconds()
+		r := perfRun{Strategy: v.name, Workers: v.workers, States: res.StatesExplored,
+			Seconds: sec, StatesPerSec: float64(res.StatesExplored) / sec}
+		rec.Runs = append(rec.Runs, r)
+		fmt.Printf("%-9s workers=%-2d states=%-6d %8.3fs  %9.0f states/s\n",
+			r.Strategy, r.Workers, r.States, r.Seconds, r.StatesPerSec)
+	}
+
+	if writeJSON {
+		path := "BENCH_" + rec.Date + ".json"
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }

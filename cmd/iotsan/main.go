@@ -33,6 +33,7 @@ func main() {
 		trails     = flag.Bool("trails", true, "print counter-example trails")
 		strategy   = flag.String("strategy", "dfs", "checker search strategy: dfs (sequential) or parallel")
 		workers    = flag.Int("workers", 0, "checker goroutines for -strategy parallel (0 = GOMAXPROCS)")
+		interp     = flag.Bool("interp", false, "run handlers under the tree-walking interpreter instead of compiled programs (oracle mode)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
-		Strategy: strat, Workers: *workers}
+		Strategy: strat, Workers: *workers, Interpreter: *interp}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

@@ -1,0 +1,123 @@
+// Differential testing of the two handler-execution engines: every
+// corpus SmartApp group is verified under closure-compiled execution
+// and under the tree-walking interpreter (the oracle), and the explored
+// state spaces, violations, and counter-example trails must be
+// identical. This is the safety net under the compiled hot path: any
+// semantic drift between compiler and interpreter fails the build.
+package iotsan_test
+
+import (
+	"fmt"
+	"testing"
+
+	"iotsan/internal/checker"
+	"iotsan/internal/corpus"
+	"iotsan/internal/experiments"
+	"iotsan/internal/model"
+	"iotsan/internal/props"
+)
+
+// diffRun verifies one model configuration under both execution modes
+// and reports the results.
+func diffRun(t *testing.T, name string, mopts model.Options, copts checker.Options) {
+	t.Helper()
+	sources := corpus.Group(groupOf(name))
+	apps, err := experiments.TranslateAll(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := experiments.ExpertConfig(name, sources, apps)
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mopts.Invariants = invs
+
+	results := map[bool]*checker.Result{}
+	for _, interp := range []bool{false, true} {
+		o := mopts
+		o.Interpreter = interp
+		m, err := model.New(sys, apps, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !interp {
+			compiled := 0
+			for _, a := range m.Apps {
+				if a.Prog != nil {
+					compiled++
+				}
+			}
+			t.Logf("%s: %d/%d apps closure-compiled", name, compiled, len(m.Apps))
+		}
+		results[interp] = checker.Run(m.System(), copts)
+	}
+
+	c, i := results[false], results[true]
+	if c.StatesExplored != i.StatesExplored || c.StatesMatched != i.StatesMatched ||
+		c.StatesStored != i.StatesStored || c.MaxDepthReached != i.MaxDepthReached {
+		t.Errorf("%s: state space diverges: compiled explored=%d matched=%d stored=%d depth=%d / interp explored=%d matched=%d stored=%d depth=%d",
+			name, c.StatesExplored, c.StatesMatched, c.StatesStored, c.MaxDepthReached,
+			i.StatesExplored, i.StatesMatched, i.StatesStored, i.MaxDepthReached)
+	}
+	if len(c.Violations) != len(i.Violations) {
+		t.Errorf("%s: violation count diverges: compiled=%d interp=%d",
+			name, len(c.Violations), len(i.Violations))
+		return
+	}
+	for k := range c.Violations {
+		cv, iv := c.Violations[k], i.Violations[k]
+		if cv.Property != iv.Property || cv.Detail != iv.Detail || cv.Depth != iv.Depth {
+			t.Errorf("%s: violation %d diverges:\n compiled: %s (depth %d)\n interp:   %s (depth %d)",
+				name, k, cv.Violation, cv.Depth, iv.Violation, iv.Depth)
+			continue
+		}
+		ct, it := checker.FormatTrail(cv), checker.FormatTrail(iv)
+		if ct != it {
+			t.Errorf("%s: trail for %s diverges:\n--- compiled ---\n%s\n--- interpreter ---\n%s",
+				name, cv.Property, ct, it)
+		}
+	}
+}
+
+func groupOf(name string) int {
+	var g int
+	fmt.Sscanf(name, "diff-group-%d", &g)
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// TestDifferentialCorpus runs every market-app corpus group under
+// compiled and interpreted execution with the sequential design and
+// asserts observational identity.
+func TestDifferentialCorpus(t *testing.T) {
+	for g := 1; g <= 6; g++ {
+		g := g
+		t.Run(fmt.Sprintf("group%d", g), func(t *testing.T) {
+			t.Parallel()
+			diffRun(t, fmt.Sprintf("diff-group-%d", g),
+				model.Options{MaxEvents: 2, CheckConflicts: true},
+				checker.Options{MaxDepth: 32, MaxStates: 4000})
+		})
+	}
+}
+
+// TestDifferentialFailuresAndLeakage covers the failure-enumeration and
+// leakage-checking paths (robustness, SMS/network properties).
+func TestDifferentialFailuresAndLeakage(t *testing.T) {
+	diffRun(t, "diff-group-2",
+		model.Options{MaxEvents: 2, CheckConflicts: true, CheckLeakage: true,
+			Failures: true, CheckRobustness: true},
+		checker.Options{MaxDepth: 32, MaxStates: 3000})
+}
+
+// TestDifferentialConcurrentDesign covers the concurrent design's
+// handler-level interleaving (pending-dispatch transitions and their
+// lazily labeled trails).
+func TestDifferentialConcurrentDesign(t *testing.T) {
+	diffRun(t, "diff-group-1",
+		model.Options{MaxEvents: 2, CheckConflicts: true, Design: model.Concurrent},
+		checker.Options{MaxDepth: 24, MaxStates: 3000})
+}

@@ -51,11 +51,31 @@ type Violation struct {
 func (v Violation) String() string { return v.Property + ": " + v.Detail }
 
 // Transition is one successor of a state.
+//
+// Systems that implement Replayer may return transitions in lazy-trail
+// form: Steps nil (and possibly Label empty) with a non-zero Key. The
+// engine then regenerates the micro-steps — and the label, when empty —
+// only when a counter-example trail is actually materialized, keeping
+// fmt-formatting entirely off the exploration hot path.
 type Transition struct {
 	Label      string   // short label, e.g. `alicePresence.presence = not present`
 	Steps      []string // micro-steps for the trail (handler runs, commands)
+	Key        uint64   // opaque replay handle for lazy trails (0 = none)
 	Next       State
 	Violations []Violation // violations raised while taking the transition
+}
+
+// Replayer is optionally implemented by Systems whose transitions are
+// deterministic re-executions: Replay re-runs the transition identified
+// by key from its source state and returns the trail label, the
+// micro-steps, and the successor state. The engine calls it only when a
+// violation's trail is materialized, replaying forward along the trail
+// (the successor feeds the next step's replay), so trail storage needs
+// only keys — neither formatted steps nor retained source states.
+// Replay must be safe for concurrent calls (it is re-execution through
+// Expand's machinery, which already carries that contract).
+type Replayer interface {
+	Replay(from State, key uint64) (label string, steps []string, next State)
 }
 
 // System is the transition system under verification.
@@ -145,10 +165,16 @@ type Options struct {
 	NoDedup bool
 }
 
-// TrailStep is one step of a counter-example trail.
+// TrailStep is one step of a counter-example trail. From/Key carry the
+// lazy-trail replay handle while a trail is under construction; the
+// engine resolves them into Label/Steps when a violation is recorded.
+// From may be nil on steps after the first: materialization replays
+// forward, threading each step's successor into the next.
 type TrailStep struct {
 	Label string
 	Steps []string
+	From  State  // source state of the step (lazy trails; nil = use the replayed predecessor)
+	Key   uint64 // replay handle (lazy trails only)
 }
 
 // Found is a distinct violation with the trail that reaches it.

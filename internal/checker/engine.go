@@ -21,6 +21,10 @@ type engine struct {
 	st    store
 	start time.Time
 
+	// replayer is non-nil when the system supports lazy trails; record
+	// resolves TrailStep replay handles through it.
+	replayer Replayer
+
 	// needH2 is set when the store derives probes from the second hash
 	// (bitstate); the exhaustive stores key on h1 alone, so the second
 	// hashing pass is skipped on their per-state hot path.
@@ -38,16 +42,19 @@ type engine struct {
 
 	mu       sync.Mutex // guards violations + distinct
 	distinct map[string]bool
+	reserved int // accepted violations (found lags while trails materialize)
 	found    []Found
 }
 
 func newEngine(sys System, opts Options) *engine {
+	rp, _ := sys.(Replayer)
 	return &engine{
-		sys:    sys,
-		opts:   opts,
-		st:     newStore(opts, opts.Strategy == StrategyParallel),
-		start:  time.Now(),
-		needH2: opts.Store == Bitstate && !opts.NoDedup,
+		sys:      sys,
+		replayer: rp,
+		opts:     opts,
+		st:       newStore(opts, opts.Strategy == StrategyParallel),
+		start:    time.Now(),
+		needH2:   opts.Store == Bitstate && !opts.NoDedup,
 		bufs: sync.Pool{New: func() any {
 			b := make([]byte, 0, 512)
 			return &b
@@ -77,21 +84,68 @@ func (e *engine) putBuf(b *[]byte) { e.bufs.Put(b) }
 // workers can never overshoot it between their own limit checks.
 func (e *engine) record(v Violation, trail []TrailStep, depth int) bool {
 	key := v.Property + "\x00" + v.Detail
+	// Phase 1 under the lock: dedup + reserve a slot against the cap.
 	e.mu.Lock()
 	if e.distinct[key] ||
-		(e.opts.MaxViolations > 0 && len(e.found) >= e.opts.MaxViolations) {
+		(e.opts.MaxViolations > 0 && e.reserved >= e.opts.MaxViolations) {
 		e.mu.Unlock()
 		return false
 	}
 	e.distinct[key] = true
+	e.reserved++
+	e.mu.Unlock()
+	e.violCount.Add(1)
+
+	// Phase 2 outside the lock: materialize the trail (forward replay —
+	// potentially a full re-execution per step) without serializing
+	// other workers behind it.
+	copied := append([]TrailStep(nil), trail...)
+	e.materialize(copied)
+
+	e.mu.Lock()
 	e.found = append(e.found, Found{
 		Violation: v,
-		Trail:     append([]TrailStep(nil), trail...),
+		Trail:     copied,
 		Depth:     depth,
 	})
 	e.mu.Unlock()
-	e.violCount.Add(1)
 	return true
+}
+
+// materialize resolves lazy trail steps in place by replaying forward:
+// the first step carries its source state, each replay returns the
+// successor the next step starts from. Steps whose chain is broken (an
+// eagerly recorded, keyless step in the middle of a parallel trail)
+// degrade to label-only. Runs outside the engine lock, only for
+// genuinely new violations — duplicates are rejected before reaching
+// it.
+func (e *engine) materialize(ts []TrailStep) {
+	var cur State
+	for i := range ts {
+		if ts[i].From != nil {
+			cur = ts[i].From
+		}
+		replayed := false
+		if e.replayer != nil && ts[i].Steps == nil && ts[i].Key != 0 && cur != nil {
+			label, steps, next := e.replayer.Replay(cur, ts[i].Key)
+			if ts[i].Label == "" {
+				ts[i].Label = label
+			}
+			if steps == nil {
+				steps = []string{}
+			}
+			ts[i].Steps = steps
+			cur = next
+			replayed = true
+		}
+		if !replayed {
+			if ts[i].Steps == nil {
+				ts[i].Steps = []string{}
+			}
+			cur = nil // successor unknown: later keyed steps degrade to labels
+		}
+		ts[i].From, ts[i].Key = nil, 0
+	}
 }
 
 // limitHit reports whether a search limit has been reached. Strategies

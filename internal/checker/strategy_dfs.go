@@ -46,7 +46,7 @@ func (sequentialDFS) search(e *engine) {
 		top.next++
 
 		depth := len(stack)
-		trail = append(trail, TrailStep{Label: tr.Label, Steps: tr.Steps})
+		trail = append(trail, TrailStep{Label: tr.Label, Steps: tr.Steps, From: top.state, Key: tr.Key})
 		e.noteDepth(depth)
 		hit := false
 		for _, v := range tr.Violations {

@@ -32,11 +32,17 @@ type frontierEntry struct {
 	d     digest
 }
 
-// parentEdge is the incoming BFS-tree edge of a stored state.
+// parentEdge is the incoming BFS-tree edge of a stored state. For
+// lazy-trail systems, steps stays nil and key carries the replay
+// handle instead: the edge then costs one word plus a (shared) label
+// string, and the step strings are only produced — by replaying
+// forward from the root state — if a trail through this edge is
+// materialized. No per-edge state is retained.
 type parentEdge struct {
 	parent uint64 // h1 of the predecessor state (rootHash for the root)
 	label  string
 	steps  []string
+	key    uint64
 }
 
 // parentShards stripes the parent-link table; writes happen once per
@@ -44,15 +50,16 @@ type parentEdge struct {
 const parentShards = 64
 
 type parentStore struct {
-	root   uint64
-	shards [parentShards]struct {
+	root      uint64
+	rootState State // initial state: forward replay of lazy trails starts here
+	shards    [parentShards]struct {
 		mu sync.Mutex
 		m  map[uint64]parentEdge
 	}
 }
 
-func newParentStore(root uint64) *parentStore {
-	p := &parentStore{root: root}
+func newParentStore(root uint64, rootState State) *parentStore {
+	p := &parentStore{root: root, rootState: rootState}
 	for i := range p.shards {
 		p.shards[i].m = make(map[uint64]parentEdge)
 	}
@@ -78,7 +85,8 @@ func (p *parentStore) get(h uint64) (parentEdge, bool) {
 
 // trailTo reconstructs the trail from the root to the state with hash h
 // by walking parent links. maxLen bounds the walk against hash-collision
-// cycles.
+// cycles. When the walk reaches the root, the first step carries the
+// initial state so lazy steps can be materialized by forward replay.
 func (p *parentStore) trailTo(h uint64, maxLen int) []TrailStep {
 	var rev []TrailStep
 	for h != p.root && len(rev) <= maxLen {
@@ -86,11 +94,14 @@ func (p *parentStore) trailTo(h uint64, maxLen int) []TrailStep {
 		if !ok {
 			break
 		}
-		rev = append(rev, TrailStep{Label: e.label, Steps: e.steps})
+		rev = append(rev, TrailStep{Label: e.label, Steps: e.steps, Key: e.key})
 		h = e.parent
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if len(rev) > 0 && h == p.root {
+		rev[0].From = p.rootState
 	}
 	return rev
 }
@@ -106,7 +117,7 @@ func (s *parallelBFS) search(e *engine) {
 		e.truncated.Store(true)
 		return
 	}
-	parents := newParentStore(d0.h1)
+	parents := newParentStore(d0.h1, init)
 
 	frontier := []frontierEntry{{state: init, d: d0}}
 	for depth := 1; len(frontier) > 0; depth++ {
@@ -164,7 +175,8 @@ func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry,
 			prefix = parents.trailTo(ent.d.h1, e.opts.MaxDepth)
 			havePrefix = true
 		}
-		trail := append(append([]TrailStep(nil), prefix...), TrailStep{Label: tr.Label, Steps: tr.Steps})
+		trail := append(append([]TrailStep(nil), prefix...),
+			TrailStep{Label: tr.Label, Steps: tr.Steps, From: ent.state, Key: tr.Key})
 		return e.record(v, trail, depth)
 	}
 
@@ -189,7 +201,7 @@ func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry,
 			e.matched.Add(1)
 			continue
 		}
-		parents.put(d.h1, parentEdge{parent: ent.d.h1, label: tr.Label, steps: tr.Steps})
+		parents.put(d.h1, parentEdge{parent: ent.d.h1, label: tr.Label, steps: tr.Steps, key: tr.Key})
 		e.explored.Add(1)
 		*out = append(*out, frontierEntry{state: tr.Next, d: d})
 		if e.limitHit() {

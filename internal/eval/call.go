@@ -2,12 +2,41 @@ package eval
 
 import (
 	"fmt"
-	"math"
-	"strings"
 
 	"iotsan/internal/groovy"
 	"iotsan/internal/ir"
 )
+
+// scopedClosure is the interpreter's closure handle for the shared
+// builtins: the AST closure plus the scope it is invoked against
+// (Groovy's closures see the call-site scope).
+type scopedClosure struct {
+	cl *groovy.ClosureExpr
+	sc *scope
+}
+
+// evalRT adapts an (Evaluator, scope) pair to the rt interface the
+// shared builtins run against.
+type evalRT struct {
+	ev *Evaluator
+	sc *scope
+}
+
+func (r evalRT) rtHost() Host      { return r.ev.Host }
+func (r evalRT) rtAppName() string { return r.ev.App.Name }
+func (r evalRT) rtCall(cl any, args []ir.Value) (ir.Value, error) {
+	s := cl.(scopedClosure)
+	return r.ev.callClosure(s.cl, args, s.sc)
+}
+
+// closureHandle boxes a trailing closure for the shared builtins; nil
+// when the call has none.
+func closureHandle(cl *groovy.ClosureExpr, sc *scope) any {
+	if cl == nil {
+		return nil
+	}
+	return scopedClosure{cl: cl, sc: sc}
+}
 
 func (ev *Evaluator) evalCall(x *groovy.CallExpr, sc *scope) (ir.Value, error) {
 	// log.debug / log.info / ... — cheap and extremely common.
@@ -60,7 +89,7 @@ func (ev *Evaluator) evalCall(x *groovy.CallExpr, sc *scope) (ir.Value, error) {
 	if x.Spread {
 		var out []ir.Value
 		for _, item := range iterate(recv) {
-			v, err := ev.methodCall(item, x, args, named, sc)
+			v, err := ev.methodCall(item, x, args, sc)
 			if err != nil {
 				return ir.NullV(), err
 			}
@@ -68,103 +97,14 @@ func (ev *Evaluator) evalCall(x *groovy.CallExpr, sc *scope) (ir.Value, error) {
 		}
 		return ir.ListV(out), nil
 	}
-	return ev.methodCall(recv, x, args, named, sc)
+	return ev.methodCall(recv, x, args, sc)
 }
 
 // bareCall dispatches calls with no receiver: platform APIs and user
 // methods.
 func (ev *Evaluator) bareCall(x *groovy.CallExpr, args []ir.Value, named map[string]ir.Value, sc *scope) (ir.Value, error) {
-	switch x.Name {
-	case "subscribe":
-		// Runtime re-subscription: wiring is static; nothing to do.
-		return ir.NullV(), nil
-	case "unsubscribe":
-		ev.Host.Unsubscribe()
-		return ir.NullV(), nil
-	case "unschedule":
-		ev.Host.Unschedule()
-		return ir.NullV(), nil
-	case "sendSms", "sendSmsMessage":
-		phone, msg := argStr(args, 0), argStr(args, 1)
-		ev.Host.SendSMS(phone, msg)
-		return ir.NullV(), nil
-	case "sendPush", "sendPushMessage", "sendNotification":
-		ev.Host.SendPush(argStr(args, 0))
-		return ir.NullV(), nil
-	case "sendNotificationToContacts":
-		ev.Host.SendNotificationToContacts(argStr(args, 0))
-		return ir.NullV(), nil
-	case "sendNotificationEvent":
-		ev.Host.Log("notification", argStr(args, 0))
-		return ir.NullV(), nil
-	case "httpPost", "httpPostJson", "httpGet", "httpPut", "httpDelete":
-		method := strings.ToUpper(strings.TrimPrefix(x.Name, "http"))
-		url := argStr(args, 0)
-		if url == "" {
-			if u, ok := named["uri"]; ok {
-				url = u.String()
-			}
-		}
-		ev.Host.HTTPRequest(method, url)
-		return ir.NullV(), nil
-	case "sendEvent":
-		name, value := "", ""
-		if v, ok := named["name"]; ok {
-			name = v.String()
-		}
-		if v, ok := named["value"]; ok {
-			value = v.String()
-		}
-		ev.Host.SendEvent(name, value)
-		return ir.NullV(), nil
-	case "setLocationMode":
-		ev.Host.SetLocationMode(argStr(args, 0))
-		return ir.NullV(), nil
-	case "runIn":
-		if len(args) >= 2 {
-			ev.Host.Schedule(handlerName(args[1], x, 1), args[0].AsInt())
-		}
-		return ir.NullV(), nil
-	case "schedule":
-		if len(args) >= 2 {
-			ev.Host.Schedule(handlerName(args[1], x, 1), 3600)
-		}
-		return ir.NullV(), nil
-	case "runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
-		"runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours":
-		if len(args) >= 1 {
-			ev.Host.Schedule(handlerName(args[0], x, 0), 300)
-		}
-		return ir.NullV(), nil
-	case "runOnce":
-		if len(args) >= 2 {
-			ev.Host.Schedule(handlerName(args[1], x, 1), 60)
-		}
-		return ir.NullV(), nil
-	case "now":
-		return ir.IntV(ev.Host.Now()), nil
-	case "canSchedule":
-		return ir.BoolV(true), nil
-	case "timeOfDayIsBetween":
-		// Modeled coarsely: true — time windows are explored through
-		// event permutations, not wall-clock arithmetic.
-		return ir.BoolV(true), nil
-	case "getSunriseAndSunset":
-		return ir.MapV(map[string]ir.Value{
-			"sunrise": ir.IntV(6 * 3600),
-			"sunset":  ir.IntV(18 * 3600),
-		}), nil
-	case "timeToday", "timeTodayAfter", "toDateTime":
-		if len(args) > 0 {
-			return args[0], nil
-		}
-		return ir.IntV(ev.Host.Now()), nil
-	case "parseJson", "parseLanMessage":
-		return ir.MapV(map[string]ir.Value{}), nil
-	case "pause":
-		return ir.NullV(), nil
-	case "getAllChildDevices", "getChildDevices":
-		return ir.ListV(nil), nil
+	if v, ok := bareBuiltin(evalRT{ev, sc}, x, args, named); ok {
+		return v, nil
 	}
 
 	// User-defined method.
@@ -181,27 +121,6 @@ func (ev *Evaluator) bareCall(x *groovy.CallExpr, args []ir.Value, named map[str
 		Msg: fmt.Sprintf("unknown function %q", x.Name)}
 }
 
-func handlerName(v ir.Value, x *groovy.CallExpr, argIdx int) string {
-	if v.Kind == ir.VStr && v.S != "" && !strings.HasPrefix(v.S, "<") {
-		return v.S
-	}
-	// A bare identifier evaluated to null/placeholder: recover the name
-	// syntactically.
-	if argIdx < len(x.Args) {
-		if id, ok := x.Args[argIdx].(*groovy.Ident); ok {
-			return id.Name
-		}
-	}
-	return v.String()
-}
-
-func argStr(args []ir.Value, i int) string {
-	if i >= len(args) {
-		return ""
-	}
-	return args[i].String()
-}
-
 func (ev *Evaluator) mathCall(x *groovy.CallExpr, sc *scope) (ir.Value, error) {
 	args := make([]float64, 0, len(x.Args))
 	for _, a := range x.Args {
@@ -211,88 +130,15 @@ func (ev *Evaluator) mathCall(x *groovy.CallExpr, sc *scope) (ir.Value, error) {
 		}
 		args = append(args, v.AsFloat())
 	}
-	f := func(i int) float64 {
-		if i < len(args) {
-			return args[i]
-		}
-		return 0
-	}
-	switch x.Name {
-	case "max":
-		return ir.NumV(math.Max(f(0), f(1))), nil
-	case "min":
-		return ir.NumV(math.Min(f(0), f(1))), nil
-	case "abs":
-		return ir.NumV(math.Abs(f(0))), nil
-	case "round":
-		return ir.IntV(int64(math.Round(f(0)))), nil
-	case "floor":
-		return ir.NumV(math.Floor(f(0))), nil
-	case "ceil":
-		return ir.NumV(math.Ceil(f(0))), nil
-	case "sqrt":
-		return ir.NumV(math.Sqrt(f(0))), nil
-	case "pow":
-		return ir.NumV(math.Pow(f(0), f(1))), nil
-	case "random":
-		// Deterministic for model checking: the midpoint.
-		return ir.NumV(0.5), nil
-	}
-	return ir.NullV(), &ExecError{App: ev.App.Name, Pos: x.Pos,
-		Msg: fmt.Sprintf("unsupported Math.%s", x.Name)}
+	return mathMethod(ev.App.Name, x.Name, args, x.Pos)
 }
 
 // methodCall dispatches a call on a receiver value: device commands,
 // collection utilities, string methods.
-func (ev *Evaluator) methodCall(recv ir.Value, x *groovy.CallExpr, args []ir.Value, named map[string]ir.Value, sc *scope) (ir.Value, error) {
-	switch recv.Kind {
-	case ir.VDevice:
-		return ev.deviceCall(recv.Dev, x, args)
-	case ir.VDevices:
-		// Command on a multiple:true input fans out to every device.
-		for _, d := range recv.L {
-			if _, err := ev.deviceCall(d.Dev, x, args); err != nil {
-				return ir.NullV(), err
-			}
-		}
-		return ir.NullV(), nil
-	case ir.VList:
-		return ev.listCall(recv, x, args, sc)
-	case ir.VMap:
-		return ev.mapCall(recv, x, args, sc)
-	case ir.VStr:
-		return ev.stringCall(recv, x, args)
-	case ir.VInt, ir.VNum:
-		switch x.Name {
-		case "toInteger", "intValue", "longValue", "round":
-			return ir.IntV(recv.AsInt()), nil
-		case "toFloat", "toDouble", "toBigDecimal", "floatValue", "doubleValue":
-			return ir.NumV(recv.AsFloat()), nil
-		case "toString":
-			return ir.StrV(recv.String()), nil
-		case "intdiv":
-			if len(args) > 0 && args[0].AsInt() != 0 {
-				return ir.IntV(recv.AsInt() / args[0].AsInt()), nil
-			}
-			return ir.IntV(0), nil
-		case "abs":
-			if recv.Kind == ir.VNum {
-				return ir.NumV(math.Abs(recv.F)), nil
-			}
-			if recv.I < 0 {
-				return ir.IntV(-recv.I), nil
-			}
-			return recv, nil
-		case "times":
-			if x.Closure != nil {
-				for i := int64(0); i < recv.AsInt(); i++ {
-					if _, err := ev.callClosure(x.Closure, []ir.Value{ir.IntV(i)}, sc); err != nil {
-						return ir.NullV(), err
-					}
-				}
-			}
-			return ir.NullV(), nil
-		}
+func (ev *Evaluator) methodCall(recv ir.Value, x *groovy.CallExpr, args []ir.Value, sc *scope) (ir.Value, error) {
+	v, handled, err := methodOnValue(evalRT{ev, sc}, recv, x, args, closureHandle(x.Closure, sc))
+	if handled {
+		return v, err
 	}
 	// location.setMode("Away") etc.
 	if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "location" {
@@ -306,427 +152,6 @@ func (ev *Evaluator) methodCall(recv ir.Value, x *groovy.CallExpr, args []ir.Val
 	}
 	return ir.NullV(), &ExecError{App: ev.App.Name, Pos: x.Pos,
 		Msg: fmt.Sprintf("unsupported method %s on %v value", x.Name, recv.Kind)}
-}
-
-// deviceCall delivers a command or a read API to one device.
-func (ev *Evaluator) deviceCall(dev int, x *groovy.CallExpr, args []ir.Value) (ir.Value, error) {
-	switch x.Name {
-	case "currentValue", "latestValue":
-		if v, ok := ev.Host.DeviceAttr(dev, argStr(args, 0)); ok {
-			return v, nil
-		}
-		return ir.NullV(), nil
-	case "currentState", "latestState":
-		if v, ok := ev.Host.DeviceAttr(dev, argStr(args, 0)); ok {
-			return ir.MapV(map[string]ir.Value{
-				"value": toStringValue(v),
-				"name":  ir.StrV(argStr(args, 0)),
-				"date":  ir.IntV(ev.Host.Now()),
-			}), nil
-		}
-		return ir.NullV(), nil
-	case "hasCapability", "hasCommand", "hasAttribute":
-		return ir.BoolV(true), nil
-	case "getDisplayName", "getLabel", "getName", "toString":
-		return ir.StrV(ev.Host.DeviceLabel(dev)), nil
-	case "events", "eventsSince", "statesSince":
-		return ir.ListV(nil), nil
-	case "supportedAttributes":
-		return ir.ListV(nil), nil
-	}
-	// Anything else is an actuator command (on, off, lock, unlock,
-	// setLevel, siren, ...); the host validates it against the model.
-	ev.Host.DeviceCommand(dev, x.Name, args)
-	return ir.NullV(), nil
-}
-
-// listCall implements the Groovy collection utilities the paper's
-// translator supports (§6: find, findAll, each, collect, first, +, ...).
-func (ev *Evaluator) listCall(recv ir.Value, x *groovy.CallExpr, args []ir.Value, sc *scope) (ir.Value, error) {
-	items := recv.L
-	switch x.Name {
-	case "each":
-		if x.Closure != nil {
-			for _, item := range items {
-				if _, err := ev.callClosure(x.Closure, []ir.Value{item}, sc); err != nil {
-					return ir.NullV(), err
-				}
-			}
-		}
-		return recv, nil
-	case "eachWithIndex":
-		if x.Closure != nil {
-			for i, item := range items {
-				if _, err := ev.callClosure(x.Closure, []ir.Value{item, ir.IntV(int64(i))}, sc); err != nil {
-					return ir.NullV(), err
-				}
-			}
-		}
-		return recv, nil
-	case "find":
-		for _, item := range items {
-			ok, err := ev.closureTruthy(x.Closure, item, sc)
-			if err != nil {
-				return ir.NullV(), err
-			}
-			if ok {
-				return item, nil
-			}
-		}
-		return ir.NullV(), nil
-	case "findAll":
-		var out []ir.Value
-		for _, item := range items {
-			ok, err := ev.closureTruthy(x.Closure, item, sc)
-			if err != nil {
-				return ir.NullV(), err
-			}
-			if ok {
-				out = append(out, item)
-			}
-		}
-		return sameKind(recv, out), nil
-	case "collect":
-		var out []ir.Value
-		for _, item := range items {
-			v := item
-			if x.Closure != nil {
-				var err error
-				v, err = ev.callClosure(x.Closure, []ir.Value{item}, sc)
-				if err != nil {
-					return ir.NullV(), err
-				}
-			}
-			out = append(out, v)
-		}
-		return ir.ListV(out), nil
-	case "any":
-		for _, item := range items {
-			ok, err := ev.closureTruthy(x.Closure, item, sc)
-			if err != nil {
-				return ir.NullV(), err
-			}
-			if ok {
-				return ir.BoolV(true), nil
-			}
-		}
-		return ir.BoolV(false), nil
-	case "every":
-		for _, item := range items {
-			ok, err := ev.closureTruthy(x.Closure, item, sc)
-			if err != nil {
-				return ir.NullV(), err
-			}
-			if !ok {
-				return ir.BoolV(false), nil
-			}
-		}
-		return ir.BoolV(true), nil
-	case "count":
-		if x.Closure == nil && len(args) == 1 {
-			n := 0
-			for _, item := range items {
-				if looseEqual(item, args[0]) {
-					n++
-				}
-			}
-			return ir.IntV(int64(n)), nil
-		}
-		n := 0
-		for _, item := range items {
-			ok, err := ev.closureTruthy(x.Closure, item, sc)
-			if err != nil {
-				return ir.NullV(), err
-			}
-			if ok {
-				n++
-			}
-		}
-		return ir.IntV(int64(n)), nil
-	case "first":
-		if len(items) > 0 {
-			return items[0], nil
-		}
-		return ir.NullV(), nil
-	case "last":
-		if len(items) > 0 {
-			return items[len(items)-1], nil
-		}
-		return ir.NullV(), nil
-	case "size":
-		return ir.IntV(int64(len(items))), nil
-	case "isEmpty":
-		return ir.BoolV(len(items) == 0), nil
-	case "contains":
-		for _, item := range items {
-			if len(args) > 0 && looseEqual(item, args[0]) {
-				return ir.BoolV(true), nil
-			}
-		}
-		return ir.BoolV(false), nil
-	case "sum":
-		sum := 0.0
-		isInt := true
-		for _, item := range items {
-			if item.Kind == ir.VNum {
-				isInt = false
-			}
-			sum += item.AsFloat()
-		}
-		if isInt {
-			return ir.IntV(int64(sum)), nil
-		}
-		return ir.NumV(sum), nil
-	case "max":
-		var best ir.Value
-		for i, item := range items {
-			if i == 0 {
-				best = item
-				continue
-			}
-			if c, ok := compareValues(item, best); ok && c > 0 {
-				best = item
-			}
-		}
-		return best, nil
-	case "min":
-		var best ir.Value
-		for i, item := range items {
-			if i == 0 {
-				best = item
-				continue
-			}
-			if c, ok := compareValues(item, best); ok && c < 0 {
-				best = item
-			}
-		}
-		return best, nil
-	case "join":
-		sep := argStr(args, 0)
-		parts := make([]string, len(items))
-		for i, item := range items {
-			parts[i] = item.String()
-		}
-		return ir.StrV(strings.Join(parts, sep)), nil
-	case "reverse":
-		out := make([]ir.Value, len(items))
-		for i, item := range items {
-			out[len(items)-1-i] = item
-		}
-		return sameKind(recv, out), nil
-	case "sort":
-		out := append([]ir.Value{}, items...)
-		for i := 1; i < len(out); i++ { // insertion sort: stable, no deps
-			for j := i; j > 0; j-- {
-				if c, ok := compareValues(out[j], out[j-1]); ok && c < 0 {
-					out[j], out[j-1] = out[j-1], out[j]
-				} else {
-					break
-				}
-			}
-		}
-		return sameKind(recv, out), nil
-	case "unique":
-		var out []ir.Value
-		for _, item := range items {
-			dup := false
-			for _, o := range out {
-				if looseEqual(item, o) {
-					dup = true
-				}
-			}
-			if !dup {
-				out = append(out, item)
-			}
-		}
-		return sameKind(recv, out), nil
-	case "add", "push", "leftShift":
-		// Mutation is modeled by returning the extended list; persisted
-		// state lists are reassigned by the caller.
-		if len(args) > 0 {
-			return sameKind(recv, append(append([]ir.Value{}, items...), args[0])), nil
-		}
-		return recv, nil
-	case "plus":
-		if len(args) > 0 {
-			return sameKind(recv, append(append([]ir.Value{}, items...), iterate(args[0])...)), nil
-		}
-		return recv, nil
-	case "minus":
-		v, err := binaryOp(groovy.Minus, recv, args[0], x.Pos, ev.App.Name)
-		return v, err
-	case "get", "getAt":
-		if len(args) > 0 {
-			i := int(args[0].AsInt())
-			if i >= 0 && i < len(items) {
-				return items[i], nil
-			}
-		}
-		return ir.NullV(), nil
-	case "indexOf":
-		for i, item := range items {
-			if len(args) > 0 && looseEqual(item, args[0]) {
-				return ir.IntV(int64(i)), nil
-			}
-		}
-		return ir.IntV(-1), nil
-	case "toString":
-		return ir.StrV(recv.String()), nil
-	}
-	return ir.NullV(), &ExecError{App: ev.App.Name, Pos: x.Pos,
-		Msg: fmt.Sprintf("unsupported list method %q", x.Name)}
-}
-
-// sameKind preserves VDevices-ness across collection operations.
-func sameKind(orig ir.Value, items []ir.Value) ir.Value {
-	if orig.Kind == ir.VDevices {
-		allDev := true
-		for _, it := range items {
-			if it.Kind != ir.VDevice {
-				allDev = false
-			}
-		}
-		if allDev {
-			return ir.DevicesV(items)
-		}
-	}
-	return ir.ListV(items)
-}
-
-func (ev *Evaluator) mapCall(recv ir.Value, x *groovy.CallExpr, args []ir.Value, sc *scope) (ir.Value, error) {
-	switch x.Name {
-	case "get":
-		return recv.M[argStr(args, 0)], nil
-	case "put":
-		if len(args) >= 2 {
-			recv.M[args[0].String()] = args[1]
-		}
-		return ir.NullV(), nil
-	case "containsKey":
-		_, ok := recv.M[argStr(args, 0)]
-		return ir.BoolV(ok), nil
-	case "remove":
-		v := recv.M[argStr(args, 0)]
-		delete(recv.M, argStr(args, 0))
-		return v, nil
-	case "size":
-		return ir.IntV(int64(len(recv.M))), nil
-	case "isEmpty":
-		return ir.BoolV(len(recv.M) == 0), nil
-	case "each":
-		if x.Closure != nil {
-			for _, k := range sortedKeys(recv.M) {
-				entry := ir.MapV(map[string]ir.Value{"key": ir.StrV(k), "value": recv.M[k]})
-				if _, err := ev.callClosure(x.Closure, []ir.Value{entry}, sc); err != nil {
-					return ir.NullV(), err
-				}
-			}
-		}
-		return recv, nil
-	case "keySet", "keys":
-		var out []ir.Value
-		for _, k := range sortedKeys(recv.M) {
-			out = append(out, ir.StrV(k))
-		}
-		return ir.ListV(out), nil
-	case "values":
-		var out []ir.Value
-		for _, k := range sortedKeys(recv.M) {
-			out = append(out, recv.M[k])
-		}
-		return ir.ListV(out), nil
-	case "toString":
-		return ir.StrV(recv.String()), nil
-	}
-	return ir.NullV(), &ExecError{App: ev.App.Name, Pos: x.Pos,
-		Msg: fmt.Sprintf("unsupported map method %q", x.Name)}
-}
-
-func (ev *Evaluator) stringCall(recv ir.Value, x *groovy.CallExpr, args []ir.Value) (ir.Value, error) {
-	s := recv.S
-	switch x.Name {
-	case "toInteger", "toLong":
-		if n, ok := parseNumeric(s); ok {
-			return ir.IntV(n.AsInt()), nil
-		}
-		return ir.IntV(0), nil
-	case "toFloat", "toDouble", "toBigDecimal":
-		if n, ok := parseNumeric(s); ok {
-			return ir.NumV(n.AsFloat()), nil
-		}
-		return ir.NumV(0), nil
-	case "isNumber", "isInteger":
-		_, ok := parseNumeric(s)
-		return ir.BoolV(ok), nil
-	case "toLowerCase":
-		return ir.StrV(strings.ToLower(s)), nil
-	case "toUpperCase":
-		return ir.StrV(strings.ToUpper(s)), nil
-	case "trim":
-		return ir.StrV(strings.TrimSpace(s)), nil
-	case "contains":
-		return ir.BoolV(strings.Contains(s, argStr(args, 0))), nil
-	case "startsWith":
-		return ir.BoolV(strings.HasPrefix(s, argStr(args, 0))), nil
-	case "endsWith":
-		return ir.BoolV(strings.HasSuffix(s, argStr(args, 0))), nil
-	case "equals", "equalsIgnoreCase":
-		if x.Name == "equalsIgnoreCase" {
-			return ir.BoolV(strings.EqualFold(s, argStr(args, 0))), nil
-		}
-		return ir.BoolV(s == argStr(args, 0)), nil
-	case "replace", "replaceAll":
-		if len(args) >= 2 {
-			return ir.StrV(strings.ReplaceAll(s, args[0].String(), args[1].String())), nil
-		}
-		return recv, nil
-	case "split", "tokenize":
-		sep := argStr(args, 0)
-		if sep == "" {
-			sep = " "
-		}
-		parts := strings.Split(s, sep)
-		out := make([]ir.Value, len(parts))
-		for i, p := range parts {
-			out[i] = ir.StrV(p)
-		}
-		return ir.ListV(out), nil
-	case "substring":
-		if len(args) == 1 {
-			i := int(args[0].AsInt())
-			if i >= 0 && i <= len(s) {
-				return ir.StrV(s[i:]), nil
-			}
-		}
-		if len(args) == 2 {
-			i, j := int(args[0].AsInt()), int(args[1].AsInt())
-			if i >= 0 && j >= i && j <= len(s) {
-				return ir.StrV(s[i:j]), nil
-			}
-		}
-		return ir.StrV(""), nil
-	case "size", "length":
-		return ir.IntV(int64(len(s))), nil
-	case "toString":
-		return recv, nil
-	case "format":
-		return recv, nil
-	}
-	return ir.NullV(), &ExecError{App: ev.App.Name, Pos: x.Pos,
-		Msg: fmt.Sprintf("unsupported string method %q", x.Name)}
-}
-
-// closureTruthy applies a predicate closure to an item; a nil closure is
-// an identity-truthiness test.
-func (ev *Evaluator) closureTruthy(cl *groovy.ClosureExpr, item ir.Value, sc *scope) (bool, error) {
-	if cl == nil {
-		return item.Truthy(), nil
-	}
-	v, err := ev.callClosure(cl, []ir.Value{item}, sc)
-	if err != nil {
-		return false, err
-	}
-	return v.Truthy(), nil
 }
 
 // callClosure invokes a closure with the given arguments; closures see

@@ -1,0 +1,701 @@
+package eval
+
+import (
+	"fmt"
+
+	"iotsan/internal/groovy"
+	"iotsan/internal/ir"
+)
+
+// Compile lowers every method of an app into a closure-compiled Program
+// against a fixed bindings table and state layout. Compilation mirrors
+// the tree-walking interpreter node for node — including its step
+// accounting and error messages — so the two execution modes are
+// observationally identical; the interpreter is retained as the
+// differential-testing oracle.
+//
+// On the first unsupported construct (currently: closure values stored
+// in variables) compilation stops and CompiledApp.Err is set; the model
+// then runs the whole app under the interpreter instead — there is no
+// mixed-mode execution within one app.
+func Compile(app *ir.App, bindings map[string]ir.Value, stateIdx map[string]int) *CompiledApp {
+	ca := &CompiledApp{
+		App:      app,
+		Bindings: bindings,
+		StateIdx: stateIdx,
+		Methods:  make(map[string]*Program, len(app.Methods)),
+	}
+	direct := evtDirectMethods(app)
+	for name, m := range app.Methods {
+		p, err := compileMethod(ca, m, direct[name])
+		if err != nil {
+			ca.Err = fmt.Errorf("compile %s.%s: %w", app.Name, name, err)
+			return ca
+		}
+		ca.Methods[name] = p
+	}
+	return ca
+}
+
+// compiler is the per-method compile state: the lexical scope chain
+// mapping names to frame slots, and the slot counter.
+type compiler struct {
+	capp     *CompiledApp
+	appName  string
+	bindings map[string]ir.Value
+	stateIdx map[string]int
+
+	scope   *cscope
+	nslots  int
+	evtSlot int // slot of the direct-access event param, -1 when none
+	err     error
+}
+
+type cscope struct {
+	parent *cscope
+	names  map[string]int
+}
+
+func (c *compiler) pushScope() { c.scope = &cscope{parent: c.scope, names: map[string]int{}} }
+func (c *compiler) popScope()  { c.scope = c.scope.parent }
+
+// resolve finds the slot a name is bound to at this point of the
+// program, mirroring the interpreter's runtime scope walk.
+func (c *compiler) resolve(name string) (int, bool) {
+	for s := c.scope; s != nil; s = s.parent {
+		if i, ok := s.names[name]; ok {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// declare binds a name in the current scope, allocating a new slot
+// unless the scope already has one for it (re-declaration reuses the
+// storage, like the interpreter's map overwrite).
+func (c *compiler) declare(name string) int {
+	if i, ok := c.scope.names[name]; ok {
+		return i
+	}
+	i := c.nslots
+	c.nslots++
+	c.scope.names[name] = i
+	return i
+}
+
+func (c *compiler) failf(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func compileMethod(ca *CompiledApp, m *groovy.MethodDecl, evtDirect bool) (*Program, error) {
+	c := &compiler{
+		capp:     ca,
+		appName:  ca.App.Name,
+		bindings: ca.Bindings,
+		stateIdx: ca.StateIdx,
+		evtSlot:  -1,
+	}
+	p := &Program{decl: m, name: m.Name}
+	c.pushScope()
+	for i, prm := range m.Params {
+		var def exprFn
+		if prm.Default != nil {
+			def = c.expr(prm.Default)
+		}
+		slot := c.declare(prm.Name)
+		if i == 0 && evtDirect {
+			c.evtSlot = slot
+			p.evtDirect = true
+		}
+		p.params = append(p.params, cparam{slot: slot, def: def})
+	}
+	// The method body's statements share the parameter scope, like the
+	// interpreter's single callMethod scope.
+	p.body = c.stmts(m.Body)
+	p.nslots = c.nslots
+	if c.err != nil {
+		return nil, c.err
+	}
+	return p, nil
+}
+
+var nullStmt stmtFn = func(*Env) (ir.Value, control, error) { return ir.NullV(), ctlNormal, nil }
+
+// stmts compiles a statement list in the current scope, mirroring
+// execBlock (implicit return of the last value, control propagation).
+func (c *compiler) stmts(b *groovy.Block) stmtFn {
+	if b == nil || len(b.Stmts) == 0 {
+		return nullStmt
+	}
+	fns := make([]stmtFn, len(b.Stmts))
+	for i, st := range b.Stmts {
+		fns[i] = c.stmt(st)
+	}
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func(e *Env) (ir.Value, control, error) {
+		var last ir.Value
+		for _, f := range fns {
+			v, ctl, err := f(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			switch ctl {
+			case ctlReturn:
+				return v, ctlReturn, nil
+			case ctlBreak, ctlContinue:
+				return v, ctl, nil
+			}
+			last = v
+		}
+		return last, ctlNormal, nil
+	}
+}
+
+// scopedStmts compiles a block in a fresh child scope and returns the
+// slot range it allocated; loops clear that range per iteration to
+// mirror the interpreter's fresh per-iteration scopes.
+func (c *compiler) scopedStmts(b *groovy.Block) (fn stmtFn, lo, hi int) {
+	c.pushScope()
+	lo = c.nslots
+	fn = c.stmts(b)
+	hi = c.nslots
+	c.popScope()
+	return fn, lo, hi
+}
+
+func (c *compiler) stmt(st groovy.Stmt) stmtFn {
+	pos := st.NodePos()
+	switch s := st.(type) {
+	case *groovy.VarDeclStmt:
+		var init exprFn
+		if s.Init != nil {
+			init = c.expr(s.Init) // compiled before declare: init sees the outer binding
+		}
+		slot := c.declare(s.Name)
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			v := ir.NullV()
+			if init != nil {
+				var err error
+				v, err = init(e)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+			}
+			e.setSlot(slot, v)
+			return v, ctlNormal, nil
+		}
+
+	case *groovy.AssignStmt:
+		return c.assign(s)
+
+	case *groovy.ExprStmt:
+		x := c.expr(s.X)
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			v, err := x(e)
+			return v, ctlNormal, err
+		}
+
+	case *groovy.IfStmt:
+		cond := c.expr(s.Cond)
+		then, _, _ := c.scopedStmts(s.Then)
+		var els stmtFn
+		if s.Else != nil {
+			els = c.stmt(s.Else)
+		}
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			cv, err := cond(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			if cv.Truthy() {
+				return then(e)
+			}
+			if els != nil {
+				return els(e)
+			}
+			return ir.NullV(), ctlNormal, nil
+		}
+
+	case *groovy.Block:
+		body, _, _ := c.scopedStmts(s)
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			return body(e)
+		}
+
+	case *groovy.WhileStmt:
+		cond := c.expr(s.Cond)
+		body, lo, hi := c.scopedStmts(s.Body)
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			for {
+				if err := e.step(pos); err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				cv, err := cond(e)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				if !cv.Truthy() {
+					return ir.NullV(), ctlNormal, nil
+				}
+				e.clearSlots(lo, hi)
+				_, ctl, err := body(e)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				if ctl == ctlBreak {
+					return ir.NullV(), ctlNormal, nil
+				}
+				if ctl == ctlReturn {
+					return ir.NullV(), ctlReturn, nil
+				}
+			}
+		}
+
+	case *groovy.ForInStmt:
+		iter := c.expr(s.Iter)
+		c.pushScope()
+		lo := c.nslots
+		varSlot := c.declare(s.Var)
+		body := c.stmts(s.Body)
+		hi := c.nslots
+		c.popScope()
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			iv, err := iter(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			for _, item := range iterate(iv) {
+				e.clearSlots(lo, hi)
+				e.setSlot(varSlot, item)
+				_, ctl, err := body(e)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				if ctl == ctlBreak {
+					break
+				}
+				if ctl == ctlReturn {
+					return ir.NullV(), ctlReturn, nil
+				}
+			}
+			return ir.NullV(), ctlNormal, nil
+		}
+
+	case *groovy.ForCStmt:
+		c.pushScope() // the loop's shared scope: init vars persist across iterations
+		var init, post stmtFn
+		var cond exprFn
+		if s.Init != nil {
+			init = c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			cond = c.expr(s.Cond)
+		}
+		// Post is compiled after the body in the interpreter's execution
+		// order but shares the loop scope; compile order here follows
+		// the source so name resolution matches statement order.
+		body, lo, hi := c.scopedStmts(s.Body)
+		if s.Post != nil {
+			post = c.stmt(s.Post)
+		}
+		c.popScope()
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			if init != nil {
+				if _, _, err := init(e); err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+			}
+			for {
+				if err := e.step(pos); err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				if cond != nil {
+					cv, err := cond(e)
+					if err != nil {
+						return ir.NullV(), ctlNormal, err
+					}
+					if !cv.Truthy() {
+						break
+					}
+				}
+				e.clearSlots(lo, hi)
+				_, ctl, err := body(e)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				if ctl == ctlBreak {
+					break
+				}
+				if ctl == ctlReturn {
+					return ir.NullV(), ctlReturn, nil
+				}
+				if post != nil {
+					if _, _, err := post(e); err != nil {
+						return ir.NullV(), ctlNormal, err
+					}
+				}
+			}
+			return ir.NullV(), ctlNormal, nil
+		}
+
+	case *groovy.ReturnStmt:
+		var x exprFn
+		if s.X != nil {
+			x = c.expr(s.X)
+		}
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			v := ir.NullV()
+			if x != nil {
+				var err error
+				v, err = x(e)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+			}
+			return v, ctlReturn, nil
+		}
+
+	case *groovy.BreakStmt:
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			return ir.NullV(), ctlBreak, nil
+		}
+
+	case *groovy.ContinueStmt:
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			return ir.NullV(), ctlContinue, nil
+		}
+
+	case *groovy.SwitchStmt:
+		subj := c.expr(s.Subject)
+		type ccase struct {
+			values []exprFn
+			body   []stmtFn
+		}
+		cases := make([]ccase, len(s.Cases))
+		for i, cs := range s.Cases {
+			cc := ccase{}
+			for _, vx := range cs.Values {
+				cc.values = append(cc.values, c.expr(vx))
+			}
+			for _, bs := range cs.Body {
+				cc.body = append(cc.body, c.stmt(bs)) // case bodies run in the current scope
+			}
+			cases[i] = cc
+		}
+		var def []stmtFn
+		for _, bs := range s.Default {
+			def = append(def, c.stmt(bs))
+		}
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			sv, err := subj(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			matched := false
+			for _, cc := range cases {
+				if !matched {
+					for _, vf := range cc.values {
+						v, err := vf(e)
+						if err != nil {
+							return ir.NullV(), ctlNormal, err
+						}
+						if sv.Equal(v) {
+							matched = true
+							break
+						}
+					}
+				}
+				if matched { // fallthrough semantics until break
+					for _, bf := range cc.body {
+						_, ctl, err := bf(e)
+						if err != nil {
+							return ir.NullV(), ctlNormal, err
+						}
+						if ctl == ctlBreak {
+							return ir.NullV(), ctlNormal, nil
+						}
+						if ctl == ctlReturn {
+							return ir.NullV(), ctlReturn, nil
+						}
+					}
+				}
+			}
+			if !matched {
+				for _, bf := range def {
+					_, ctl, err := bf(e)
+					if err != nil {
+						return ir.NullV(), ctlNormal, err
+					}
+					if ctl == ctlBreak {
+						return ir.NullV(), ctlNormal, nil
+					}
+					if ctl == ctlReturn {
+						return ir.NullV(), ctlReturn, nil
+					}
+				}
+			}
+			return ir.NullV(), ctlNormal, nil
+		}
+
+	case *groovy.TryStmt:
+		// The model does not throw; execute the body, then finally.
+		body, _, _ := c.scopedStmts(s.Body)
+		var fin stmtFn
+		if s.Finally != nil {
+			fin, _, _ = c.scopedStmts(s.Finally)
+		}
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			v, ctl, err := body(e)
+			if fin != nil {
+				if _, _, ferr := fin(e); ferr != nil && err == nil {
+					err = ferr
+				}
+			}
+			return v, ctl, err
+		}
+
+	case *groovy.ThrowStmt:
+		appName := c.appName
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			return ir.NullV(), ctlNormal, &ExecError{App: appName, Pos: s.Pos, Msg: "exception thrown"}
+		}
+	}
+	appName := c.appName
+	msg := fmt.Sprintf("unsupported statement %T", st)
+	return func(e *Env) (ir.Value, control, error) {
+		if err := e.step(pos); err != nil {
+			return ir.NullV(), ctlNormal, err
+		}
+		return ir.NullV(), ctlNormal, &ExecError{App: appName, Pos: pos, Msg: msg}
+	}
+}
+
+// assign compiles an assignment, mirroring execAssign: RHS first, then
+// the target-specific apply of the (possibly compound) operator.
+func (c *compiler) assign(s *groovy.AssignStmt) stmtFn {
+	pos := s.NodePos()
+	rhsFn := c.expr(s.RHS)
+	appName := c.appName
+	op := s.Op
+	apply := func(old, rhs ir.Value) (ir.Value, error) {
+		switch op {
+		case groovy.Assign:
+			return rhs, nil
+		case groovy.PlusAssign:
+			return binaryOp(groovy.Plus, old, rhs, s.Pos, appName)
+		case groovy.MinusAssign:
+			return binaryOp(groovy.Minus, old, rhs, s.Pos, appName)
+		case groovy.StarAssign:
+			return binaryOp(groovy.Star, old, rhs, s.Pos, appName)
+		case groovy.SlashAssign:
+			return binaryOp(groovy.Slash, old, rhs, s.Pos, appName)
+		}
+		return rhs, nil
+	}
+
+	switch lhs := s.LHS.(type) {
+	case *groovy.Ident:
+		slot, ok := c.resolve(lhs.Name)
+		if !ok {
+			// New script-scope variable in the current scope (the
+			// interpreter creates it on first assignment).
+			slot = c.declare(lhs.Name)
+		}
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			rhs, err := rhsFn(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			nv, err := apply(e.getSlot(slot), rhs)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			e.setSlot(slot, nv)
+			return nv, ctlNormal, nil
+		}
+
+	case *groovy.PropertyExpr:
+		// state.x = v — like the interpreter, state/location receivers
+		// are recognized syntactically here with no shadowing check.
+		if id, ok := lhs.Recv.(*groovy.Ident); ok {
+			switch id.Name {
+			case "state", "atomicState":
+				return c.stateAssign(lhs.Name, rhsFn, apply, pos)
+			case "location":
+				if lhs.Name == "mode" {
+					return func(e *Env) (ir.Value, control, error) {
+						if err := e.step(pos); err != nil {
+							return ir.NullV(), ctlNormal, err
+						}
+						rhs, err := rhsFn(e)
+						if err != nil {
+							return ir.NullV(), ctlNormal, err
+						}
+						nv, err := apply(ir.StrV(e.Host.LocationMode()), rhs)
+						if err != nil {
+							return ir.NullV(), ctlNormal, err
+						}
+						e.Host.SetLocationMode(nv.String())
+						return nv, ctlNormal, nil
+					}
+				}
+			}
+		}
+		msg := fmt.Sprintf("cannot assign to property %q", lhs.Name)
+		lpos := lhs.Pos
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			if _, err := rhsFn(e); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			return ir.NullV(), ctlNormal, &ExecError{App: appName, Pos: lpos, Msg: msg}
+		}
+
+	case *groovy.IndexExpr:
+		recvFn := c.expr(lhs.Recv)
+		idxFn := c.expr(lhs.Index)
+		lpos := lhs.Pos
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			rhs, err := rhsFn(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			recv, err := recvFn(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			idx, err := idxFn(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			switch recv.Kind {
+			case ir.VList, ir.VDevices:
+				i := int(idx.AsInt())
+				if i < 0 || i >= len(recv.L) {
+					return ir.NullV(), ctlNormal, &ExecError{App: appName, Pos: lpos,
+						Msg: fmt.Sprintf("index %d out of range (len %d)", i, len(recv.L))}
+				}
+				nv, err := apply(recv.L[i], rhs)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				recv.L[i] = nv
+				return nv, ctlNormal, nil
+			case ir.VMap:
+				key := idx.String()
+				nv, err := apply(recv.M[key], rhs)
+				if err != nil {
+					return ir.NullV(), ctlNormal, err
+				}
+				recv.M[key] = nv
+				return nv, ctlNormal, nil
+			}
+			return ir.NullV(), ctlNormal, &ExecError{App: appName, Pos: lpos,
+				Msg: "indexed assignment on non-collection"}
+		}
+	}
+	return func(e *Env) (ir.Value, control, error) {
+		if err := e.step(pos); err != nil {
+			return ir.NullV(), ctlNormal, err
+		}
+		if _, err := rhsFn(e); err != nil {
+			return ir.NullV(), ctlNormal, err
+		}
+		return ir.NullV(), ctlNormal, &ExecError{App: appName, Pos: s.Pos, Msg: "invalid assignment target"}
+	}
+}
+
+// stateAssign compiles a write to one persistent state key.
+func (c *compiler) stateAssign(key string, rhsFn exprFn, apply func(old, rhs ir.Value) (ir.Value, error), pos groovy.Pos) stmtFn {
+	if c.stateIdx != nil {
+		idx, ok := c.stateIdx[key]
+		if !ok {
+			// The layout pass collects every literal state key; a miss
+			// means the layout and compiler disagree.
+			c.failf("state key %q missing from layout", key)
+			idx = 0
+		}
+		return func(e *Env) (ir.Value, control, error) {
+			if err := e.step(pos); err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			rhs, err := rhsFn(e)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			nv, err := apply(e.Host.StateSlot(idx), rhs)
+			if err != nil {
+				return ir.NullV(), ctlNormal, err
+			}
+			e.Host.SetStateSlot(idx, nv)
+			return nv, ctlNormal, nil
+		}
+	}
+	return func(e *Env) (ir.Value, control, error) {
+		if err := e.step(pos); err != nil {
+			return ir.NullV(), ctlNormal, err
+		}
+		rhs, err := rhsFn(e)
+		if err != nil {
+			return ir.NullV(), ctlNormal, err
+		}
+		st := e.Host.AppState()
+		nv, err := apply(st[key], rhs)
+		if err != nil {
+			return ir.NullV(), ctlNormal, err
+		}
+		st[key] = nv
+		return nv, ctlNormal, nil
+	}
+}

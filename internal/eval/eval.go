@@ -33,8 +33,17 @@ type Host interface {
 	Modes() []string
 	// Now returns model time in seconds.
 	Now() int64
-	// AppState returns the app's persistent state map (mutable).
+	// AppState returns the app's persistent state map (mutable). It is
+	// the storage for apps whose state keys cannot be laid out
+	// statically.
 	AppState() map[string]ir.Value
+	// StateSlot/SetStateSlot access the app's persistent state by slot
+	// index when the host laid the state out statically (see
+	// StateLayout); hosts without slotted state may panic — they are
+	// never called unless the Evaluator/Program was built with a state
+	// index.
+	StateSlot(i int) ir.Value
+	SetStateSlot(i int, v ir.Value)
 	// SendSMS, SendPush, HTTPRequest, SendNotificationToContacts record
 	// messaging effects (§8's leakage properties hook in here).
 	SendSMS(phone, msg string)
@@ -86,6 +95,12 @@ type Evaluator struct {
 	Bindings map[string]ir.Value // input name → bound value
 	Host     Host
 	Limits   Limits
+	// StateIdx, when non-nil, maps the app's statically known state keys
+	// to host state slots (see StateLayout); state.x accesses then go
+	// through Host.StateSlot/SetStateSlot instead of the KV map, so the
+	// tree-walking oracle observes exactly the state the compiled
+	// programs operate on.
+	StateIdx map[string]int
 
 	steps int
 	depth int
@@ -146,26 +161,7 @@ func (ev *Evaluator) CallMethodByName(name string, args []ir.Value) (ir.Value, e
 
 // eventValue builds the evt object delivered to handlers.
 func (ev *Evaluator) eventValue(evt *Event) ir.Value {
-	if evt == nil {
-		return ir.NullV()
-	}
-	m := map[string]ir.Value{
-		"name":          ir.StrV(evt.Name),
-		"value":         toStringValue(evt.Value),
-		"displayName":   ir.StrV(evt.DisplayName),
-		"isStateChange": ir.BoolV(true),
-		"date":          ir.IntV(ev.Host.Now()),
-	}
-	if evt.Value.IsNumeric() {
-		m["numericValue"] = evt.Value
-		m["doubleValue"] = ir.NumV(evt.Value.AsFloat())
-		m["integerValue"] = ir.IntV(evt.Value.AsInt())
-	}
-	if evt.Device >= 0 {
-		m["device"] = ir.DeviceV(evt.Device)
-		m["deviceId"] = ir.StrV(ev.Host.DeviceLabel(evt.Device))
-	}
-	return ir.MapV(m)
+	return eventValueOf(ev.Host, evt)
 }
 
 func toStringValue(v ir.Value) ir.Value {
@@ -497,12 +493,11 @@ func (ev *Evaluator) execAssign(s *groovy.AssignStmt, sc *scope) (ir.Value, cont
 		if id, ok := lhs.Recv.(*groovy.Ident); ok {
 			switch id.Name {
 			case "state", "atomicState":
-				st := ev.Host.AppState()
-				nv, err := apply(st[lhs.Name])
+				nv, err := apply(ev.stateGet(lhs.Name))
 				if err != nil {
 					return ir.NullV(), ctlNormal, err
 				}
-				st[lhs.Name] = nv
+				ev.stateSet(lhs.Name, nv)
 				return nv, ctlNormal, nil
 			case "location":
 				if lhs.Name == "mode" {

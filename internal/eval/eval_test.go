@@ -15,6 +15,7 @@ type fakeHost struct {
 	commands []string
 	mode     string
 	state    map[string]ir.Value
+	slots    []ir.Value
 	sms      []string
 	http     []string
 	events   []string
@@ -44,6 +45,8 @@ func (h *fakeHost) SetLocationMode(m string)          { h.mode = m }
 func (h *fakeHost) Modes() []string                   { return []string{"Home", "Away", "Night"} }
 func (h *fakeHost) Now() int64                        { return 1000 }
 func (h *fakeHost) AppState() map[string]ir.Value     { return h.state }
+func (h *fakeHost) StateSlot(i int) ir.Value          { return h.slots[i] }
+func (h *fakeHost) SetStateSlot(i int, v ir.Value)    { h.slots[i] = v }
 func (h *fakeHost) SendSMS(p, m string)               { h.sms = append(h.sms, p) }
 func (h *fakeHost) SendPush(m string)                 {}
 func (h *fakeHost) HTTPRequest(m, u string)           { h.http = append(h.http, u) }

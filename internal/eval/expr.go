@@ -492,11 +492,11 @@ func (ev *Evaluator) evalProperty(x *groovy.PropertyExpr, sc *scope) (ir.Value, 
 		if _, shadowed := sc.lookup(id.Name); !shadowed {
 			switch id.Name {
 			case "state", "atomicState":
-				return ev.Host.AppState()[x.Name], nil
+				return ev.stateGet(x.Name), nil
 			case "settings":
 				return ev.Bindings[x.Name], nil
 			case "location":
-				return ev.locationProperty(x.Name)
+				return locationPropertyOf(ev.Host, x.Name)
 			case "app":
 				switch x.Name {
 				case "label", "name":
@@ -522,7 +522,7 @@ func (ev *Evaluator) evalProperty(x *groovy.PropertyExpr, sc *scope) (ir.Value, 
 	if x.Spread {
 		var out []ir.Value
 		for _, item := range iterate(recv) {
-			v, err := ev.propertyOf(item, x.Name, x.Pos)
+			v, err := propertyOfValue(ev.Host, item, x.Name, x.Pos)
 			if err != nil {
 				return ir.NullV(), err
 			}
@@ -530,138 +530,30 @@ func (ev *Evaluator) evalProperty(x *groovy.PropertyExpr, sc *scope) (ir.Value, 
 		}
 		return ir.ListV(out), nil
 	}
-	return ev.propertyOf(recv, x.Name, x.Pos)
+	return propertyOfValue(ev.Host, recv, x.Name, x.Pos)
 }
 
-func (ev *Evaluator) locationProperty(name string) (ir.Value, error) {
-	switch name {
-	case "mode", "currentMode":
-		return ir.StrV(ev.Host.LocationMode()), nil
-	case "modes":
-		modes := ev.Host.Modes()
-		out := make([]ir.Value, len(modes))
-		for i, m := range modes {
-			out[i] = ir.StrV(m)
+// stateGet reads one key of the app's persistent state: a slot when the
+// model laid the app's state out statically, the KV map otherwise.
+func (ev *Evaluator) stateGet(key string) ir.Value {
+	if ev.StateIdx != nil {
+		if i, ok := ev.StateIdx[key]; ok {
+			return ev.Host.StateSlot(i)
 		}
-		return ir.ListV(out), nil
-	case "name":
-		return ir.StrV("Home"), nil
-	case "timeZone":
-		return ir.StrV("UTC"), nil
+		return ir.NullV()
 	}
-	return ir.NullV(), nil
+	return ev.Host.AppState()[key]
 }
 
-// propertyOf resolves a property on a concrete value: device attribute
-// reads, event fields, collection pseudo-properties.
-func (ev *Evaluator) propertyOf(recv ir.Value, name string, pos groovy.Pos) (ir.Value, error) {
-	switch recv.Kind {
-	case ir.VDevice:
-		return ev.deviceProperty(recv.Dev, name)
-	case ir.VDevices:
-		// Reading an attribute from a multi-device input returns the
-		// first device's value (SmartThings' common-usage shortcut) —
-		// except pseudo-properties.
-		switch name {
-		case "size":
-			return ir.IntV(int64(len(recv.L))), nil
+// stateSet writes one key of the app's persistent state.
+func (ev *Evaluator) stateSet(key string, v ir.Value) {
+	if ev.StateIdx != nil {
+		if i, ok := ev.StateIdx[key]; ok {
+			ev.Host.SetStateSlot(i, v)
 		}
-		if len(recv.L) == 1 {
-			return ev.propertyOf(recv.L[0], name, pos)
-		}
-		var out []ir.Value
-		for _, d := range recv.L {
-			v, err := ev.propertyOf(d, name, pos)
-			if err != nil {
-				return ir.NullV(), err
-			}
-			out = append(out, v)
-		}
-		return ir.ListV(out), nil
-	case ir.VMap:
-		if v, ok := recv.M[name]; ok {
-			return v, nil
-		}
-		switch name {
-		case "size":
-			return ir.IntV(int64(len(recv.M))), nil
-		case "numericValue", "doubleValue", "floatValue", "integerValue":
-			// Event objects carry value as string; coerce on demand.
-			if v, ok := recv.M["value"]; ok {
-				if n, okk := parseNumeric(v.String()); okk {
-					return n, nil
-				}
-			}
-		}
-		return ir.NullV(), nil
-	case ir.VList:
-		switch name {
-		case "size":
-			return ir.IntV(int64(len(recv.L))), nil
-		case "first":
-			if len(recv.L) > 0 {
-				return recv.L[0], nil
-			}
-			return ir.NullV(), nil
-		case "last":
-			if len(recv.L) > 0 {
-				return recv.L[len(recv.L)-1], nil
-			}
-			return ir.NullV(), nil
-		case "empty":
-			return ir.BoolV(len(recv.L) == 0), nil
-		}
-		return ir.NullV(), nil
-	case ir.VStr:
-		switch name {
-		case "length", "size":
-			return ir.IntV(int64(len(recv.S))), nil
-		case "value":
-			return recv, nil
-		}
-		return ir.NullV(), nil
-	case ir.VInt, ir.VNum:
-		if name == "value" {
-			return recv, nil
-		}
-		return ir.NullV(), nil
+		return
 	}
-	return ir.NullV(), nil
-}
-
-// deviceProperty resolves device attribute reads: currentX, xState,
-// label/displayName, id.
-func (ev *Evaluator) deviceProperty(dev int, name string) (ir.Value, error) {
-	switch name {
-	case "displayName", "label", "name":
-		return ir.StrV(ev.Host.DeviceLabel(dev)), nil
-	case "id", "deviceNetworkId":
-		return ir.StrV(fmt.Sprintf("dev-%d", dev)), nil
-	}
-	if strings.HasPrefix(name, "current") && len(name) > len("current") {
-		attr := name[len("current"):]
-		attr = strings.ToLower(attr[:1]) + attr[1:]
-		if v, ok := ev.Host.DeviceAttr(dev, attr); ok {
-			return v, nil
-		}
-		return ir.NullV(), nil
-	}
-	if strings.HasSuffix(name, "State") && len(name) > len("State") {
-		attr := name[:len(name)-len("State")]
-		if v, ok := ev.Host.DeviceAttr(dev, attr); ok {
-			return ir.MapV(map[string]ir.Value{
-				"value": toStringValue(v),
-				"name":  ir.StrV(attr),
-				"date":  ir.IntV(ev.Host.Now()),
-			}), nil
-		}
-		return ir.NullV(), nil
-	}
-	// Direct attribute name (device.temperature style).
-	if v, ok := ev.Host.DeviceAttr(dev, name); ok {
-		return v, nil
-	}
-	return ir.NullV(), nil
+	ev.Host.AppState()[key] = v
 }
 
 // sortedKeys is used by map iteration helpers for determinism.

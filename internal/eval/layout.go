@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"sort"
+
+	"iotsan/internal/groovy"
+	"iotsan/internal/ir"
+)
+
+// StateLayout statically analyzes an app's use of the persistent state
+// map. When every access is a literal-key property read or write
+// (state.x / state.x = v — the overwhelmingly common SmartThings
+// idiom), it returns the sorted key set and ok=true: the model can then
+// lay the app's state out as a fixed slot array instead of a map, which
+// makes state access, cloning, and state-vector encoding cheaper and
+// sort-free. Any dynamic use (bare `state` as a value, state[expr],
+// method calls on state, or shadowing declarations) returns ok=false
+// and the app keeps its KV map.
+func StateLayout(app *ir.App) (keys []string, ok bool) {
+	isState := func(name string) bool { return name == "state" || name == "atomicState" }
+
+	// First pass: mark the exact Ident nodes that appear as property
+	// receivers of state — those are the slot-compatible accesses.
+	accounted := map[*groovy.Ident]bool{}
+	keySet := map[string]bool{}
+	for _, m := range app.Methods {
+		groovy.Walk(m, func(n groovy.Node) bool {
+			if p, isProp := n.(*groovy.PropertyExpr); isProp {
+				if id, isID := p.Recv.(*groovy.Ident); isID && isState(id.Name) && !p.Spread {
+					accounted[id] = true
+					keySet[p.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Second pass: any other occurrence of the name — bare value use,
+	// index/call receiver, shadowing declaration — is dynamic.
+	dynamic := false
+	for _, m := range app.Methods {
+		for _, prm := range m.Params {
+			if isState(prm.Name) {
+				dynamic = true
+			}
+		}
+		groovy.Walk(m, func(n groovy.Node) bool {
+			switch x := n.(type) {
+			case *groovy.Ident:
+				if isState(x.Name) && !accounted[x] {
+					dynamic = true
+				}
+			case *groovy.VarDeclStmt:
+				if isState(x.Name) {
+					dynamic = true
+				}
+			case *groovy.ForInStmt:
+				if isState(x.Var) {
+					dynamic = true
+				}
+			case *groovy.ClosureExpr:
+				for _, prm := range x.Params {
+					if isState(prm.Name) {
+						dynamic = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if dynamic {
+		return nil, false
+	}
+	keys = make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, true
+}
+
+// evtDirectMethods computes the set of methods eligible for direct
+// event access: the method's first parameter provably never escapes
+// (every occurrence is a non-spread property-read receiver), has no
+// default, and the method is never the target of a direct call from any
+// method body (direct calls would pass plain values where the compiled
+// body reads the live event). Timer and subscription dispatch always
+// arrives through CallHandler, which supplies a real event, so
+// name-string references (runIn etc.) stay safe.
+func evtDirectMethods(app *ir.App) map[string]bool {
+	called := map[string]bool{}
+	for _, m := range app.Methods {
+		groovy.Walk(m, func(n groovy.Node) bool {
+			if c, isCall := n.(*groovy.CallExpr); isCall && c.Recv == nil {
+				called[c.Name] = true
+			}
+			return true
+		})
+	}
+
+	out := map[string]bool{}
+	for name, m := range app.Methods {
+		if len(m.Params) == 0 || m.Params[0].Default != nil || called[name] {
+			continue
+		}
+		if paramNonEscaping(m, m.Params[0].Name) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// paramNonEscaping reports whether every occurrence of the named
+// parameter inside the method body is a plain property-read receiver.
+func paramNonEscaping(m *groovy.MethodDecl, name string) bool {
+	accounted := map[*groovy.Ident]bool{}
+	groovy.Walk(m, func(n groovy.Node) bool {
+		if p, isProp := n.(*groovy.PropertyExpr); isProp && !p.Spread {
+			if id, isID := p.Recv.(*groovy.Ident); isID && id.Name == name {
+				accounted[id] = true
+			}
+		}
+		return true
+	})
+	escaping := false
+	groovy.Walk(m, func(n groovy.Node) bool {
+		switch x := n.(type) {
+		case *groovy.Ident:
+			if x.Name == name && !accounted[x] {
+				escaping = true
+			}
+		case *groovy.VarDeclStmt:
+			if x.Name == name {
+				escaping = true
+			}
+		case *groovy.ForInStmt:
+			if x.Var == name {
+				escaping = true
+			}
+		case *groovy.ClosureExpr:
+			for _, prm := range x.Params {
+				if prm.Name == name {
+					escaping = true
+				}
+			}
+		case *groovy.AssignStmt:
+			if id, isID := x.LHS.(*groovy.Ident); isID && id.Name == name {
+				escaping = true
+			}
+		}
+		return true
+	})
+	return !escaping
+}

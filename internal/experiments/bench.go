@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iotsan/internal/checker"
+	"iotsan/internal/corpus"
+	"iotsan/internal/model"
+	"iotsan/internal/props"
+)
+
+// ParallelCheckWorkload builds the canonical checker-throughput
+// workload: the largest market group under an expert configuration with
+// the full invariant catalog, capped so every engine variant performs
+// identical expansion work. BenchmarkParallelCheck and `iotsan-bench
+// -table perf` (the BENCH_<date>.json record) share this single
+// definition so the committed perf trajectory always measures exactly
+// what the benchmark measures.
+func ParallelCheckWorkload() (*model.Model, checker.Options, string, error) {
+	largest := 1
+	for g := 2; g <= 6; g++ {
+		if len(corpus.Group(g)) > len(corpus.Group(largest)) {
+			largest = g
+		}
+	}
+	sources := corpus.Group(largest)
+	apps, err := TranslateAll(sources)
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	sys := ExpertConfig("parallel-bench", sources, apps)
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 3, CheckConflicts: true, Invariants: invs,
+	})
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	copts := checker.Options{MaxDepth: 66, MaxStates: 20000}
+	desc := fmt.Sprintf("market group %d (%d apps), MaxEvents=3, full invariants, cap %d states",
+		largest, len(sources), copts.MaxStates)
+	return m, copts, desc, nil
+}

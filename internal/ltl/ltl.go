@@ -430,6 +430,74 @@ func (m *Monitor) Reset() {
 	m.started = false
 }
 
+// Bind compiles a propositional formula into a closed evaluator over a
+// caller-supplied atom binding: atom resolution and the boolean
+// structure are resolved once at bind time, so evaluating the formula
+// on a state is plain closure calls — no per-evaluation environment
+// closure, no per-atom map lookups. atom must return nil for unbound
+// names (reported as an error).
+func Bind[T any](f *Formula, atom func(name string) func(T) bool) (func(T) bool, error) {
+	switch f.Op {
+	case OpAtom:
+		a := atom(f.Atom)
+		if a == nil {
+			return nil, fmt.Errorf("ltl: unbound atom %q", f.Atom)
+		}
+		return a, nil
+	case OpTrue:
+		return func(T) bool { return true }, nil
+	case OpFalse:
+		return func(T) bool { return false }, nil
+	case OpNot:
+		l, err := Bind(f.L, atom)
+		if err != nil {
+			return nil, err
+		}
+		return func(v T) bool { return !l(v) }, nil
+	case OpAnd:
+		l, err := Bind(f.L, atom)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(f.R, atom)
+		if err != nil {
+			return nil, err
+		}
+		return func(v T) bool { return l(v) && r(v) }, nil
+	case OpOr:
+		l, err := Bind(f.L, atom)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(f.R, atom)
+		if err != nil {
+			return nil, err
+		}
+		return func(v T) bool { return l(v) || r(v) }, nil
+	case OpImplies:
+		l, err := Bind(f.L, atom)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(f.R, atom)
+		if err != nil {
+			return nil, err
+		}
+		return func(v T) bool { return !l(v) || r(v) }, nil
+	case OpIff:
+		l, err := Bind(f.L, atom)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(f.R, atom)
+		if err != nil {
+			return nil, err
+		}
+		return func(v T) bool { return l(v) == r(v) }, nil
+	}
+	return nil, fmt.Errorf("ltl: Bind on temporal formula %s", f)
+}
+
 // Step observes the next state (via its atom assignment) and reports
 // whether the property still holds.
 func (m *Monitor) Step(env func(atom string) bool) bool {

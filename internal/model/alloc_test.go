@@ -1,0 +1,125 @@
+package model
+
+import (
+	"testing"
+
+	"iotsan/internal/config"
+	"iotsan/internal/ir"
+	"iotsan/internal/smartapp"
+)
+
+// cascadeApp wires a two-hop cascade: a motion event drives a switch
+// command, whose state-change event drives a second handler updating
+// persistent (slotted) state.
+const cascadeApp = `
+definition(name: "Cascade", namespace: "t", author: "t", description: "t", category: "t")
+preferences {
+    section("s") { input "motion1", "capability.motionSensor" }
+    section("s") { input "switches", "capability.switch" }
+}
+def installed() {
+    subscribe(motion1, "motion", onMotion)
+    subscribe(switches, "switch", onSwitch)
+}
+def onMotion(evt) {
+    if (evt.value == "active") { switches.on() } else { switches.off() }
+}
+def onSwitch(evt) {
+    state.flips = (state.flips ?: 0) + 1
+}
+`
+
+func cascadeModel(t *testing.T, interpreter bool) *Model {
+	t.Helper()
+	app, err := smartapp.Translate(cascadeApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &config.System{
+		Name: "alloc-home",
+		Devices: []config.Device{
+			{ID: "m1", Label: "Motion", Model: "Motion Sensor"},
+			{ID: "sw1", Label: "Light", Model: "Smart Switch"},
+		},
+		Apps: []config.AppInstance{
+			{App: "Cascade", Bindings: map[string]config.Binding{
+				"motion1":  {DeviceIDs: []string{"m1"}},
+				"switches": {DeviceIDs: []string{"sw1"}},
+			}},
+		},
+	}
+	m, err := New(cfg, map[string]*ir.App{"Cascade": app}, Options{MaxEvents: 3, Interpreter: interpreter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCascadeZeroAllocs is the allocation regression gate for the
+// compiled hot path: executing a full sequential-design handler cascade
+// (sensor update → compiled handler → actuator command → second
+// compiled handler → slotted state write) on a pooled executor performs
+// zero heap allocations. Successor-state materialization (State.Clone)
+// is measured separately below — it is the only allocating step left in
+// a transition.
+func TestCascadeZeroAllocs(t *testing.T) {
+	m := cascadeModel(t, false)
+	if m.Apps[0].Prog == nil {
+		t.Fatal("cascade app should compile")
+	}
+	if m.Apps[0].StateIdx == nil {
+		t.Fatal("cascade app should have slotted state")
+	}
+
+	s := m.Initial()
+	d := m.Devices[0]
+	ai := d.AttrIndex("motion")
+	if ai < 0 {
+		t.Fatal("no motion attribute")
+	}
+	active := int16(indexOf(d.Attrs[ai].Values, "active"))
+	inactive := int16(indexOf(d.Attrs[ai].Values, "inactive"))
+	if active < 0 || inactive < 0 {
+		t.Fatalf("motion values missing: %v", d.Attrs[ai].Values)
+	}
+
+	x := m.newPooledExecutor()
+	val := active
+	run := func() {
+		s.Cmds = s.Cmds[:0]
+		x.reset(s, failNone, false)
+		x.sensorUpdate(0, ai, val)
+		x.drain()
+		if val == active {
+			val = inactive
+		} else {
+			val = active
+		}
+	}
+	run() // warm the queue, env stacks, and command log
+	run()
+
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Errorf("cascade executed with %.2f allocs/run, want 0", allocs)
+	}
+
+	if s.Apps[0].Slots[m.Apps[0].StateIdx["flips"]].AsInt() < 2 {
+		t.Error("cascade did not reach the second handler")
+	}
+}
+
+// TestCloneAllocBudget pins the per-clone allocation count: the flat
+// attribute/slot backing plus the device and app headers — O(1) in the
+// number of device attributes, not O(devices).
+func TestCloneAllocBudget(t *testing.T) {
+	m := cascadeModel(t, false)
+	s := m.Initial()
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.Clone()
+	})
+	// State struct + Devices headers + flat attrs + Apps headers + flat
+	// slots = 5 allocations regardless of device count.
+	if allocs > 5 {
+		t.Errorf("State.Clone allocates %.1f times, want <= 5", allocs)
+	}
+}

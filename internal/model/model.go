@@ -14,9 +14,12 @@ package model
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"iotsan/internal/config"
 	"iotsan/internal/device"
+	"iotsan/internal/eval"
 	"iotsan/internal/ir"
 )
 
@@ -79,6 +82,11 @@ type Options struct {
 	// to the named attributes (the facade derives the set from the
 	// handlers' input events, pruning sensor events no app observes).
 	RelevantAttrs map[string]bool
+	// Interpreter forces handler execution through the tree-walking
+	// interpreter instead of the closure-compiled programs. The two are
+	// observationally identical (the differential corpus test enforces
+	// it); the interpreter is retained as the oracle and for debugging.
+	Interpreter bool
 }
 
 func (o *Options) maxCascade() int {
@@ -105,6 +113,27 @@ type DevInst struct {
 	Assoc   string
 	Attrs   []device.Attribute // flattened, deduplicated schema
 	attrIdx map[string]int
+	// numStrs caches the string form of each numeric attribute's
+	// generated values (enum attributes render from Attrs[i].Values).
+	numStrs []map[int16]string
+}
+
+// attrString renders an attribute value without allocating for the
+// precomputed (enum and generated-numeric) cases.
+func (d *DevInst) attrString(ai int, raw int16) string {
+	a := d.Attrs[ai]
+	if !a.Numeric {
+		if int(raw) < len(a.Values) {
+			return a.Values[raw]
+		}
+		return "null"
+	}
+	if m := d.numStrs[ai]; m != nil {
+		if s, ok := m[raw]; ok {
+			return s
+		}
+	}
+	return strconv.FormatInt(int64(raw), 10)
 }
 
 // AttrIndex returns the index of attr in the instance's layout, or -1.
@@ -115,11 +144,26 @@ func (d *DevInst) AttrIndex(attr string) int {
 	return -1
 }
 
-// AppInst is one installed app instance with resolved bindings.
+// AppInst is one installed app instance with resolved bindings, its
+// static state layout, and its closure-compiled programs.
 type AppInst struct {
 	Idx      int
 	App      *ir.App
 	Bindings map[string]ir.Value
+
+	// StateKeys/StateIdx are the static persistent-state layout from
+	// eval.StateLayout (nil StateIdx = dynamic, KV map retained).
+	StateKeys []string
+	StateIdx  map[string]int
+
+	// Prog holds the closure-compiled methods; nil when compilation
+	// fell back to the interpreter (or Options.Interpreter is set).
+	Prog *eval.CompiledApp
+
+	// methodNames/methodIdx give every method a dense index, used to
+	// encode timer transitions into replay keys.
+	methodNames []string
+	methodIdx   map[string]int
 }
 
 // Subscription sources.
@@ -153,6 +197,45 @@ type Model struct {
 
 	subs     []resolvedSub
 	external []ExtEvent
+
+	// Dispatch indexes, precomputed at New so event delivery never
+	// scans the full subscription table:
+	//   subIdx   (source, attr) → subscription indices, in table order
+	//   synthIdx attr → device-sourced subscriptions (sendEvent fakes)
+	//   touchIdx app → its app-touch subscriptions
+	subIdx   map[subKey][]int32
+	synthIdx map[string][]int32
+	touchIdx [][]int32
+
+	// extLabels[evIdx][fm] are the transition labels for every external
+	// event × failure mode; timerLabels[app][method][fm] likewise for
+	// timer firings. Precomputing them keeps fmt off the hot path.
+	// dispPre/dispPost[si] sandwich the runtime event value in a
+	// concurrent-design dispatch label ("dispatch attr/" + value + " to
+	// App.handler").
+	extLabels   [][4]string
+	timerLabels [][][4]string
+	dispPre     []string
+	dispPost    []string
+
+	// slotTotal is the summed static state-slot count across apps.
+	slotTotal int
+
+	// byCap/byAssoc index the (immutable) device inventory by capability
+	// and association role; invariant atoms query them on every reached
+	// state, so the per-state scan-and-allocate is hoisted to New.
+	byCap   map[string][]*DevInst
+	byAssoc map[string][]*DevInst
+
+	// execs pools executors (with their compiled-execution Envs) so a
+	// transition costs no executor allocations.
+	execs sync.Pool
+}
+
+// subKey indexes resolved subscriptions by event source and attribute.
+type subKey struct {
+	src  int32
+	attr string
 }
 
 // ExtEventKind classifies externally generated events.
@@ -195,8 +278,17 @@ func New(cfg *config.System, apps map[string]*ir.App, opts Options) (*Model, err
 			Idx: i, ID: d.ID, Label: labelOf(d), Model: dm, Assoc: d.Association,
 			Attrs: dm.Attributes(), attrIdx: map[string]int{},
 		}
+		inst.numStrs = make([]map[int16]string, len(inst.Attrs))
 		for j, a := range inst.Attrs {
 			inst.attrIdx[a.Name] = j
+			if a.Numeric {
+				ns := make(map[int16]string, len(a.GenValues)+1)
+				ns[int16(a.Default)] = strconv.FormatInt(int64(a.Default), 10)
+				for _, gv := range a.GenValues {
+					ns[int16(gv)] = strconv.FormatInt(int64(gv), 10)
+				}
+				inst.numStrs[j] = ns
+			}
 		}
 		m.Devices = append(m.Devices, inst)
 	}
@@ -245,9 +337,115 @@ func New(cfg *config.System, apps map[string]*ir.App, opts Options) (*Model, err
 		m.Apps = append(m.Apps, &AppInst{Idx: ai, App: app, Bindings: bound})
 	}
 
+	// Static state layout + closure compilation, once per app instance.
+	for _, app := range m.Apps {
+		names := make([]string, 0, len(app.App.Methods))
+		for name := range app.App.Methods {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		app.methodNames = names
+		app.methodIdx = make(map[string]int, len(names))
+		for i, n := range names {
+			app.methodIdx[n] = i
+		}
+
+		if keys, ok := eval.StateLayout(app.App); ok {
+			app.StateKeys = keys
+			app.StateIdx = make(map[string]int, len(keys))
+			for i, k := range keys {
+				app.StateIdx[k] = i
+			}
+			m.slotTotal += len(keys)
+		}
+		if !opts.Interpreter {
+			ca := eval.Compile(app.App, app.Bindings, app.StateIdx)
+			if ca.Err == nil {
+				app.Prog = ca
+			}
+			// On compile failure the app runs under the interpreter
+			// with the same state layout — no mixed-mode execution.
+		}
+	}
+
 	m.resolveSubscriptions()
 	m.buildExternalEvents()
+	m.buildDispatchIndex()
+	m.buildLabels()
+	m.byCap = map[string][]*DevInst{}
+	m.byAssoc = map[string][]*DevInst{}
+	for _, d := range m.Devices {
+		for _, cn := range d.Model.Capabilities {
+			m.byCap[cn] = append(m.byCap[cn], d)
+		}
+		if d.Assoc != "" {
+			m.byAssoc[d.Assoc] = append(m.byAssoc[d.Assoc], d)
+		}
+	}
+	m.execs.New = func() any { return m.newPooledExecutor() }
 	return m, nil
+}
+
+// buildDispatchIndex precomputes the (source, attr) → subscriptions
+// index replacing linear scans of the subscription table during event
+// delivery. Per-key lists preserve table order, so dispatch order is
+// identical to the scans it replaces.
+func (m *Model) buildDispatchIndex() {
+	m.subIdx = map[subKey][]int32{}
+	m.synthIdx = map[string][]int32{}
+	m.touchIdx = make([][]int32, len(m.Apps))
+	for si, sub := range m.subs {
+		k := subKey{src: int32(sub.Source), attr: sub.Attr}
+		m.subIdx[k] = append(m.subIdx[k], int32(si))
+		if sub.Source >= 0 {
+			m.synthIdx[sub.Attr] = append(m.synthIdx[sub.Attr], int32(si))
+		}
+		if sub.Source == srcApp {
+			m.touchIdx[sub.AppIdx] = append(m.touchIdx[sub.AppIdx], int32(si))
+		}
+	}
+}
+
+// subsFor returns the subscription indices an event can reach before
+// value filtering: exact (source, attr) matches, plus — for synthetic
+// sendEvent events, which impersonate devices — every device-sourced
+// subscription on the attribute.
+func (m *Model) subsFor(source int, attr string) []int32 {
+	if source == srcSynth {
+		return m.synthIdx[attr]
+	}
+	return m.subIdx[subKey{src: int32(source), attr: attr}]
+}
+
+// buildLabels precomputes every transition label (external event ×
+// failure mode, and timer × method × failure mode), so the hot path
+// never formats strings.
+func (m *Model) buildLabels() {
+	fms := []failMode{failNone, failSensorOff, failSensorComm, failActuators}
+	m.extLabels = make([][4]string, len(m.external))
+	for i, ev := range m.external {
+		m.extLabels[i][0] = ev.Label
+		for _, fm := range fms[1:] {
+			m.extLabels[i][fm] = ev.Label + " [" + fm.String() + "]"
+		}
+	}
+	m.timerLabels = make([][][4]string, len(m.Apps))
+	for ai, app := range m.Apps {
+		m.timerLabels[ai] = make([][4]string, len(app.methodNames))
+		for mi, name := range app.methodNames {
+			base := "timer: " + app.App.Name + "." + name
+			m.timerLabels[ai][mi][0] = base
+			for _, fm := range fms[1:] {
+				m.timerLabels[ai][mi][fm] = base + " [" + fm.String() + "]"
+			}
+		}
+	}
+	m.dispPre = make([]string, len(m.subs))
+	m.dispPost = make([]string, len(m.subs))
+	for si, sub := range m.subs {
+		m.dispPre[si] = "dispatch " + sub.Attr + "/"
+		m.dispPost[si] = " to " + m.Apps[sub.AppIdx].App.Name + "." + sub.Handler
+	}
 }
 
 func labelOf(d config.Device) string {

@@ -6,7 +6,9 @@ import (
 	"iotsan/internal/ir"
 )
 
-// DevState is the dynamic state of one device instance.
+// DevState is the dynamic state of one device instance. Attrs is a
+// subslice of the state's flat attribute backing array, so cloning all
+// device attributes is one allocation and one copy.
 type DevState struct {
 	Online bool
 	Attrs  []int16 // enum value index or numeric value, per attribute
@@ -18,9 +20,13 @@ type Timer struct {
 	Delay   int64
 }
 
-// AppState is the dynamic state of one app instance.
+// AppState is the dynamic state of one app instance. Apps whose state
+// keys are statically known (eval.StateLayout) store their persistent
+// state in Slots — a subslice of the state's flat slot backing — and
+// keep KV nil; dynamic apps fall back to the KV map.
 type AppState struct {
-	KV           map[string]ir.Value // the persistent `state` map
+	KV           map[string]ir.Value // the persistent `state` map (dynamic apps)
+	Slots        []ir.Value          // slot-based persistent state (static apps)
 	Unsubscribed bool
 	Timers       []Timer
 }
@@ -56,6 +62,11 @@ type State struct {
 	EventsUsed int
 	Devices    []DevState
 	Apps       []AppState
+	// attrs/slots are the flat backing arrays the per-device Attrs and
+	// per-app Slots subslices point into; Clone copies each with a
+	// single allocation.
+	attrs []int16
+	slots []ir.Value
 	// Queue holds pending handler invocations (concurrent design only;
 	// always empty between transitions in the sequential design).
 	Queue []Pending
@@ -76,8 +87,17 @@ func (m *Model) Initial() *State {
 		mi = 0
 	}
 	s.Mode = uint8(mi)
+
+	total := 0
+	for _, d := range m.Devices {
+		total += len(d.Attrs)
+	}
+	s.attrs = make([]int16, total)
+	off := 0
 	for i, d := range m.Devices {
-		ds := DevState{Online: true, Attrs: make([]int16, len(d.Attrs))}
+		n := len(d.Attrs)
+		ds := DevState{Online: true, Attrs: s.attrs[off : off+n : off+n]}
+		off += n
 		for j, a := range d.Attrs {
 			ds.Attrs[j] = int16(a.Default)
 		}
@@ -97,6 +117,18 @@ func (m *Model) Initial() *State {
 			}
 		}
 		s.Devices[i] = ds
+	}
+
+	if m.slotTotal > 0 {
+		s.slots = make([]ir.Value, m.slotTotal)
+		off := 0
+		for i, app := range m.Apps {
+			n := len(app.StateKeys)
+			if n > 0 {
+				s.Apps[i].Slots = s.slots[off : off+n : off+n]
+				off += n
+			}
+		}
 	}
 	return s
 }
@@ -126,20 +158,38 @@ type errInvalid string
 
 func (e errInvalid) Error() string { return string(e) }
 
-// Clone deep-copies the state.
+// Clone deep-copies the state. The flat attribute and slot backing
+// arrays are each copied with one allocation; per-device and per-app
+// headers are re-sliced onto them.
 func (s *State) Clone() *State {
 	n := &State{
 		Time: s.Time, Mode: s.Mode, EventsUsed: s.EventsUsed,
 		Devices: make([]DevState, len(s.Devices)),
 		Apps:    make([]AppState, len(s.Apps)),
 	}
-	for i, d := range s.Devices {
-		nd := DevState{Online: d.Online, Attrs: make([]int16, len(d.Attrs))}
-		copy(nd.Attrs, d.Attrs)
-		n.Devices[i] = nd
+	if len(s.attrs) > 0 {
+		n.attrs = make([]int16, len(s.attrs))
+		copy(n.attrs, s.attrs)
 	}
+	off := 0
+	for i, d := range s.Devices {
+		k := len(d.Attrs)
+		n.Devices[i] = DevState{Online: d.Online, Attrs: n.attrs[off : off+k : off+k]}
+		off += k
+	}
+	if len(s.slots) > 0 {
+		n.slots = make([]ir.Value, len(s.slots))
+		for i, v := range s.slots {
+			n.slots[i] = cloneValue(v)
+		}
+	}
+	soff := 0
 	for i, a := range s.Apps {
 		na := AppState{Unsubscribed: a.Unsubscribed}
+		if k := len(a.Slots); k > 0 {
+			na.Slots = n.slots[soff : soff+k : soff+k]
+			soff += k
+		}
 		if a.KV != nil {
 			na.KV = make(map[string]ir.Value, len(a.KV))
 			for k, v := range a.KV {
@@ -202,6 +252,11 @@ func (s *State) Encode(buf []byte) []byte {
 		for _, t := range a.Timers {
 			buf = append(buf, []byte(t.Handler)...)
 			buf = append(buf, 0)
+		}
+		// Slotted state encodes in fixed layout order — no key strings,
+		// no sorting. Dynamic apps keep the sorted-key KV encoding.
+		for _, v := range a.Slots {
+			buf = v.Encode(buf)
 		}
 		if len(a.KV) > 0 {
 			keys := make([]string, 0, len(a.KV))

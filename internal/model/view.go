@@ -20,42 +20,41 @@ func (v *View) Attr(dev int, attr string) (ir.Value, bool) {
 }
 
 // ByAssociation returns the devices carrying the given association role
-// (§7 device association info).
+// (§7 device association info). The returned slice is the model's
+// precomputed index — callers must not mutate it.
 func (v *View) ByAssociation(assoc string) []*DevInst {
-	var out []*DevInst
-	for _, d := range v.M.Devices {
-		if d.Assoc == assoc {
-			out = append(out, d)
-		}
-	}
-	return out
+	return v.M.byAssoc[assoc]
 }
 
-// ByCapability returns the devices exposing a capability.
+// ByCapability returns the devices exposing a capability. The returned
+// slice is the model's precomputed index — callers must not mutate it.
 func (v *View) ByCapability(capName string) []*DevInst {
-	var out []*DevInst
-	for _, d := range v.M.Devices {
-		if d.Model.HasCapability(capName) {
-			out = append(out, d)
-		}
-	}
-	return out
+	return v.M.byCap[capName]
 }
 
 // AttrEquals reports whether the device's attribute currently holds the
-// given string value.
+// given string value. It compares raw encoded values without building
+// an ir.Value (invariant atoms call this on every reached state).
 func (v *View) AttrEquals(d *DevInst, attr, value string) bool {
-	val, ok := v.Attr(d.Idx, attr)
-	return ok && val.Kind == ir.VStr && val.S == value
+	i := d.AttrIndex(attr)
+	if i < 0 {
+		return false
+	}
+	a := &d.Attrs[i]
+	if a.Numeric {
+		return false
+	}
+	raw := int(v.S.Devices[d.Idx].Attrs[i])
+	return raw < len(a.Values) && a.Values[raw] == value
 }
 
 // AttrNumber returns a numeric attribute value.
 func (v *View) AttrNumber(d *DevInst, attr string) (int64, bool) {
-	val, ok := v.Attr(d.Idx, attr)
-	if !ok || !val.IsNumeric() {
+	i := d.AttrIndex(attr)
+	if i < 0 || !d.Attrs[i].Numeric {
 		return 0, false
 	}
-	return val.AsInt(), true
+	return int64(v.S.Devices[d.Idx].Attrs[i]), true
 }
 
 // AnyoneHome reports whether any presence sensor reports "present".

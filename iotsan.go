@@ -103,6 +103,10 @@ type Options struct {
 	MaxStatesPerSet int
 	// Deadline caps wall-clock time per related set.
 	Deadline time.Duration
+	// Interpreter runs handlers under the tree-walking interpreter
+	// instead of the closure-compiled programs (the differential-testing
+	// oracle; observationally identical, several times slower).
+	Interpreter bool
 }
 
 func (o Options) withDefaults() Options {
@@ -312,6 +316,7 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options) (*GroupResu
 		CheckRobustness: opts.Failures && sel[model.PropRobustness],
 		Invariants:      invs,
 		RelevantAttrs:   relevantAttrs(sub, apps),
+		Interpreter:     opts.Interpreter,
 	})
 	if err != nil {
 		return nil, err
