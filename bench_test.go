@@ -345,8 +345,86 @@ func BenchmarkParallelCheck(b *testing.B) {
 	}
 	b.Run("dfs", run(checker.StrategyDFS, 0))
 	b.Run("workers=1", run(checker.StrategyParallel, 1))
+	b.Run("steal=1", run(checker.StrategySteal, 1))
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		b.Run(fmt.Sprintf("workers=%d", n), run(checker.StrategyParallel, 0))
+		b.Run(fmt.Sprintf("steal=%d", n), run(checker.StrategySteal, 0))
+	}
+}
+
+// BenchmarkStealEqualWork compares the three strategies on a fully
+// explored market group — no state cap, so every strategy performs
+// byte-for-byte identical expansion work and the states/s numbers are
+// directly comparable (the capped BenchmarkParallelCheck workload
+// explores a different 20k-state prefix per exploration order, which
+// skews cross-strategy comparison).
+func BenchmarkStealEqualWork(b *testing.B) {
+	sources := corpus.Group(2)
+	apps, err := experiments.TranslateAll(sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := experiments.ExpertConfig("steal-equal-work", sources, apps)
+	m, err := experiments.GroupModel(sys, apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(strategy checker.StrategyKind, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			var res *checker.Result
+			for i := 0; i < b.N; i++ {
+				res = checker.Run(m.System(), checker.Options{
+					MaxDepth: 66, Strategy: strategy, Workers: workers,
+				})
+				if res.Truncated {
+					b.Fatal("equal-work run truncated")
+				}
+			}
+			b.ReportMetric(float64(res.StatesExplored)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+			b.ReportMetric(float64(res.StatesExplored), "states")
+		}
+	}
+	b.Run("dfs", run(checker.StrategyDFS, 0))
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("parallel=%d", w), run(checker.StrategyParallel, w))
+		b.Run(fmt.Sprintf("steal=%d", w), run(checker.StrategySteal, w))
+	}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		b.Run(fmt.Sprintf("parallel=%d", n), run(checker.StrategyParallel, n))
+		b.Run(fmt.Sprintf("steal=%d", n), run(checker.StrategySteal, n))
+	}
+}
+
+// BenchmarkGroupScheduler measures multi-group Analyze wall-clock with
+// sequential groups versus the concurrent group scheduler under the
+// shared worker budget (each group's exploration is identical in both
+// modes, so the comparison is pure scheduling).
+func BenchmarkGroupScheduler(b *testing.B) {
+	sys, apps, opts, desc, err := experiments.GroupSchedulerWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("workload: %s", desc)
+	for _, mode := range []struct {
+		name          string
+		groupParallel bool
+	}{{"sequential", false}, {"group-parallel", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rep *iotsan.Report
+			for i := 0; i < b.N; i++ {
+				o := opts
+				o.Strategy = iotsan.StrategySteal
+				o.Workers = runtime.GOMAXPROCS(0)
+				o.GroupParallel = mode.groupParallel
+				rep, err = iotsan.AnalyzeTranslated(sys, apps, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(rep.Groups)), "groups")
+			b.ReportMetric(float64(len(rep.Violations)), "violations")
+		})
 	}
 }
 

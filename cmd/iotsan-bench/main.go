@@ -42,8 +42,9 @@ func main() { os.Exit(realMain()) }
 func realMain() int {
 	table := flag.String("table", "all", "table to regenerate (5, 6, 7a, 7b, 8, 9, attribution, perf, all)")
 	events := flag.Int("events", 2, "external events for Tables 5/6")
-	strategy := flag.String("strategy", "dfs", "checker search strategy: dfs (sequential) or parallel")
-	workers := flag.Int("workers", 0, "checker goroutines for -strategy parallel (0 = GOMAXPROCS)")
+	strategy := flag.String("strategy", "dfs", "checker search strategy: dfs (sequential), parallel (level-synchronous), or steal (work-stealing)")
+	workers := flag.Int("workers", 0, "checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)")
+	groupPar := flag.Bool("group-parallel", false, "verify independent related sets concurrently under one shared worker budget")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	jsonOut := flag.Bool("json", false, "write the -table perf record to BENCH_<date>.json")
@@ -55,6 +56,7 @@ func realMain() int {
 		return 2
 	}
 	experiments.SetEngine(strat, *workers)
+	experiments.SetGroupParallel(*groupPar)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -218,12 +220,14 @@ func realMain() int {
 // perfRecord is the machine-readable states/s record of one perf run;
 // one BENCH_<date>.json per PR tracks the throughput trajectory.
 type perfRecord struct {
-	Date     string    `json:"date"`
-	GoOS     string    `json:"goos"`
-	GoArch   string    `json:"goarch"`
-	CPUs     int       `json:"cpus"`
-	Workload string    `json:"workload"`
-	Runs     []perfRun `json:"runs"`
+	Date          string     `json:"date"`
+	GoOS          string     `json:"goos"`
+	GoArch        string     `json:"goarch"`
+	CPUs          int        `json:"cpus"`
+	Workload      string     `json:"workload"`
+	Runs          []perfRun  `json:"runs"`
+	GroupWorkload string     `json:"group_workload,omitempty"`
+	GroupRuns     []groupRun `json:"group_runs,omitempty"`
 }
 
 type perfRun struct {
@@ -232,6 +236,19 @@ type perfRun struct {
 	States       int     `json:"states"`
 	Seconds      float64 `json:"seconds"`
 	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// groupRun is one multi-group Analyze wall-clock measurement: the same
+// workload verified with sequential groups versus the concurrent group
+// scheduler under the shared worker budget.
+type groupRun struct {
+	Mode       string  `json:"mode"` // "sequential" or "group-parallel"
+	Strategy   string  `json:"strategy"`
+	Workers    int     `json:"workers"`
+	Groups     int     `json:"groups"`
+	Violations int     `json:"violations"`
+	States     int     `json:"states"`
+	Seconds    float64 `json:"seconds"`
 }
 
 // runPerf measures checker throughput on the shared
@@ -257,9 +274,14 @@ func runPerf(writeJSON bool) error {
 	variants := []variant{
 		{"dfs", checker.StrategyDFS, 0},
 		{"parallel", checker.StrategyParallel, 1},
+		{"steal", checker.StrategySteal, 1},
+		{"parallel", checker.StrategyParallel, 2},
+		{"steal", checker.StrategySteal, 2},
 	}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		variants = append(variants, variant{"parallel", checker.StrategyParallel, n})
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		variants = append(variants,
+			variant{"parallel", checker.StrategyParallel, n},
+			variant{"steal", checker.StrategySteal, n})
 	}
 	for _, v := range variants {
 		o := copts
@@ -275,6 +297,10 @@ func runPerf(writeJSON bool) error {
 			r.Strategy, r.Workers, r.States, r.Seconds, r.StatesPerSec)
 	}
 
+	if err := runGroupPerf(&rec); err != nil {
+		return err
+	}
+
 	if writeJSON {
 		path := "BENCH_" + rec.Date + ".json"
 		data, err := json.MarshalIndent(rec, "", "  ")
@@ -285,6 +311,54 @@ func runPerf(writeJSON bool) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// runGroupPerf measures the multi-group Analyze wall-clock: the shared
+// GroupSchedulerWorkload verified with sequential groups versus the
+// concurrent group scheduler, both under the work-stealing strategy so
+// a group's idle workers can absorb budget freed by finished groups.
+func runGroupPerf(rec *perfRecord) error {
+	sys, apps, opts, desc, err := experiments.GroupSchedulerWorkload()
+	if err != nil {
+		return err
+	}
+	rec.GroupWorkload = desc
+	fmt.Printf("\nmulti-group Analyze (%s):\n", desc)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	modes := []struct {
+		name          string
+		groupParallel bool
+	}{
+		{"sequential", false},
+		{"group-parallel", true},
+	}
+	for _, mode := range modes {
+		o := opts
+		o.Strategy = checker.StrategySteal
+		o.Workers = workers
+		o.GroupParallel = mode.groupParallel
+		start := time.Now()
+		rep, err := iotsan.AnalyzeTranslated(sys, apps, o)
+		if err != nil {
+			return err
+		}
+		sec := time.Since(start).Seconds()
+		states := 0
+		for _, g := range rep.Groups {
+			states += g.Result.StatesExplored
+		}
+		r := groupRun{Mode: mode.name, Strategy: "steal", Workers: workers,
+			Groups: len(rep.Groups), Violations: len(rep.Violations),
+			States: states, Seconds: sec}
+		rec.GroupRuns = append(rec.GroupRuns, r)
+		fmt.Printf("%-15s strategy=steal workers=%-2d groups=%-3d states=%-7d violations=%-4d %8.3fs\n",
+			r.Mode, r.Workers, r.Groups, r.States, r.Violations, r.Seconds)
 	}
 	return nil
 }

@@ -31,8 +31,10 @@ func main() {
 		failures   = flag.Bool("failures", false, "enumerate device/communication failures")
 		concurrent = flag.Bool("concurrent", false, "use the concurrent design instead of sequential")
 		trails     = flag.Bool("trails", true, "print counter-example trails")
-		strategy   = flag.String("strategy", "dfs", "checker search strategy: dfs (sequential) or parallel")
-		workers    = flag.Int("workers", 0, "checker goroutines for -strategy parallel (0 = GOMAXPROCS)")
+		strategy   = flag.String("strategy", "dfs", "checker search strategy: dfs (sequential), parallel (level-synchronous), or steal (work-stealing)")
+		workers    = flag.Int("workers", 0, "checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)")
+		groupPar   = flag.Bool("group-parallel", false, "verify independent related sets concurrently under one shared worker budget")
+		maxViol    = flag.Int("max-violations", 0, "stop after this many distinct violations, cancelling sibling group searches (0 = collect all)")
 		interp     = flag.Bool("interp", false, "run handlers under the tree-walking interpreter instead of compiled programs (oracle mode)")
 	)
 	flag.Parse()
@@ -59,7 +61,8 @@ func main() {
 	}
 
 	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
-		Strategy: strat, Workers: *workers, Interpreter: *interp}
+		Strategy: strat, Workers: *workers, GroupParallel: *groupPar,
+		MaxViolations: *maxViol, Interpreter: *interp}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

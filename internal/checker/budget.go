@@ -1,0 +1,46 @@
+package checker
+
+import "runtime"
+
+// WorkerBudget is a token pool bounding the total number of search
+// worker goroutines running concurrently across several verification
+// runs. The group scheduler in the iotsan package creates one budget
+// sized by Options.Workers and shares it between related-set
+// verifications: each run's first worker rides the admission token the
+// scheduler acquired for it, and the work-stealing strategy grows
+// additional workers only while spare tokens exist — so workers freed
+// by a finished group are absorbed by groups that still have work.
+type WorkerBudget struct {
+	tokens chan struct{}
+}
+
+// NewWorkerBudget creates a budget of n tokens (n <= 0 = GOMAXPROCS).
+func NewWorkerBudget(n int) *WorkerBudget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	b := &WorkerBudget{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// Size returns the total token count.
+func (b *WorkerBudget) Size() int { return cap(b.tokens) }
+
+// Acquire blocks until a token is available.
+func (b *WorkerBudget) Acquire() { <-b.tokens }
+
+// TryAcquire takes a token if one is immediately available.
+func (b *WorkerBudget) TryAcquire() bool {
+	select {
+	case <-b.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token to the pool.
+func (b *WorkerBudget) Release() { b.tokens <- struct{}{} }

@@ -28,6 +28,7 @@ package checker
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -119,11 +120,21 @@ const (
 	// StrategyDFS on a fully explored state space; trails are
 	// reconstructed from parent links and may differ between runs.
 	StrategyParallel
+	// StrategySteal is the work-stealing frontier search: per-worker
+	// Chase–Lev deques (owner LIFO, thieves FIFO) with no per-level
+	// barrier, over the same sharded visited store and parent-link
+	// trails as StrategyParallel. The distinct-violation set and
+	// explored state space match StrategyDFS on a fully explored state
+	// space; exploration order and trails may differ between runs.
+	StrategySteal
 )
 
 func (k StrategyKind) String() string {
-	if k == StrategyParallel {
+	switch k {
+	case StrategyParallel:
 		return "parallel"
+	case StrategySteal:
+		return "steal"
 	}
 	return "dfs"
 }
@@ -135,8 +146,10 @@ func ParseStrategy(name string) (StrategyKind, error) {
 		return StrategyDFS, nil
 	case "parallel", "bfs", "frontier":
 		return StrategyParallel, nil
+	case "steal", "ws", "work-stealing":
+		return StrategySteal, nil
 	}
-	return StrategyDFS, fmt.Errorf("checker: unknown strategy %q (want dfs or parallel)", name)
+	return StrategyDFS, fmt.Errorf("checker: unknown strategy %q (want dfs, parallel, or steal)", name)
 }
 
 // Options configure a verification run.
@@ -145,8 +158,21 @@ type Options struct {
 	// Strategy selects the search strategy (StrategyDFS default).
 	Strategy StrategyKind
 	// Workers is the number of expansion goroutines for
-	// StrategyParallel (0 = GOMAXPROCS). Ignored by StrategyDFS.
+	// StrategyParallel and StrategySteal (0 = GOMAXPROCS). Ignored by
+	// StrategyDFS.
 	Workers int
+	// Budget, when non-nil, bounds the run's worker goroutines by a
+	// token pool shared with other concurrent verification runs. The
+	// caller must hold one token for the run's first worker (the
+	// admission token) before calling Run and release it afterwards;
+	// the strategies claim additional tokens up to Workers with
+	// TryAcquire and release every claimed token before Run returns.
+	Budget *WorkerBudget
+	// Stop, when non-nil, is a cooperative global cancellation flag:
+	// once set, all strategies stop at their next limit check and mark
+	// the result truncated. The iotsan group scheduler uses it to cancel
+	// sibling related-set searches when a global violation cap is hit.
+	Stop *atomic.Bool
 	// BitstateBits is log2 of the bit-array size for Bitstate (default
 	// 26 → 64 Mbit = 8 MB).
 	BitstateBits uint
@@ -226,9 +252,12 @@ func Run(sys System, opts Options) *Result {
 	}
 	e := newEngine(sys, opts)
 	var s strategy
-	if opts.Strategy == StrategyParallel {
+	switch opts.Strategy {
+	case StrategyParallel:
 		s = &parallelBFS{workers: opts.Workers}
-	} else {
+	case StrategySteal:
+		s = &workSteal{workers: opts.Workers}
+	default:
 		s = &sequentialDFS{}
 	}
 	s.search(e)

@@ -1,0 +1,124 @@
+package checker
+
+import "sync/atomic"
+
+// wsDeque is a Chase–Lev work-stealing deque specialised to
+// *stealEntry. The owning worker pushes and pops at the bottom (LIFO —
+// depth-first locally, which keeps the working set hot and the deque
+// short), while thieves steal from the top (FIFO — they take the
+// oldest, typically shallowest and therefore largest, pieces of work).
+//
+// The implementation is the classic dynamic circular-array algorithm
+// (Chase & Lev, SPAA'05; Lê et al., PPoPP'13 for the memory-model
+// treatment). Go's sync/atomic operations are sequentially consistent,
+// which subsumes the acquire/release/seq-cst annotations of the C11
+// version. Slots hold pointers and the ring is only ever copied on
+// growth — never recycled — so the ABA hazards of the in-place variant
+// do not arise.
+type wsDeque struct {
+	bottom atomic.Int64 // next slot the owner pushes to; owner-written
+	top    atomic.Int64 // next slot thieves steal from; CAS-advanced
+	ring   atomic.Pointer[wsRing]
+	// Pad the 24 bytes of fields to a full cache line so per-worker
+	// deques packed in a slice do not false-share their hot top/bottom
+	// words.
+	_ [40]byte
+}
+
+// wsRing is one immutable-capacity circular buffer generation.
+type wsRing struct {
+	mask int64
+	buf  []atomic.Pointer[stealEntry]
+}
+
+func newWSRing(capacity int64) *wsRing {
+	return &wsRing{mask: capacity - 1, buf: make([]atomic.Pointer[stealEntry], capacity)}
+}
+
+func (r *wsRing) load(i int64) *stealEntry     { return r.buf[i&r.mask].Load() }
+func (r *wsRing) store(i int64, e *stealEntry) { r.buf[i&r.mask].Store(e) }
+
+// grow returns a ring of twice the capacity holding the live range
+// [top, bottom). The old ring is left intact: concurrent thieves that
+// loaded it keep reading the same entry pointers they would have seen
+// before the copy.
+func (r *wsRing) grow(top, bottom int64) *wsRing {
+	n := newWSRing((r.mask + 1) * 2)
+	for i := top; i < bottom; i++ {
+		n.store(i, r.load(i))
+	}
+	return n
+}
+
+const wsInitialCap = 256
+
+func newWSDeque() *wsDeque {
+	d := &wsDeque{}
+	d.ring.Store(newWSRing(wsInitialCap))
+	return d
+}
+
+// push appends an entry at the bottom. Owner-only.
+func (d *wsDeque) push(e *stealEntry) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= r.mask+1 {
+		r = r.grow(t, b)
+		d.ring.Store(r)
+	}
+	r.store(b, e)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed entry (LIFO). Owner-only.
+// Returns nil when the deque is empty or a thief won the race for the
+// last entry.
+func (d *wsDeque) pop() *stealEntry {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Already empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	e := r.load(b)
+	if b > t {
+		return e // more than one entry left; no race possible
+	}
+	// Single entry: race thieves for it by advancing top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		e = nil // a thief got it first
+	}
+	d.bottom.Store(b + 1)
+	return e
+}
+
+// steal removes the oldest entry (FIFO). Safe for any goroutine.
+// retry=true with a nil entry means the CAS lost to a concurrent
+// steal/pop and the caller may try again; retry=false means the deque
+// was observed empty.
+func (d *wsDeque) steal() (e *stealEntry, retry bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	r := d.ring.Load()
+	e = r.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return e, true
+}
+
+// size reports a racy snapshot of the entry count (monitoring only).
+func (d *wsDeque) size() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package checker
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOwnerOrder: the owner sees LIFO order, across ring growth.
+func TestDequeOwnerOrder(t *testing.T) {
+	d := newWSDeque()
+	n := wsInitialCap*2 + 17 // force two growths
+	entries := make([]*stealEntry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = &stealEntry{depth: int32(i)}
+		d.push(entries[i])
+	}
+	if got := d.size(); got != int64(n) {
+		t.Fatalf("size=%d want %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		e := d.pop()
+		if e != entries[i] {
+			t.Fatalf("pop %d: got %v want depth %d", n-1-i, e, i)
+		}
+	}
+	if e := d.pop(); e != nil {
+		t.Fatalf("pop on empty deque returned %v", e)
+	}
+}
+
+// TestDequeStealOrder: thieves see FIFO order — the oldest entry first.
+func TestDequeStealOrder(t *testing.T) {
+	d := newWSDeque()
+	entries := make([]*stealEntry, 10)
+	for i := range entries {
+		entries[i] = &stealEntry{depth: int32(i)}
+		d.push(entries[i])
+	}
+	for i := 0; i < 5; i++ {
+		e, _ := d.steal()
+		if e != entries[i] {
+			t.Fatalf("steal %d: got depth %v want %d", i, e, i)
+		}
+	}
+	// Owner keeps LIFO on the remainder.
+	for i := 9; i >= 5; i-- {
+		if e := d.pop(); e != entries[i] {
+			t.Fatalf("pop after steals: got %v want depth %d", e, i)
+		}
+	}
+}
+
+// TestDequeConcurrentStress: one owner pushing and popping against
+// several thieves; every entry must be consumed exactly once. Run with
+// -race this validates the memory-model usage of the Chase–Lev
+// implementation.
+func TestDequeConcurrentStress(t *testing.T) {
+	const total = 20000
+	thieves := runtime.GOMAXPROCS(0) + 2
+
+	d := newWSDeque()
+	var consumed [total]atomic.Int32
+	var taken atomic.Int64
+	var done atomic.Bool
+
+	consume := func(e *stealEntry) {
+		if e == nil {
+			return
+		}
+		consumed[e.depth].Add(1)
+		taken.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				e, retry := d.steal()
+				consume(e)
+				if e == nil && !retry {
+					runtime.Gosched()
+				}
+			}
+			// Final drain so nothing is stranded between done and exit.
+			for {
+				e, retry := d.steal()
+				if e == nil && !retry {
+					return
+				}
+				consume(e)
+			}
+		}()
+	}
+
+	// Owner: pushes in bursts, pops between bursts (mixed LIFO traffic).
+	for i := 0; i < total; i++ {
+		d.push(&stealEntry{depth: int32(i)})
+		if i%7 == 0 {
+			consume(d.pop())
+		}
+	}
+	for {
+		e := d.pop()
+		if e == nil {
+			break
+		}
+		consume(e)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if got := taken.Load(); got != total {
+		t.Fatalf("consumed %d entries, want %d", got, total)
+	}
+	for i := range consumed {
+		if n := consumed[i].Load(); n != 1 {
+			t.Fatalf("entry %d consumed %d times", i, n)
+		}
+	}
+}

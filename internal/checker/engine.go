@@ -52,7 +52,7 @@ func newEngine(sys System, opts Options) *engine {
 		sys:      sys,
 		replayer: rp,
 		opts:     opts,
-		st:       newStore(opts, opts.Strategy == StrategyParallel),
+		st:       newStore(opts, opts.Strategy != StrategyDFS),
 		start:    time.Now(),
 		needH2:   opts.Store == Bitstate && !opts.NoDedup,
 		bufs: sync.Pool{New: func() any {
@@ -153,6 +153,9 @@ func (e *engine) materialize(ts []TrailStep) {
 // not only per iteration — so MaxViolations and Deadline cannot be
 // overshot by a whole expansion.
 func (e *engine) limitHit() bool {
+	if e.opts.Stop != nil && e.opts.Stop.Load() {
+		return true
+	}
 	if e.opts.MaxStates > 0 && int(e.explored.Load()) >= e.opts.MaxStates {
 		return true
 	}

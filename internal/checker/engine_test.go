@@ -51,6 +51,9 @@ func strategies() map[string]Options {
 		"dfs":        {Strategy: StrategyDFS},
 		"parallel":   {Strategy: StrategyParallel},
 		"parallel-1": {Strategy: StrategyParallel, Workers: 1},
+		"steal":      {Strategy: StrategySteal},
+		"steal-1":    {Strategy: StrategySteal, Workers: 1},
+		"steal-4":    {Strategy: StrategySteal, Workers: 4},
 	}
 }
 
@@ -147,15 +150,17 @@ func TestParallelMatchesDFSOnToys(t *testing.T) {
 	}
 	for name, sys := range systems {
 		seq := Run(sys, Options{MaxDepth: 32})
-		par := Run(sys, Options{MaxDepth: 32, Strategy: StrategyParallel})
-		if seq.Truncated || par.Truncated {
-			t.Fatalf("%s: unexpected truncation", name)
-		}
-		if got, want := violationKeys(par), violationKeys(seq); !equalStrings(got, want) {
-			t.Errorf("%s: parallel violations %v != dfs %v", name, got, want)
-		}
-		if par.StatesExplored != seq.StatesExplored {
-			t.Errorf("%s: parallel explored %d, dfs %d", name, par.StatesExplored, seq.StatesExplored)
+		for _, strat := range []StrategyKind{StrategyParallel, StrategySteal} {
+			par := Run(sys, Options{MaxDepth: 32, Strategy: strat})
+			if seq.Truncated || par.Truncated {
+				t.Fatalf("%s/%v: unexpected truncation", name, strat)
+			}
+			if got, want := violationKeys(par), violationKeys(seq); !equalStrings(got, want) {
+				t.Errorf("%s: %v violations %v != dfs %v", name, strat, got, want)
+			}
+			if par.StatesExplored != seq.StatesExplored {
+				t.Errorf("%s: %v explored %d, dfs %d", name, strat, par.StatesExplored, seq.StatesExplored)
+			}
 		}
 	}
 }

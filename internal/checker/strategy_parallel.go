@@ -111,6 +111,23 @@ func (s *parallelBFS) search(e *engine) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if b := e.opts.Budget; b != nil {
+		// Under a shared budget the caller's admission token covers the
+		// first worker; claim as many of the remaining workers-1 as the
+		// pool can spare right now and hold them for the whole run (the
+		// level-synchronous crew is fixed; only the steal strategy grows
+		// dynamically).
+		claimed := 0
+		for claimed < workers-1 && b.TryAcquire() {
+			claimed++
+		}
+		workers = 1 + claimed
+		defer func() {
+			for i := 0; i < claimed; i++ {
+				b.Release()
+			}
+		}()
+	}
 
 	init, d0 := e.visitInitial()
 	if e.limitHit() {
@@ -163,35 +180,49 @@ func (s *parallelBFS) search(e *engine) {
 	}
 }
 
-// expand processes one frontier state: records transition and state
-// violations for every successor, deduplicates through the visited
-// store, links new states to their parent, and appends them to the
-// worker's next-frontier slice.
+// expand processes one frontier state through the shared expansion
+// path, appending newly stored successors to the worker's
+// next-frontier slice.
 func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry, depth int, out *[]frontierEntry, buf []byte) []byte {
+	buf, _ = expandShared(e, parents, ent.state, ent.d.h1, depth, buf, func(st State, d digest) {
+		*out = append(*out, frontierEntry{state: st, d: d})
+	})
+	return buf
+}
+
+// expandShared is the expansion path common to the frontier strategies
+// (level-synchronous and work-stealing): it records transition and
+// state violations for every successor — reconstructing the parent
+// trail prefix lazily, only when a violation is actually recorded —
+// deduplicates successors through the visited store, links new states
+// to their parent, and hands each newly stored successor to enqueue.
+// It returns the (possibly grown) encode buffer and false when a limit
+// was hit (truncated is already set; the caller must stop).
+func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth int, buf []byte, enqueue func(State, digest)) ([]byte, bool) {
 	var prefix []TrailStep // parent trail, reconstructed lazily
 	havePrefix := false
 	record := func(v Violation, tr Transition) bool {
 		if !havePrefix {
-			prefix = parents.trailTo(ent.d.h1, e.opts.MaxDepth)
+			prefix = parents.trailTo(h1, e.opts.MaxDepth)
 			havePrefix = true
 		}
 		trail := append(append([]TrailStep(nil), prefix...),
-			TrailStep{Label: tr.Label, Steps: tr.Steps, From: ent.state, Key: tr.Key})
+			TrailStep{Label: tr.Label, Steps: tr.Steps, From: state, Key: tr.Key})
 		return e.record(v, trail, depth)
 	}
 
-	for _, tr := range e.sys.Expand(ent.state) {
+	for _, tr := range e.sys.Expand(state) {
 		e.noteDepth(depth)
 		for _, v := range tr.Violations {
 			if record(v, tr) && e.limitHit() {
 				e.truncated.Store(true)
-				return buf
+				return buf, false
 			}
 		}
 		for _, v := range e.sys.Inspect(tr.Next) {
 			if record(v, tr) && e.limitHit() {
 				e.truncated.Store(true)
-				return buf
+				return buf, false
 			}
 		}
 
@@ -201,13 +232,13 @@ func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry,
 			e.matched.Add(1)
 			continue
 		}
-		parents.put(d.h1, parentEdge{parent: ent.d.h1, label: tr.Label, steps: tr.Steps, key: tr.Key})
+		parents.put(d.h1, parentEdge{parent: h1, label: tr.Label, steps: tr.Steps, key: tr.Key})
 		e.explored.Add(1)
-		*out = append(*out, frontierEntry{state: tr.Next, d: d})
+		enqueue(tr.Next, d)
 		if e.limitHit() {
 			e.truncated.Store(true)
-			return buf
+			return buf, false
 		}
 	}
-	return buf
+	return buf, true
 }

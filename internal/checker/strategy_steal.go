@@ -1,0 +1,306 @@
+package checker
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workSteal is the work-stealing frontier strategy. Where
+// StrategyParallel is level-synchronous — every BFS level ends in a
+// full merge barrier that idles workers on irregular state graphs —
+// workSteal gives each worker a private Chase–Lev deque: the owner
+// pushes and pops newly stored states LIFO (locally depth-first), and
+// a worker whose deque runs dry steals the oldest entry FIFO from a
+// victim. No worker ever waits at a barrier; the only global
+// synchronisation is the sharded visited store (shared with
+// StrategyParallel) and a pending-state counter used for termination
+// detection.
+//
+// Termination: pending counts states that have been pushed to some
+// deque but not yet fully expanded. A worker that finds every deque
+// empty re-checks pending — zero means no entry exists anywhere and no
+// expansion is in flight that could produce one, so the search is
+// complete and all workers exit.
+//
+// Like StrategyParallel, trails are reconstructed through the shared
+// parent-link table; each entry carries the depth of the path that
+// first stored it, so MaxDepth clips expansion at the same bound as
+// the other strategies (states at the bound are stored but not
+// expanded, and their existence marks the result truncated). As with
+// DFS — and unlike the BFS strategy, whose levels are minimal depths —
+// a state's recorded depth is the length of whichever path stored it
+// first, so on a graph whose longest path exceeds MaxDepth the
+// truncation point is exploration-order-dependent; the cross-strategy
+// equivalence guarantees hold on searches the bound does not clip.
+//
+// Under a shared WorkerBudget (Options.Budget), the search starts with
+// the single admission token its caller holds and grows workers
+// dynamically: after an expansion leaves surplus work queued, the
+// worker tries to claim a spare token and spawns a sibling. A grown
+// worker that stays idle for retireAfter scavenge passes retires and
+// returns its token immediately — it does not spin-hold capacity a
+// sibling group could admit on — and every claimed token is released
+// by the time the search ends, so budget freed by one finished group
+// flows to groups that still have work.
+type workSteal struct {
+	workers int
+}
+
+// stealEntry is one state awaiting expansion: its digest keys the
+// parent-link table, depth is the length of the path that stored it.
+type stealEntry struct {
+	state State
+	d     digest
+	depth int32
+}
+
+// stealRun is the shared state of one work-stealing search.
+type stealRun struct {
+	e       *engine
+	parents *parentStore
+	deques  []*wsDeque
+	pending atomic.Int64 // states pushed but not yet fully expanded
+	live    atomic.Int32 // workers currently running (crew-size check)
+	nextIdx atomic.Int32 // monotonic worker-index allocator
+	clipped atomic.Bool  // a state at the MaxDepth bound was not expanded
+	max     int
+	wg      sync.WaitGroup
+
+	// freeMu guards freeIdx, the deque indices of retired workers. A
+	// retiring worker publishes its index here strictly after its last
+	// deque operation, so a replacement spawned under the same index
+	// never shares ownership with it.
+	freeMu  sync.Mutex
+	freeIdx []int
+}
+
+func (s *workSteal) search(e *engine) {
+	max := s.workers
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+
+	init, d0 := e.visitInitial()
+	if e.limitHit() {
+		e.truncated.Store(true)
+		return
+	}
+
+	r := &stealRun{
+		e:       e,
+		parents: newParentStore(d0.h1, init),
+		deques:  make([]*wsDeque, max),
+		max:     max,
+	}
+	for i := range r.deques {
+		r.deques[i] = newWSDeque()
+	}
+	r.pending.Store(1)
+	r.deques[0].push(&stealEntry{state: init, d: d0})
+
+	if e.opts.Budget == nil {
+		// Fixed crew: all workers up front.
+		r.live.Store(int32(max))
+		r.nextIdx.Store(int32(max))
+		for w := 0; w < max; w++ {
+			r.spawn(w, false)
+		}
+	} else {
+		// Worker 0 rides the admission token the caller already holds;
+		// the rest are claimed dynamically from the shared budget.
+		r.live.Store(1)
+		r.nextIdx.Store(1)
+		r.spawn(0, false)
+	}
+	r.wg.Wait()
+	if r.clipped.Load() {
+		e.truncated.Store(true)
+	}
+}
+
+// spawn starts worker w. ownsToken marks workers holding a
+// dynamically claimed budget token, which they release on exit.
+func (r *stealRun) spawn(w int, ownsToken bool) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		if ownsToken {
+			defer r.e.opts.Budget.Release()
+		}
+		r.work(w, ownsToken)
+	}()
+}
+
+// maybeGrow claims one spare budget token and spawns an extra worker
+// when queued work exceeds the crew that could be expanding it.
+func (r *stealRun) maybeGrow() {
+	if r.e.opts.Budget == nil {
+		return
+	}
+	for {
+		l := r.live.Load()
+		if int(l) >= r.max || r.pending.Load() <= int64(l)+1 {
+			return
+		}
+		if !r.e.opts.Budget.TryAcquire() {
+			return
+		}
+		if !r.live.CompareAndSwap(l, l+1) {
+			// Lost the crew-count race; return the token and re-evaluate.
+			r.e.opts.Budget.Release()
+			continue
+		}
+		// Allocate a deque index: prefer one freed by a retired worker,
+		// else a fresh slot.
+		idx := -1
+		r.freeMu.Lock()
+		if n := len(r.freeIdx); n > 0 {
+			idx = r.freeIdx[n-1]
+			r.freeIdx = r.freeIdx[:n-1]
+		}
+		r.freeMu.Unlock()
+		if idx < 0 {
+			if fresh := int(r.nextIdx.Add(1)) - 1; fresh < r.max {
+				idx = fresh
+			} else {
+				r.nextIdx.Add(-1)
+			}
+		}
+		if idx < 0 {
+			// Concurrent grows transiently exhausted the index space;
+			// undo and let a later surplus try again.
+			r.live.Add(-1)
+			r.e.opts.Budget.Release()
+			return
+		}
+		r.spawn(idx, true)
+		return
+	}
+}
+
+// retireAfter is the number of consecutive futile scavenge passes (own
+// deque empty, nothing stealable) after which a dynamically grown
+// worker retires and returns its token to the shared budget, instead
+// of spin-holding capacity a sibling group's admission could use.
+const retireAfter = 128
+
+// work is one worker's main loop: drain the own deque LIFO, steal FIFO
+// when dry, exit on global termination or a hit limit. ownsToken
+// workers additionally retire when persistently idle.
+func (r *stealRun) work(w int, ownsToken bool) {
+	e := r.e
+	bufp := e.getBuf()
+	defer e.putBuf(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf }()
+
+	// Victim scan order: a per-worker xorshift sequence so idle workers
+	// spread their steal attempts instead of convoying on worker 0.
+	rng := uint64(w)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+
+	idle := 0
+	for {
+		if e.truncated.Load() {
+			return // another worker hit a limit; abandon the search
+		}
+		ent := r.deques[w].pop()
+		if ent == nil {
+			ent = r.stealFrom(w, &rng)
+		}
+		if ent == nil {
+			if r.pending.Load() == 0 {
+				return // every deque empty and no expansion in flight
+			}
+			idle++
+			if idle >= retireAfter {
+				if ownsToken {
+					// Retire: publish the deque index (after the last
+					// deque touch above) so a future grow can reuse it,
+					// then leave the crew; the spawn wrapper releases
+					// the token.
+					r.freeMu.Lock()
+					r.freeIdx = append(r.freeIdx, w)
+					r.freeMu.Unlock()
+					r.live.Add(-1)
+					return
+				}
+				// Fixed-crew and admission workers cannot retire (the
+				// search needs at least one worker alive), but a long
+				// futile streak means the tail is one in-flight
+				// expansion elsewhere — sleep instead of burning a core
+				// on Gosched spins.
+				time.Sleep(20 * time.Microsecond)
+				continue
+			}
+			runtime.Gosched()
+			continue
+		}
+		idle = 0
+		// Consult the limits before every expansion (the engine contract:
+		// after every explored state, not once per violation) — Stop
+		// cancellation and Deadline must interrupt even a convergence
+		// tail where expansions store nothing new.
+		if e.limitHit() {
+			e.truncated.Store(true)
+			return
+		}
+		buf = r.expand(ent, w, buf)
+		r.pending.Add(-1)
+		r.maybeGrow()
+	}
+}
+
+// stealFrom makes one randomized pass over the other workers' deques,
+// returning the first entry successfully stolen.
+func (r *stealRun) stealFrom(w int, rng *uint64) *stealEntry {
+	n := len(r.deques)
+	if n == 1 {
+		return nil
+	}
+	*rng ^= *rng << 13
+	*rng ^= *rng >> 7
+	*rng ^= *rng << 17
+	start := int(*rng % uint64(n))
+	for i := 0; i < n; i++ {
+		v := start + i
+		if v >= n {
+			v -= n
+		}
+		if v == w {
+			continue
+		}
+		for {
+			ent, retry := r.deques[v].steal()
+			if ent != nil {
+				return ent
+			}
+			if !retry {
+				break // observed empty; next victim
+			}
+		}
+	}
+	return nil
+}
+
+// expand processes one entry through the shared expansion path,
+// pushing newly stored successors onto the worker's own deque.
+func (r *stealRun) expand(ent *stealEntry, w int, buf []byte) []byte {
+	e := r.e
+	if int(ent.depth) >= e.opts.MaxDepth {
+		// States at the depth bound exist but are not expanded — the
+		// same truncation point as the DFS and level-synchronous
+		// strategies. Clipping is not a global abort: shallower entries
+		// still queued elsewhere continue to be expanded, and the result
+		// is marked truncated once the search drains.
+		r.clipped.Store(true)
+		return buf
+	}
+	depth := int(ent.depth) + 1
+	buf, _ = expandShared(e, r.parents, ent.state, ent.d.h1, depth, buf, func(st State, d digest) {
+		r.pending.Add(1)
+		r.deques[w].push(&stealEntry{state: st, d: d, depth: int32(depth)})
+	})
+	return buf
+}

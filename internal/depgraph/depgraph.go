@@ -25,10 +25,15 @@ import (
 type Vertex struct {
 	ID       int
 	Handlers []smartapp.HandlerInfo // one entry normally; several for composites
-	Inputs   []smartapp.EventSig
-	Outputs  []smartapp.EventSig
-	Children []int
-	Parents  []int
+	// HandlerIdx holds, parallel to Handlers, each handler's position in
+	// the slice passed to Build, so callers can correlate graph vertices
+	// back to their own per-handler metadata by index instead of by
+	// identity heuristics.
+	HandlerIdx []int
+	Inputs     []smartapp.EventSig
+	Outputs    []smartapp.EventSig
+	Children   []int
+	Parents    []int
 }
 
 // Label renders "App.handler" (joined by + for composites).
@@ -113,6 +118,7 @@ func Build(handlers []smartapp.HandlerInfo) *Graph {
 	for i, h := range handlers {
 		v := g.Vertices[comp[i]]
 		v.Handlers = append(v.Handlers, h)
+		v.HandlerIdx = append(v.HandlerIdx, i)
 		for _, sig := range h.Inputs {
 			v.Inputs = appendSig(v.Inputs, sig)
 		}
@@ -352,11 +358,13 @@ func lessIDs(a, b []int) bool {
 	return len(a) < len(b)
 }
 
-// Handlers returns the handler infos of a related set, in vertex order.
-func (g *Graph) Handlers(rs RelatedSet) []smartapp.HandlerInfo {
-	var out []smartapp.HandlerInfo
+// HandlerIndices returns the positions (in the handler slice passed to
+// Build) of a related set's handlers, in vertex order, for callers
+// that keep per-handler metadata indexed by build order.
+func (g *Graph) HandlerIndices(rs RelatedSet) []int {
+	var out []int
 	for _, id := range rs.VertexIDs {
-		out = append(out, g.Vertices[id].Handlers...)
+		out = append(out, g.Vertices[id].HandlerIdx...)
 	}
 	return out
 }

@@ -3,8 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"iotsan"
 	"iotsan/internal/checker"
+	"iotsan/internal/config"
 	"iotsan/internal/corpus"
+	"iotsan/internal/ir"
 	"iotsan/internal/model"
 	"iotsan/internal/props"
 )
@@ -43,4 +46,54 @@ func ParallelCheckWorkload() (*model.Model, checker.Options, string, error) {
 	desc := fmt.Sprintf("market group %d (%d apps), MaxEvents=3, full invariants, cap %d states",
 		largest, len(sources), copts.MaxStates)
 	return m, copts, desc, nil
+}
+
+// GroupSchedulerWorkload builds the canonical multi-group Analyze
+// workload: the two largest market groups installed as one system, so
+// dependency analysis decomposes verification into many independent
+// related sets. `iotsan-bench -table perf` runs it with sequential
+// groups and with the concurrent group scheduler under the shared
+// worker budget, recording the wall-clock for each into
+// BENCH_<date>.json.
+func GroupSchedulerWorkload() (*config.System, map[string]*ir.App, iotsan.Options, string, error) {
+	sizes := make([]int, 7)
+	for g := 1; g <= 6; g++ {
+		sizes[g] = len(corpus.Group(g))
+	}
+	first, second := 1, 2
+	for g := 2; g <= 6; g++ {
+		switch {
+		case sizes[g] > sizes[first]:
+			first, second = g, first
+		case g != first && sizes[g] > sizes[second]:
+			second = g
+		}
+	}
+	sources := append(append([]corpus.Source{}, corpus.Group(first)...), corpus.Group(second)...)
+	apps, err := TranslateAll(sources)
+	if err != nil {
+		return nil, nil, iotsan.Options{}, "", err
+	}
+	sys := ExpertConfig("group-sched-bench", sources, apps)
+	opts := iotsan.Options{
+		MaxEvents:       2,
+		MaxStatesPerSet: 20000,
+	}
+	desc := fmt.Sprintf("market groups %d+%d (%d apps), MaxEvents=2, cap %d states/set",
+		first, second, len(sources), opts.MaxStatesPerSet)
+	return sys, apps, opts, desc, nil
+}
+
+// GroupModel builds the verification model for a configured system
+// with the full invariant catalog at MaxEvents=2 — the equal-work
+// benchmark workload (fully explorable, so every checker strategy
+// performs identical expansion work).
+func GroupModel(sys *config.System, apps map[string]*ir.App) (*model.Model, error) {
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, err
+	}
+	return model.New(sys, apps, model.Options{
+		MaxEvents: 2, CheckConflicts: true, Invariants: invs,
+	})
 }

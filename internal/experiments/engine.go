@@ -2,25 +2,32 @@ package experiments
 
 import "iotsan"
 
-// engineStrategy/engineWorkers route every table experiment through a
-// checker engine configuration; the bench CLI sets them from its
-// -strategy/-workers flags. The zero values select the sequential DFS,
-// which reproduces the paper's single-core Spin-style runs.
+// engineStrategy/engineWorkers/engineGroupParallel route every table
+// experiment through a checker engine configuration; the bench CLI sets
+// them from its -strategy/-workers/-group-parallel flags. The zero
+// values select the sequential DFS with sequential groups, which
+// reproduces the paper's single-core Spin-style runs.
 var (
-	engineStrategy iotsan.Strategy
-	engineWorkers  int
+	engineStrategy      iotsan.Strategy
+	engineWorkers       int
+	engineGroupParallel bool
 )
 
 // SetEngine selects the checker engine used by the Run* experiments
-// (workers 0 = GOMAXPROCS for the parallel strategy).
+// (workers 0 = GOMAXPROCS for the parallel strategies).
 func SetEngine(strategy iotsan.Strategy, workers int) {
 	engineStrategy = strategy
 	engineWorkers = workers
 }
 
+// SetGroupParallel enables the concurrent group scheduler (related sets
+// verified under one shared worker budget) for the Run* experiments.
+func SetGroupParallel(on bool) { engineGroupParallel = on }
+
 // engineOptions applies the configured engine to an analysis run.
 func engineOptions(o iotsan.Options) iotsan.Options {
 	o.Strategy = engineStrategy
 	o.Workers = engineWorkers
+	o.GroupParallel = engineGroupParallel
 	return o
 }

@@ -20,6 +20,7 @@ package iotsan
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"iotsan/internal/attribution"
@@ -69,9 +70,14 @@ const (
 	// Workers goroutines expand states concurrently over a sharded
 	// visited store.
 	StrategyParallel = checker.StrategyParallel
+	// StrategySteal is the work-stealing frontier search: per-worker
+	// Chase–Lev deques with no per-level barrier; under GroupParallel
+	// it dynamically absorbs worker budget freed by finished groups.
+	StrategySteal = checker.StrategySteal
 )
 
-// ParseStrategy maps a strategy name ("dfs", "parallel") to its kind.
+// ParseStrategy maps a strategy name ("dfs", "parallel", "steal") to
+// its kind.
 func ParseStrategy(name string) (Strategy, error) { return checker.ParseStrategy(name) }
 
 // Options configure an analysis run.
@@ -94,11 +100,26 @@ type Options struct {
 	// Store selects the visited-state store (Exhaustive default).
 	Bitstate bool
 	// Strategy selects the checker search strategy (StrategyDFS
-	// default; StrategyParallel uses Workers goroutines).
+	// default; StrategyParallel and StrategySteal use Workers
+	// goroutines).
 	Strategy Strategy
 	// Workers is the number of checker goroutines for StrategyParallel
-	// (0 = GOMAXPROCS).
+	// and StrategySteal (0 = GOMAXPROCS). With GroupParallel it also
+	// sizes the worker budget shared by all concurrently running
+	// related-set verifications.
 	Workers int
+	// GroupParallel verifies independent related sets concurrently
+	// under one shared worker budget of Workers tokens instead of
+	// strictly one after another. Per-group results and the deduped
+	// violation list are still committed in deterministic group order.
+	GroupParallel bool
+	// MaxViolations stops the whole analysis once that many distinct
+	// violations have been committed to the report (0 = collect all).
+	// The cap is enforced when a group's results are committed (in
+	// group order), so the reported violations are exact; reaching it
+	// cancels sibling group verifications, whose GroupResult entries
+	// then reflect the partial exploration at cancellation.
+	MaxViolations int
 	// MaxStatesPerSet caps exploration per related set (0 = 1e6).
 	MaxStatesPerSet int
 	// Deadline caps wall-clock time per related set.
@@ -197,43 +218,117 @@ func analyzeTranslated(sys *System, apps map[string]*ir.App, opts Options) (*Rep
 	// App Dependency Analyzer (§5): group installed apps into related
 	// sets via their handlers' input/output events.
 	var handlers []smartapp.HandlerInfo
-	handlerApp := map[int]string{} // handler index → installed app name
+	var handlerApp []string // handler index → installed app name
 	for _, inst := range sys.Apps {
 		for _, hi := range smartapp.AnalyzeHandlers(apps[inst.App]) {
-			handlerApp[len(handlers)] = inst.App
+			handlerApp = append(handlerApp, inst.App)
 			handlers = append(handlers, hi)
 		}
 	}
 	rep.Scale = depgraph.Scale(handlers)
 
 	groups := relatedAppGroups(sys, handlers, handlerApp, opts.NoDepGraph)
-
-	seen := map[string]bool{}
-	for _, groupApps := range groups {
-		sub := subSystem(sys, groupApps)
-		gr, err := verifyGroup(sub, apps, opts)
-		if err != nil {
-			return nil, err
-		}
-		rep.Groups = append(rep.Groups, *gr)
-		for _, f := range gr.Result.Violations {
-			if f.Property == model.PropExecError {
-				continue
-			}
-			key := f.Property + "\x00" + f.Detail
-			if !seen[key] {
-				seen[key] = true
-				rep.Violations = append(rep.Violations, f)
-			}
-		}
+	if err := runGroups(rep, sys, apps, groups, opts); err != nil {
+		return nil, err
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
 
+// runGroups is the group scheduler: it verifies every related set and
+// streams results into the report in deterministic group order. With
+// GroupParallel, independent groups run concurrently under one worker
+// budget of Options.Workers tokens — each group's verification is
+// admitted on one token (its first search worker) and the
+// work-stealing strategy grows extra workers from whatever the budget
+// can spare, so workers freed by finished groups are absorbed by
+// groups still running. A shared stop flag cancels sibling searches as
+// soon as the global MaxViolations cap is reached (or a group fails).
+func runGroups(rep *Report, sys *System, apps map[string]*ir.App, groups [][]string, opts Options) error {
+	stop := new(atomic.Bool)
+	seen := map[string]bool{}
+
+	if !opts.GroupParallel || len(groups) <= 1 {
+		for _, groupApps := range groups {
+			// Once the violation cap sets the stop flag, remaining
+			// verifications return immediately (truncated at the initial
+			// state) but still produce a GroupResult, so Report.Groups
+			// always covers every related set in order.
+			gr, err := verifyGroup(subSystem(sys, groupApps), apps, opts, stop, nil)
+			if err != nil {
+				return err
+			}
+			commitGroup(rep, gr, opts, seen, stop)
+		}
+		return nil
+	}
+
+	budget := checker.NewWorkerBudget(opts.Workers)
+	results := make([]*GroupResult, len(groups))
+	errs := make([]error, len(groups))
+	done := make([]chan struct{}, len(groups))
+	for i := range groups {
+		done[i] = make(chan struct{})
+	}
+	for i, groupApps := range groups {
+		go func(i int, groupApps []string) {
+			defer close(done[i])
+			budget.Acquire() // admission token = this group's first worker
+			defer budget.Release()
+			// A group admitted after the stop flag is set still runs —
+			// its search stops at the initial state — so Report.Groups
+			// carries one entry per related set in both scheduler modes.
+			results[i], errs[i] = verifyGroup(subSystem(sys, groupApps), apps, opts, stop, budget)
+		}(i, groupApps)
+	}
+
+	// Commit completed groups strictly in group order, so the report's
+	// group sequence and deduped violation list are independent of which
+	// verification finished first.
+	var firstErr error
+	for i := range groups {
+		<-done[i]
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+			stop.Store(true)
+		}
+		if firstErr == nil && results[i] != nil {
+			commitGroup(rep, results[i], opts, seen, stop)
+		}
+	}
+	return firstErr
+}
+
+// commitGroup appends one group's result to the report and folds its
+// violations into the deduped global list, enforcing the MaxViolations
+// cap: once the cap is reached the stop flag cancels every search
+// still running.
+func commitGroup(rep *Report, gr *GroupResult, opts Options, seen map[string]bool, stop *atomic.Bool) {
+	rep.Groups = append(rep.Groups, *gr)
+	for _, f := range gr.Result.Violations {
+		if f.Property == model.PropExecError {
+			continue
+		}
+		if opts.MaxViolations > 0 && len(rep.Violations) >= opts.MaxViolations {
+			break
+		}
+		key := f.Property + "\x00" + f.Detail
+		if !seen[key] {
+			seen[key] = true
+			rep.Violations = append(rep.Violations, f)
+		}
+	}
+	if opts.MaxViolations > 0 && len(rep.Violations) >= opts.MaxViolations {
+		stop.Store(true)
+	}
+}
+
 // relatedAppGroups converts handler-level related sets into groups of
-// installed app names.
-func relatedAppGroups(sys *System, handlers []smartapp.HandlerInfo, handlerApp map[int]string, noDepGraph bool) [][]string {
+// installed app names. Graph vertices are correlated back to installed
+// apps by handler index (depgraph records each handler's position in
+// the slice passed to Build), so grouping can never silently drop a
+// handler the way identity-keyed matching could.
+func relatedAppGroups(sys *System, handlers []smartapp.HandlerInfo, handlerApp []string, noDepGraph bool) [][]string {
 	if noDepGraph {
 		var all []string
 		for _, inst := range sys.Apps {
@@ -242,21 +337,12 @@ func relatedAppGroups(sys *System, handlers []smartapp.HandlerInfo, handlerApp m
 		return [][]string{dedupe(all)}
 	}
 	g := depgraph.Build(handlers)
-	// Map each graph vertex back to installed app names by matching the
-	// handler infos.
-	idxOf := map[string]int{}
-	for i, h := range handlers {
-		idxOf[fmt.Sprintf("%s/%s/%p", h.App.Name, h.Handler, h.App)] = i
-	}
 	var groups [][]string
 	seenGroups := map[string]bool{}
 	for _, rs := range g.FinalSets() {
 		var names []string
-		for _, hi := range g.Handlers(rs) {
-			key := fmt.Sprintf("%s/%s/%p", hi.App.Name, hi.Handler, hi.App)
-			if i, ok := idxOf[key]; ok {
-				names = append(names, handlerApp[i])
-			}
+		for _, i := range g.HandlerIndices(rs) {
+			names = append(names, handlerApp[i])
 		}
 		names = dedupe(names)
 		k := fmt.Sprint(names)
@@ -300,7 +386,7 @@ func subSystem(sys *System, appNames []string) *System {
 	return sub
 }
 
-func verifyGroup(sub *System, apps map[string]*ir.App, opts Options) (*GroupResult, error) {
+func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomic.Bool, budget *checker.WorkerBudget) (*GroupResult, error) {
 	invs, err := props.CompileInvariants(sub, filterPhysical(opts.Properties), opts.Thresholds)
 	if err != nil {
 		return nil, err
@@ -322,12 +408,21 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options) (*GroupResu
 		return nil, err
 	}
 
+	// The global MaxViolations cap is deliberately NOT forwarded as the
+	// per-group checker cap: the checker counts every distinct violation
+	// it records, while the committed report filters exec-errors and
+	// deduplicates across groups — a raw per-group cap could truncate a
+	// search on violations that never reach the report. The cap is
+	// enforced at commit time instead, and propagates here through the
+	// shared stop flag.
 	copts := checker.Options{
 		MaxDepth:  opts.MaxEvents + 64,
 		MaxStates: opts.MaxStatesPerSet,
 		Deadline:  opts.Deadline,
 		Strategy:  opts.Strategy,
 		Workers:   opts.Workers,
+		Stop:      stop,
+		Budget:    budget,
 	}
 	if opts.Bitstate {
 		copts.Store = checker.Bitstate
