@@ -45,6 +45,7 @@ func realMain() int {
 	strategy := flag.String("strategy", "dfs", "checker search strategy: dfs (sequential), parallel (level-synchronous), or steal (work-stealing)")
 	workers := flag.Int("workers", 0, "checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)")
 	groupPar := flag.Bool("group-parallel", false, "verify independent related sets concurrently under one shared worker budget")
+	por := flag.Bool("por", false, "partial-order reduction for the table experiments (the perf table always measures POR on its own workload)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	jsonOut := flag.Bool("json", false, "write the -table perf record to BENCH_<date>.json")
@@ -57,6 +58,7 @@ func realMain() int {
 	}
 	experiments.SetEngine(strat, *workers)
 	experiments.SetGroupParallel(*groupPar)
+	experiments.SetPOR(*por)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -228,6 +230,8 @@ type perfRecord struct {
 	Runs          []perfRun  `json:"runs"`
 	GroupWorkload string     `json:"group_workload,omitempty"`
 	GroupRuns     []groupRun `json:"group_runs,omitempty"`
+	PORWorkload   string     `json:"por_workload,omitempty"`
+	PORRuns       []porRun   `json:"por_runs,omitempty"`
 }
 
 type perfRun struct {
@@ -249,6 +253,20 @@ type groupRun struct {
 	Violations int     `json:"violations"`
 	States     int     `json:"states"`
 	Seconds    float64 `json:"seconds"`
+}
+
+// porRun is one with/without partial-order-reduction measurement on
+// the shared PORWorkload: the explored state counts of the complete
+// searches and the reduction ratio POR achieves.
+type porRun struct {
+	Strategy       string  `json:"strategy"`
+	StatesFull     int     `json:"states_full"`
+	StatesPOR      int     `json:"states_por"`
+	ReductionRatio float64 `json:"reduction_ratio"`
+	ChoicePoints   int     `json:"choice_points"`
+	Pruned         int     `json:"pruned_transitions"`
+	SecondsFull    float64 `json:"seconds_full"`
+	SecondsPOR     float64 `json:"seconds_por"`
 }
 
 // runPerf measures checker throughput on the shared
@@ -300,6 +318,9 @@ func runPerf(writeJSON bool) error {
 	if err := runGroupPerf(&rec); err != nil {
 		return err
 	}
+	if err := runPORPerf(&rec); err != nil {
+		return err
+	}
 
 	if writeJSON {
 		path := "BENCH_" + rec.Date + ".json"
@@ -311,6 +332,46 @@ func runPerf(writeJSON bool) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// runPORPerf measures partial-order reduction on the shared
+// PORWorkload: one complete search without POR and one with it, per
+// strategy, recording states before/after and the reduction ratio.
+func runPORPerf(rec *perfRecord) error {
+	m, copts, desc, err := experiments.PORWorkload()
+	if err != nil {
+		return err
+	}
+	rec.PORWorkload = desc
+	fmt.Printf("\npartial-order reduction (%s):\n", desc)
+
+	for _, strat := range []checker.StrategyKind{checker.StrategyDFS, checker.StrategySteal} {
+		o := copts
+		o.Strategy = strat
+		o.Workers = 2
+		start := time.Now()
+		full := checker.Run(m.System(), o)
+		secFull := time.Since(start).Seconds()
+		o.POR = true
+		start = time.Now()
+		red := checker.Run(m.System(), o)
+		secPOR := time.Since(start).Seconds()
+		r := porRun{
+			Strategy:       strat.String(),
+			StatesFull:     full.StatesExplored,
+			StatesPOR:      red.StatesExplored,
+			ReductionRatio: 1 - float64(red.StatesExplored)/float64(full.StatesExplored),
+			ChoicePoints:   red.PORChoicePoints,
+			Pruned:         red.PORPrunedTransitions,
+			SecondsFull:    secFull,
+			SecondsPOR:     secPOR,
+		}
+		rec.PORRuns = append(rec.PORRuns, r)
+		fmt.Printf("%-9s states %7d -> %-7d (%.1f%% reduction)  %6.3fs -> %6.3fs  choices=%d pruned=%d\n",
+			r.Strategy, r.StatesFull, r.StatesPOR, r.ReductionRatio*100,
+			r.SecondsFull, r.SecondsPOR, r.ChoicePoints, r.Pruned)
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)")
 		groupPar   = flag.Bool("group-parallel", false, "verify independent related sets concurrently under one shared worker budget")
 		maxViol    = flag.Int("max-violations", 0, "stop after this many distinct violations, cancelling sibling group searches (0 = collect all)")
+		por        = flag.Bool("por", false, "partial-order reduction: prune equivalent handler interleavings (concurrent design)")
 		interp     = flag.Bool("interp", false, "run handlers under the tree-walking interpreter instead of compiled programs (oracle mode)")
 	)
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 
 	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
 		Strategy: strat, Workers: *workers, GroupParallel: *groupPar,
-		MaxViolations: *maxViol, Interpreter: *interp}
+		MaxViolations: *maxViol, POR: *por, Interpreter: *interp}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

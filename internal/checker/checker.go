@@ -79,6 +79,39 @@ type Replayer interface {
 	Replay(from State, key uint64) (label string, steps []string, next State)
 }
 
+// Reducer is optionally implemented by Systems that support partial-order
+// reduction. Reduce examines one expansion — the state and its full
+// successor list — and returns the indices of a persistent subset of the
+// transitions: a set whose members are mutually closed under dependence
+// and independent of every transition outside it that could execute
+// before them, so exploring only the subset from this state preserves
+// every reachable distinct violation. A nil (or full-length) return
+// means no reduction applies and the engine expands every transition.
+//
+// Reduce must be a pure function of the state: all strategies must see
+// the same reduced graph or cross-strategy equivalence breaks. The
+// engine additionally applies a visited-state proviso before committing
+// to a subset (see Options.POR) unless the reducer certifies progress,
+// so Reduce itself does not need access to the visited store.
+type Reducer interface {
+	Reduce(s State, trs []Transition) []int
+}
+
+// ProgressCertifier is optionally implemented by Reducers that can
+// prove no cycle of the reduced state graph traverses a reduced-subset
+// transition — e.g. because every subset transition strictly decreases
+// a well-founded measure of the state that nothing outside the subset
+// can increase. For such reducers the ignoring problem cannot arise
+// structurally, and the engine skips the visited-state proviso: this
+// matters because in heavily confluent (diamond-shaped) state spaces
+// the reduced successor is usually already visited through an
+// equivalent interleaving, and falling back there would forfeit exactly
+// the reductions partial order reduction exists for. Reducers that do
+// not certify progress get the conservative proviso instead.
+type ProgressCertifier interface {
+	CertifiesProgress() bool
+}
+
 // System is the transition system under verification.
 //
 // Expand and Inspect must be safe for concurrent calls on distinct
@@ -189,6 +222,17 @@ type Options struct {
 	MaxViolations int
 	// NoDedup disables state matching entirely (every path explored).
 	NoDedup bool
+	// POR enables partial-order reduction when the system implements
+	// Reducer: at each expansion the engine asks the system for a
+	// persistent subset of the enabled transitions and explores only
+	// that subset. A visited-state proviso guards against the ignoring
+	// problem: a reduced subset is accepted only if at least one of its
+	// successors is a new (unvisited) state, otherwise the engine falls
+	// back to the full expansion — so no transition can be postponed
+	// around a cycle forever and no violation is masked. All strategies
+	// explore the same reduced graph (Reduce is a pure function of the
+	// state), preserving the cross-strategy equivalence guarantees.
+	POR bool
 }
 
 // TrailStep is one step of a counter-example trail. From/Key carry the
@@ -212,13 +256,31 @@ type Found struct {
 
 // Result summarises a verification run.
 type Result struct {
-	Violations      []Found
-	StatesExplored  int // states visited (transitions taken + initial)
-	StatesMatched   int // successors pruned because already visited
-	StatesStored    int // entries in the visited store
+	Violations     []Found
+	StatesExplored int // states visited (transitions taken + initial)
+	StatesMatched  int // successors pruned because already visited
+	StatesStored   int // entries in the visited store
+	// MaxDepthReached is strategy-flavoured: DFS reports the deepest
+	// stack depth of its (deterministic) exploration order and the
+	// level-synchronous strategy the deepest level that generated
+	// successors, both counting edges into already-visited states;
+	// StrategySteal reports the deepest stored state's minimal depth —
+	// the order-independent fixpoint of its depth relaxation — so the
+	// value is deterministic across runs and worker counts but can sit
+	// one below the other strategies' on graphs whose deepest edges
+	// only re-enter visited states.
 	MaxDepthReached int
 	Truncated       bool // a limit stopped the search early
 	Elapsed         time.Duration
+
+	// PORChoicePoints counts expansions where partial-order reduction
+	// replaced the full enabled set with a persistent subset;
+	// PORPrunedTransitions is the total number of transitions those
+	// expansions skipped; PORFallbacks counts expansions where a
+	// candidate subset was rejected by the visited-state proviso.
+	PORChoicePoints      int
+	PORPrunedTransitions int
+	PORFallbacks         int
 }
 
 // HasViolation reports whether a property with the given id was violated.

@@ -13,7 +13,7 @@ func TestDequeOwnerOrder(t *testing.T) {
 	n := wsInitialCap*2 + 17 // force two growths
 	entries := make([]*stealEntry, n)
 	for i := 0; i < n; i++ {
-		entries[i] = &stealEntry{depth: int32(i)}
+		entries[i] = &stealEntry{d: digest{h1: uint64(i)}}
 		d.push(entries[i])
 	}
 	if got := d.size(); got != int64(n) {
@@ -35,7 +35,7 @@ func TestDequeStealOrder(t *testing.T) {
 	d := newWSDeque()
 	entries := make([]*stealEntry, 10)
 	for i := range entries {
-		entries[i] = &stealEntry{depth: int32(i)}
+		entries[i] = &stealEntry{d: digest{h1: uint64(i)}}
 		d.push(entries[i])
 	}
 	for i := 0; i < 5; i++ {
@@ -69,7 +69,7 @@ func TestDequeConcurrentStress(t *testing.T) {
 		if e == nil {
 			return
 		}
-		consumed[e.depth].Add(1)
+		consumed[e.d.h1].Add(1)
 		taken.Add(1)
 	}
 
@@ -98,7 +98,7 @@ func TestDequeConcurrentStress(t *testing.T) {
 
 	// Owner: pushes in bursts, pops between bursts (mixed LIFO traffic).
 	for i := 0; i < total; i++ {
-		d.push(&stealEntry{depth: int32(i)})
+		d.push(&stealEntry{d: digest{h1: uint64(i)}})
 		if i%7 == 0 {
 			consume(d.pop())
 		}

@@ -25,6 +25,14 @@ type engine struct {
 	// resolves TrailStep replay handles through it.
 	replayer Replayer
 
+	// reducer is non-nil when Options.POR is set and the system supports
+	// partial-order reduction; expansions then route through reduce.
+	// certified marks reducers that prove their subsets cannot lie on a
+	// cycle of the reduced graph, which exempts them from the
+	// visited-state proviso.
+	reducer   Reducer
+	certified bool
+
 	// needH2 is set when the store derives probes from the second hash
 	// (bitstate); the exhaustive stores key on h1 alone, so the second
 	// hashing pass is skipped on their per-state hot path.
@@ -34,11 +42,14 @@ type engine struct {
 	// per expansion batch instead of allocating per state.
 	bufs sync.Pool
 
-	explored  atomic.Int64
-	matched   atomic.Int64
-	maxDepth  atomic.Int64
-	violCount atomic.Int64
-	truncated atomic.Bool
+	explored    atomic.Int64
+	matched     atomic.Int64
+	maxDepth    atomic.Int64
+	violCount   atomic.Int64
+	truncated   atomic.Bool
+	porChoices  atomic.Int64
+	porPruned   atomic.Int64
+	porFallback atomic.Int64
 
 	mu       sync.Mutex // guards violations + distinct
 	distinct map[string]bool
@@ -48,13 +59,23 @@ type engine struct {
 
 func newEngine(sys System, opts Options) *engine {
 	rp, _ := sys.(Replayer)
+	var rd Reducer
+	certified := false
+	if opts.POR {
+		rd, _ = sys.(Reducer)
+		if pc, ok := sys.(ProgressCertifier); ok {
+			certified = pc.CertifiesProgress()
+		}
+	}
 	return &engine{
-		sys:      sys,
-		replayer: rp,
-		opts:     opts,
-		st:       newStore(opts, opts.Strategy != StrategyDFS),
-		start:    time.Now(),
-		needH2:   opts.Store == Bitstate && !opts.NoDedup,
+		sys:       sys,
+		replayer:  rp,
+		reducer:   rd,
+		certified: certified,
+		opts:      opts,
+		st:        newStore(opts, opts.Strategy != StrategyDFS),
+		start:     time.Now(),
+		needH2:    opts.Store == Bitstate && !opts.NoDedup,
 		bufs: sync.Pool{New: func() any {
 			b := make([]byte, 0, 512)
 			return &b
@@ -168,6 +189,69 @@ func (e *engine) limitHit() bool {
 	return false
 }
 
+// expand returns the successors of state to explore: the system's full
+// successor list, reduced to a persistent subset when partial-order
+// reduction selects one at this state. Every strategy expands through
+// this path, so all three explore the same reduced graph.
+//
+// The cycle/visited-state proviso is enforced here, so no violation
+// reachable through a pruned interleaving can be masked by the ignoring
+// problem (a transition postponed around a cycle forever). Reducers
+// that certify progress (ProgressCertifier) have proved no reduced
+// cycle can traverse a subset transition, which discharges the proviso
+// structurally. For any other reducer a proper subset is accepted only
+// if at least one of its successors is not already in the visited
+// store: otherwise every subset transition closes back into explored
+// territory and the engine falls back to the full expansion. (The
+// probe digests each selected successor a second time — expandShared
+// re-digests them for the store insert — but only uncertified reducers
+// pay it, and only on accepted reductions; the model's certified
+// reducer skips the probe entirely.)
+//
+// count is false on the work-stealing strategy's depth-relaxation
+// re-expansions: those must replay exactly the subset the counted
+// expansion explored — for a certified reducer, Reduce is a pure
+// function of the state, so re-running it yields the identical subset;
+// the reduction counters are suppressed so statistics count each choice
+// point once. Uncertified reducers never reach here with count=false
+// (the steal strategy disables relaxation for them): their proviso
+// consults the visited store, whose contents have changed since the
+// counted expansion, so a replay could diverge from the counted graph.
+func (e *engine) expand(state State, buf []byte, count bool) ([]Transition, []byte) {
+	trs := e.sys.Expand(state)
+	if e.reducer == nil || len(trs) < 2 {
+		return trs, buf
+	}
+	sel := e.reducer.Reduce(state, trs)
+	if len(sel) == 0 || len(sel) >= len(trs) {
+		return trs, buf
+	}
+	if !e.certified {
+		fresh := false
+		for _, i := range sel {
+			var d digest
+			d, buf = e.digest(trs[i].Next, buf)
+			if !e.st.peek(d) {
+				fresh = true
+				break
+			}
+		}
+		if !fresh {
+			e.porFallback.Add(1)
+			return trs, buf
+		}
+	}
+	if count {
+		e.porChoices.Add(1)
+		e.porPruned.Add(int64(len(trs) - len(sel)))
+	}
+	out := make([]Transition, len(sel))
+	for j, i := range sel {
+		out[j] = trs[i]
+	}
+	return out, buf
+}
+
 // noteDepth raises MaxDepthReached to d.
 func (e *engine) noteDepth(d int) {
 	for {
@@ -204,5 +288,9 @@ func (e *engine) finish() *Result {
 		MaxDepthReached: int(e.maxDepth.Load()),
 		Truncated:       e.truncated.Load(),
 		Elapsed:         time.Since(e.start),
+
+		PORChoicePoints:      int(e.porChoices.Load()),
+		PORPrunedTransitions: int(e.porPruned.Load()),
+		PORFallbacks:         int(e.porFallback.Load()),
 	}
 }

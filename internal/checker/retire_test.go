@@ -1,0 +1,96 @@
+package checker
+
+import (
+	"testing"
+)
+
+// pulseSys alternates narrow and wide phases: a long sequential chain
+// (one pending state at a time — any grown worker goes idle and
+// retires, returning its budget token and publishing its deque index)
+// followed by a wide fan (pending far exceeds the crew — maybeGrow
+// claims the token back and respawns a worker, reusing the freed deque
+// index). Several cycles force repeated retire/respawn churn through
+// the same token and the same deque.
+type pulseState struct{ c, phase, i int }
+
+func (s pulseState) Encode(buf []byte) []byte {
+	return append(buf, byte(s.c), byte(s.phase), byte(s.i))
+}
+
+type pulseSys struct{ cycles, chain, fan int }
+
+func (p *pulseSys) Initial() State { return pulseState{} }
+
+func (p *pulseSys) Expand(st State) []Transition {
+	s := st.(pulseState)
+	if s.c >= p.cycles {
+		return nil
+	}
+	if s.phase == 0 {
+		if s.i < p.chain {
+			return []Transition{{Label: "step", Next: pulseState{c: s.c, i: s.i + 1}}}
+		}
+		out := make([]Transition, p.fan)
+		for j := 0; j < p.fan; j++ {
+			out[j] = Transition{Label: "fan", Next: pulseState{c: s.c, phase: 1, i: j}}
+		}
+		return out
+	}
+	// Every fan leaf converges on the next cycle's chain start.
+	return []Transition{{Label: "join", Next: pulseState{c: s.c + 1}}}
+}
+
+func (p *pulseSys) Inspect(st State) []Violation {
+	s := st.(pulseState)
+	if s.c == p.cycles {
+		return []Violation{{Property: "end-reached", Detail: "final cycle"}}
+	}
+	return nil
+}
+
+// TestStealRetireRespawnChurn: the retire/respawn protocol — a retiring
+// worker republishes its deque index under freeMu strictly after its
+// last deque operation, and a replacement spawned under the same index
+// takes ownership of the same *wsDeque — must be race-free against
+// thieves still holding the deque pointer and must lose no work. The
+// single spare token of a two-token budget funnels every grown worker
+// through the same token and (usually) the same freed index; run with
+// -race this validates the ownership-handoff invariant the comments in
+// strategy_steal.go promise. The deque pointer itself never changes
+// (r.deques is fixed at search start), so a thief's "stale" pointer is
+// the same object the new owner pushes to — Chase–Lev top/bottom
+// arbitration plus the freeMu publish/claim ordering is what keeps the
+// handoff sound.
+func TestStealRetireRespawnChurn(t *testing.T) {
+	sys := &pulseSys{cycles: 6, chain: 100, fan: 32}
+	seq := Run(sys, Options{MaxDepth: 10000})
+	if seq.Truncated {
+		t.Fatal("reference run truncated")
+	}
+
+	for run := 0; run < 5; run++ {
+		b := NewWorkerBudget(2) // admission token + one spare to churn through
+		b.Acquire()             // the caller-held admission token (Options.Budget contract)
+		res := Run(sys, Options{MaxDepth: 10000, Strategy: StrategySteal, Workers: 4, Budget: b})
+		b.Release()
+		if got := b.Size(); got != 2 {
+			t.Fatalf("run %d: budget size changed: %d", run, got)
+		}
+		// Every claimed token must be back: both tokens acquirable.
+		if !b.TryAcquire() || !b.TryAcquire() {
+			t.Fatalf("run %d: search leaked budget tokens", run)
+		}
+		if res.Truncated {
+			t.Fatalf("run %d: truncated", run)
+		}
+		if res.StatesExplored != seq.StatesExplored || res.StatesMatched != seq.StatesMatched ||
+			res.StatesStored != seq.StatesStored {
+			t.Errorf("run %d: state space diverges: steal explored=%d matched=%d stored=%d / dfs %d/%d/%d",
+				run, res.StatesExplored, res.StatesMatched, res.StatesStored,
+				seq.StatesExplored, seq.StatesMatched, seq.StatesStored)
+		}
+		if len(res.Violations) != len(seq.Violations) {
+			t.Errorf("run %d: %d violations, want %d", run, len(res.Violations), len(seq.Violations))
+		}
+	}
+}

@@ -53,8 +53,11 @@ func hash2(data []byte) uint64 {
 }
 
 // store is the visited-state set abstraction. seen inserts the state
-// fingerprint, reporting whether it was already present; size returns
-// the number of stored entries (approximate for bitstate).
+// fingerprint, reporting whether it was already present; peek looks a
+// fingerprint up without inserting it (the partial-order reduction
+// proviso probes candidate successors before committing to a reduced
+// expansion); size returns the number of stored entries (approximate
+// for bitstate).
 //
 // Sequential stores (hashStore, bitStore, nopStore) are not safe for
 // concurrent use; the engine selects their sharded/atomic counterparts
@@ -62,6 +65,7 @@ func hash2(data []byte) uint64 {
 // strategy.
 type store interface {
 	seen(d digest) bool
+	peek(d digest) bool
 	size() int
 }
 
@@ -96,6 +100,11 @@ func (s *hashStore) seen(d digest) bool {
 	}
 	s.m[d.h1] = struct{}{}
 	return false
+}
+
+func (s *hashStore) peek(d digest) bool {
+	_, ok := s.m[d.h1]
+	return ok
 }
 
 func (s *hashStore) size() int { return len(s.m) }
@@ -133,6 +142,14 @@ func (s *shardedHashStore) seen(d digest) bool {
 	if !ok {
 		sh.m[d.h1] = struct{}{}
 	}
+	sh.mu.Unlock()
+	return ok
+}
+
+func (s *shardedHashStore) peek(d digest) bool {
+	sh := &s.shards[d.h1>>56&(hashShards-1)]
+	sh.mu.Lock()
+	_, ok := sh.m[d.h1]
 	sh.mu.Unlock()
 	return ok
 }
@@ -199,6 +216,16 @@ func (s *bitStore) seen(d digest) bool {
 	return all
 }
 
+func (s *bitStore) peek(d digest) bool {
+	for i := 0; i < s.k; i++ {
+		pos := d.probe(i, s.mask)
+		if s.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *bitStore) size() int { return s.count }
 
 // atomicBitStore is the bitstate store for the parallel strategy: the
@@ -256,15 +283,27 @@ func (s *atomicBitStore) setBit(w, mask uint64) bool {
 	}
 }
 
+func (s *atomicBitStore) peek(d digest) bool {
+	for i := 0; i < s.k; i++ {
+		pos := d.probe(i, s.mask)
+		if s.bits[pos/64].Load()&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *atomicBitStore) size() int { return int(s.count.Load()) }
 
 // nopStore disables state matching (NoDedup).
 type nopStore struct{ count int }
 
 func (s *nopStore) seen(digest) bool { s.count++; return false }
+func (s *nopStore) peek(digest) bool { return false }
 func (s *nopStore) size() int        { return s.count }
 
 type atomicNopStore struct{ count atomic.Int64 }
 
 func (s *atomicNopStore) seen(digest) bool { s.count.Add(1); return false }
+func (s *atomicNopStore) peek(digest) bool { return false }
 func (s *atomicNopStore) size() int        { return int(s.count.Load()) }

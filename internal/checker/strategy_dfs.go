@@ -24,7 +24,9 @@ func (sequentialDFS) search(e *engine) {
 	buf := *bufp
 	defer func() { *bufp = buf }()
 
-	stack := []frame{{state: init, succs: e.sys.Expand(init)}}
+	var succs []Transition
+	succs, buf = e.expand(init, buf, true)
+	stack := []frame{{state: init, succs: succs}}
 
 	for len(stack) > 0 {
 		if e.limitHit() {
@@ -76,6 +78,7 @@ func (sequentialDFS) search(e *engine) {
 			continue
 		}
 		e.explored.Add(1)
-		stack = append(stack, frame{state: tr.Next, succs: e.sys.Expand(tr.Next)})
+		succs, buf = e.expand(tr.Next, buf, true)
+		stack = append(stack, frame{state: tr.Next, succs: succs})
 	}
 }

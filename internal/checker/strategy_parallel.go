@@ -38,11 +38,29 @@ type frontierEntry struct {
 // string, and the step strings are only produced — by replaying
 // forward from the root state — if a trail through this edge is
 // materialized. No per-edge state is retained.
+//
+// depth is the minimal known depth of the state. The level-synchronous
+// strategy stores exact BFS levels; the work-stealing strategy stores
+// the depth of whichever path stored the state first and then lowers it
+// through relax whenever a shorter path re-encounters the state, so the
+// final depths are the order-independent shortest-distance fixpoint.
+// expanded marks states whose counted expansion has been claimed
+// (work-stealing only); it arbitrates between the one expansion that
+// contributes to the explored/matched counters and the depth-relaxation
+// re-expansions that only propagate improved depths.
+// provisional marks an entry created by relax before the storing
+// worker's put landed: the visited store admits a state (seen) strictly
+// before its parent edge is recorded, so a shorter path can re-encounter
+// the state inside that window. The depth-only provisional entry
+// preserves the improvement; put then merges the real edge into it.
 type parentEdge struct {
-	parent uint64 // h1 of the predecessor state (rootHash for the root)
-	label  string
-	steps  []string
-	key    uint64
+	parent      uint64 // h1 of the predecessor state (rootHash for the root)
+	label       string
+	steps       []string
+	key         uint64
+	depth       int32
+	expanded    bool
+	provisional bool
 }
 
 // parentShards stripes the parent-link table; writes happen once per
@@ -50,9 +68,10 @@ type parentEdge struct {
 const parentShards = 64
 
 type parentStore struct {
-	root      uint64
-	rootState State // initial state: forward replay of lazy trails starts here
-	shards    [parentShards]struct {
+	root         uint64
+	rootState    State // initial state: forward replay of lazy trails starts here
+	rootExpanded atomic.Bool
+	shards       [parentShards]struct {
 		mu sync.Mutex
 		m  map[uint64]parentEdge
 	}
@@ -69,7 +88,16 @@ func newParentStore(root uint64, rootState State) *parentStore {
 func (p *parentStore) put(h uint64, edge parentEdge) {
 	sh := &p.shards[h>>58&(parentShards-1)]
 	sh.mu.Lock()
-	if _, ok := sh.m[h]; !ok { // first writer wins: keep the BFS tree acyclic
+	if ex, ok := sh.m[h]; !ok { // first writer wins: keep the BFS tree acyclic
+		sh.m[h] = edge
+	} else if ex.provisional {
+		// A relax raced into the seen→put window and left a depth-only
+		// placeholder: merge the real edge in, keeping the minimum depth
+		// (and the expanded claim, if a re-enqueued copy already ran).
+		if ex.depth < edge.depth {
+			edge.depth = ex.depth
+		}
+		edge.expanded = ex.expanded
 		sh.m[h] = edge
 	}
 	sh.mu.Unlock()
@@ -81,6 +109,89 @@ func (p *parentStore) get(h uint64) (parentEdge, bool) {
 	e, ok := sh.m[h]
 	sh.mu.Unlock()
 	return e, ok
+}
+
+// relax lowers the recorded depth of h to depth if that improves it —
+// the CAS-min of the work-stealing strategy's deterministic clipping.
+// It reports whether the depth improved; a caller seeing an improvement
+// re-enqueues the state so the shorter distance propagates to its
+// descendants (and so a state first stored at the depth bound becomes
+// expandable once a shorter path reaches it).
+func (p *parentStore) relax(h uint64, depth int32) bool {
+	if h == p.root {
+		return false // the root's depth 0 cannot improve
+	}
+	sh := &p.shards[h>>58&(parentShards-1)]
+	sh.mu.Lock()
+	e, ok := sh.m[h]
+	if !ok {
+		// The storing worker admitted h to the visited store but its
+		// put has not landed yet. Record the depth provisionally so the
+		// improvement cannot be lost to the race; no re-enqueue is
+		// needed — the storing worker enqueues the state right after
+		// its put, and that pop reads the merged (minimal) depth.
+		sh.m[h] = parentEdge{depth: depth, provisional: true}
+		sh.mu.Unlock()
+		return false
+	}
+	improved := depth < e.depth
+	if improved {
+		e.depth = depth
+		sh.m[h] = e
+	}
+	sh.mu.Unlock()
+	return improved
+}
+
+// claimExpansion reads h's minimal depth and — unless the depth sits at
+// or beyond bound, where the state must stay unexpanded so a later
+// relaxation below the bound can still claim it — marks the counted
+// expansion as claimed, all under one shard lock (this runs once per
+// pop on the steal hot path). counted reports whether this caller won
+// the claim: exactly one expansion of each state contributes to the
+// explored/matched counters; later re-expansions (depth relaxation)
+// run with counting suppressed.
+func (p *parentStore) claimExpansion(h uint64, bound int32) (depth int32, counted bool) {
+	if h == p.root {
+		return 0, p.rootExpanded.CompareAndSwap(false, true)
+	}
+	sh := &p.shards[h>>58&(parentShards-1)]
+	sh.mu.Lock()
+	e, ok := sh.m[h]
+	if !ok {
+		sh.mu.Unlock()
+		return 0, false
+	}
+	depth = e.depth
+	if depth < bound && !e.expanded {
+		e.expanded = true
+		sh.m[h] = e
+		counted = true
+	}
+	sh.mu.Unlock()
+	return depth, counted
+}
+
+// scan walks the final depth table after the search drains, returning
+// the deepest stored state's minimal depth and whether any state sits
+// at or beyond the bound (stored but never expanded — the deterministic
+// truncation signal: the minimal-depth fixpoint does not depend on the
+// order in which paths reached each state).
+func (p *parentStore) scan(bound int32) (maxDepth int32, clipped bool) {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			if e.depth > maxDepth {
+				maxDepth = e.depth
+			}
+			if e.depth >= bound {
+				clipped = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return maxDepth, clipped
 }
 
 // trailTo reconstructs the trail from the root to the state with hash h
@@ -184,9 +295,9 @@ func (s *parallelBFS) search(e *engine) {
 // path, appending newly stored successors to the worker's
 // next-frontier slice.
 func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry, depth int, out *[]frontierEntry, buf []byte) []byte {
-	buf, _ = expandShared(e, parents, ent.state, ent.d.h1, depth, buf, func(st State, d digest) {
+	buf, _ = expandShared(e, parents, ent.state, ent.d.h1, depth, buf, true, func(st State, d digest) {
 		*out = append(*out, frontierEntry{state: st, d: d})
-	})
+	}, nil)
 	return buf
 }
 
@@ -196,9 +307,17 @@ func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry,
 // trail prefix lazily, only when a violation is actually recorded —
 // deduplicates successors through the visited store, links new states
 // to their parent, and hands each newly stored successor to enqueue.
-// It returns the (possibly grown) encode buffer and false when a limit
-// was hit (truncated is already set; the caller must stop).
-func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth int, buf []byte, enqueue func(State, digest)) ([]byte, bool) {
+// Expansion routes through engine.expand, so partial-order reduction
+// applies to the frontier strategies exactly as it does to DFS.
+//
+// count suppresses the matched counter when false: the work-stealing
+// strategy re-expands states whose depth improved (relaxation passes),
+// and those must not perturb the deterministic exploration statistics.
+// onDup, when non-nil, receives every successor that was already in the
+// visited store (the relaxation hook). It returns the (possibly grown)
+// encode buffer and false when a limit was hit (truncated is already
+// set; the caller must stop).
+func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth int, buf []byte, count bool, enqueue func(State, digest), onDup func(State, digest)) ([]byte, bool) {
 	var prefix []TrailStep // parent trail, reconstructed lazily
 	havePrefix := false
 	record := func(v Violation, tr Transition) bool {
@@ -211,7 +330,9 @@ func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth
 		return e.record(v, trail, depth)
 	}
 
-	for _, tr := range e.sys.Expand(state) {
+	var trs []Transition
+	trs, buf = e.expand(state, buf, count)
+	for _, tr := range trs {
 		e.noteDepth(depth)
 		for _, v := range tr.Violations {
 			if record(v, tr) && e.limitHit() {
@@ -229,10 +350,15 @@ func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth
 		var d digest
 		d, buf = e.digest(tr.Next, buf)
 		if e.st.seen(d) {
-			e.matched.Add(1)
+			if count {
+				e.matched.Add(1)
+			}
+			if onDup != nil {
+				onDup(tr.Next, d)
+			}
 			continue
 		}
-		parents.put(d.h1, parentEdge{parent: h1, label: tr.Label, steps: tr.Steps, key: tr.Key})
+		parents.put(d.h1, parentEdge{parent: h1, label: tr.Label, steps: tr.Steps, key: tr.Key, depth: int32(depth)})
 		e.explored.Add(1)
 		enqueue(tr.Next, d)
 		if e.limitHit() {

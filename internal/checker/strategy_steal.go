@@ -25,15 +25,20 @@ import (
 // complete and all workers exit.
 //
 // Like StrategyParallel, trails are reconstructed through the shared
-// parent-link table; each entry carries the depth of the path that
-// first stored it, so MaxDepth clips expansion at the same bound as
-// the other strategies (states at the bound are stored but not
-// expanded, and their existence marks the result truncated). As with
-// DFS — and unlike the BFS strategy, whose levels are minimal depths —
-// a state's recorded depth is the length of whichever path stored it
-// first, so on a graph whose longest path exceeds MaxDepth the
-// truncation point is exploration-order-dependent; the cross-strategy
-// equivalence guarantees hold on searches the bound does not clip.
+// parent-link table. Each stored state's depth starts as the length of
+// whichever path stored it first and is then lowered (CAS-min in the
+// parent store) every time a shorter path re-encounters the state; a
+// state whose depth improves is re-enqueued so the shorter distance
+// propagates to its descendants — a relaxation pass whose expansions
+// run with the matched counter suppressed, so exploration statistics
+// stay identical to a run that found the minimal depths first. The
+// final depth table is therefore the shortest-distance fixpoint,
+// independent of exploration order: MaxDepth clips expansion at the
+// same bound as the other strategies (states at the bound are stored
+// but not expanded), and both Truncated and MaxDepthReached are
+// computed from the final table after the search drains, so
+// depth-clipped searches report deterministic results instead of
+// "whichever path stored it first".
 //
 // Under a shared WorkerBudget (Options.Budget), the search starts with
 // the single admission token its caller holds and grows workers
@@ -48,12 +53,13 @@ type workSteal struct {
 	workers int
 }
 
-// stealEntry is one state awaiting expansion: its digest keys the
-// parent-link table, depth is the length of the path that stored it.
+// stealEntry is one state awaiting expansion; its digest keys the
+// parent-link table, which also carries the state's (minimal known)
+// depth — entries deliberately do not cache the depth, so a pop always
+// expands at the freshest distance.
 type stealEntry struct {
 	state State
 	d     digest
-	depth int32
 }
 
 // stealRun is the shared state of one work-stealing search.
@@ -64,7 +70,6 @@ type stealRun struct {
 	pending atomic.Int64 // states pushed but not yet fully expanded
 	live    atomic.Int32 // workers currently running (crew-size check)
 	nextIdx atomic.Int32 // monotonic worker-index allocator
-	clipped atomic.Bool  // a state at the MaxDepth bound was not expanded
 	max     int
 	wg      sync.WaitGroup
 
@@ -115,9 +120,15 @@ func (s *workSteal) search(e *engine) {
 		r.spawn(0, false)
 	}
 	r.wg.Wait()
-	if r.clipped.Load() {
+	// Clipping and the reported depth come from the final depth table —
+	// the shortest-distance fixpoint — not from per-path bookkeeping, so
+	// depth-clipped searches are deterministic across runs and worker
+	// counts.
+	maxd, clipped := r.parents.scan(int32(e.opts.MaxDepth))
+	if clipped {
 		e.truncated.Store(true)
 	}
+	e.maxDepth.Store(int64(maxd))
 }
 
 // spawn starts worker w. ownsToken marks workers holding a
@@ -285,22 +296,46 @@ func (r *stealRun) stealFrom(w int, rng *uint64) *stealEntry {
 }
 
 // expand processes one entry through the shared expansion path,
-// pushing newly stored successors onto the worker's own deque.
+// pushing newly stored successors onto the worker's own deque. A
+// re-encountered successor whose depth improves is re-enqueued so the
+// shorter distance propagates; the parent store's expanded claim
+// arbitrates so exactly one expansion of each state contributes to the
+// counters, and the propagation passes run count-suppressed.
 func (r *stealRun) expand(ent *stealEntry, w int, buf []byte) []byte {
 	e := r.e
-	if int(ent.depth) >= e.opts.MaxDepth {
+	depth, count := r.parents.claimExpansion(ent.d.h1, int32(e.opts.MaxDepth))
+	if int(depth) >= e.opts.MaxDepth {
 		// States at the depth bound exist but are not expanded — the
 		// same truncation point as the DFS and level-synchronous
 		// strategies. Clipping is not a global abort: shallower entries
-		// still queued elsewhere continue to be expanded, and the result
-		// is marked truncated once the search drains.
-		r.clipped.Store(true)
+		// still queued elsewhere continue to be expanded, and the final
+		// depth scan marks the result truncated once the search drains
+		// (unless a shorter path later relaxes this state below the
+		// bound and re-enqueues it).
 		return buf
 	}
-	depth := int(ent.depth) + 1
-	buf, _ = expandShared(e, r.parents, ent.state, ent.d.h1, depth, buf, func(st State, d digest) {
-		r.pending.Add(1)
-		r.deques[w].push(&stealEntry{state: st, d: d, depth: int32(depth)})
-	})
+	childDepth := int(depth) + 1
+	// Depth relaxation re-expands states, which must replay exactly the
+	// transitions the counted expansion explored. With an uncertified
+	// POR reducer the engine's visited-state proviso makes expansion
+	// store-dependent — a replay could diverge from the counted graph —
+	// so relaxation is disabled there (clipping then keeps the
+	// first-path semantics for that combination only). Certified
+	// reducers are pure functions of the state and replay identically.
+	onDup := func(st State, d digest) {
+		if r.parents.relax(d.h1, int32(childDepth)) {
+			r.pending.Add(1)
+			r.deques[w].push(&stealEntry{state: st, d: d})
+		}
+	}
+	if e.reducer != nil && !e.certified {
+		onDup = nil
+	}
+	buf, _ = expandShared(e, r.parents, ent.state, ent.d.h1, childDepth, buf, count,
+		func(st State, d digest) {
+			r.pending.Add(1)
+			r.deques[w].push(&stealEntry{state: st, d: d})
+		},
+		onDup)
 	return buf
 }

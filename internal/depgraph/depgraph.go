@@ -416,3 +416,61 @@ func Scale(handlers []smartapp.HandlerInfo) ScaleStats {
 	}
 	return stats
 }
+
+// RW is a handler's read/write event-signature footprint, the input to
+// the static independence relation. Reads carry no value constraint
+// (a read observes whatever value the attribute holds); writes may be
+// value-constrained (switch/on) or not.
+type RW struct {
+	Reads  []smartapp.EventSig
+	Writes []smartapp.EventSig
+}
+
+// Independent reports whether two handlers with the given footprints
+// are independent in the partial-order-reduction sense: executing them
+// in either order from the same state reads and writes disjoint,
+// non-conflicting event signatures, so the executions commute. The
+// seeds are the same predicates dependency analysis builds the graph
+// from — a write Overlaps a read when it can be observed by it, and two
+// writes interfere when they Overlap (same attribute, compatible
+// values: repeated-command interference) or Conflict (same attribute,
+// different values).
+//
+// Read/read overlap is deliberately NOT a dependence: two handlers
+// observing the same attribute commute as long as neither changes it.
+func Independent(a, b RW) bool {
+	if overlaps(a.Writes, b.Reads) || overlaps(b.Writes, a.Reads) {
+		return false
+	}
+	if overlaps(a.Writes, b.Writes) || conflicts(a.Writes, b.Writes) {
+		return false
+	}
+	return true
+}
+
+// Independence returns the vertex-level independence matrix of the
+// graph: m[u][v] is true when every handler of vertex u is independent
+// of every handler of vertex v (by their analyzed input/output event
+// signatures, inputs as reads and outputs as writes). The matrix is
+// symmetric with a false diagonal — a vertex is never independent of
+// itself. This is the coarse, signature-level relation; the model's
+// reducer refines it with the compile-time effects extracted by the
+// eval package.
+func (g *Graph) Independence() [][]bool {
+	n := len(g.Vertices)
+	rws := make([]RW, n)
+	for i, v := range g.Vertices {
+		rws[i] = RW{Reads: v.Inputs, Writes: v.Outputs}
+	}
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ind := Independent(rws[i], rws[j])
+			m[i][j], m[j][i] = ind, ind
+		}
+	}
+	return m
+}

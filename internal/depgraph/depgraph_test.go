@@ -184,3 +184,66 @@ func TestTimerEventsAreAppScoped(t *testing.T) {
 		t.Errorf("final sets = %d, want 2", got)
 	}
 }
+
+// TestIndependent: the overlap/conflict-seeded independence relation.
+func TestIndependent(t *testing.T) {
+	sig := func(attr, val string) smartapp.EventSig { return smartapp.EventSig{Attr: attr, Value: val} }
+	cases := []struct {
+		name string
+		a, b RW
+		want bool
+	}{
+		{"disjoint", RW{Reads: []smartapp.EventSig{sig("motion", "")}},
+			RW{Writes: []smartapp.EventSig{sig("switch", "on")}}, true},
+		{"write-read", RW{Writes: []smartapp.EventSig{sig("switch", "on")}},
+			RW{Reads: []smartapp.EventSig{sig("switch", "")}}, false},
+		{"write-write-conflict", RW{Writes: []smartapp.EventSig{sig("switch", "on")}},
+			RW{Writes: []smartapp.EventSig{sig("switch", "off")}}, false},
+		{"write-write-same", RW{Writes: []smartapp.EventSig{sig("switch", "on")}},
+			RW{Writes: []smartapp.EventSig{sig("switch", "on")}}, false},
+		{"read-read", RW{Reads: []smartapp.EventSig{sig("temperature", "")}},
+			RW{Reads: []smartapp.EventSig{sig("temperature", "")}}, true},
+		{"value-filtered-write-read", RW{Writes: []smartapp.EventSig{sig("lock", "locked")}},
+			RW{Reads: []smartapp.EventSig{sig("lock", "")}}, false},
+	}
+	for _, c := range cases {
+		if got := Independent(c.a, c.b); got != c.want {
+			t.Errorf("%s: Independent = %v, want %v", c.name, got, c.want)
+		}
+		if got := Independent(c.b, c.a); got != c.want {
+			t.Errorf("%s (swapped): Independent = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestIndependenceMatrix: on the paper's Table 2 graph, dependent pairs
+// (Brighten Dark Places writes switch events that Let There Be Dark!
+// conflicts with on output) are never reported independent, the matrix
+// is symmetric, and the diagonal is false.
+func TestIndependenceMatrix(t *testing.T) {
+	g := Build(table2Handlers(t))
+	m := g.Independence()
+	if len(m) != len(g.Vertices) {
+		t.Fatalf("matrix over %d vertices, want %d", len(m), len(g.Vertices))
+	}
+	for i := range m {
+		if m[i][i] {
+			t.Errorf("vertex %d reported independent of itself", i)
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Errorf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if m[i][j] && !Independent(RW{Reads: g.Vertices[i].Inputs, Writes: g.Vertices[i].Outputs},
+				RW{Reads: g.Vertices[j].Inputs, Writes: g.Vertices[j].Outputs}) {
+				t.Errorf("matrix claims (%d,%d) independent but the footprints disagree", i, j)
+			}
+		}
+	}
+	// Vertices 0 and 1 (Table 2: switch/on vs switch/off outputs)
+	// conflict; the graph groups them for exactly that reason, and the
+	// independence relation must agree.
+	if m[0][1] {
+		t.Error("conflicting switch writers (vertices 0, 1) reported independent")
+	}
+}

@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"testing"
+
+	"iotsan/internal/ir"
+	"iotsan/internal/smartapp"
+)
+
+// Differential pinning of the builtin edge cases POR's read/write-set
+// extraction leans on (builtins.go serves both engines, so a semantic
+// drift between the closure compiler and the tree-walking oracle here
+// would skew every footprint-derived independence decision): integer
+// division, string coercion in comparisons, and null-propagating
+// attribute access.
+
+// TestBuiltinsDifferentialIntegerDivision: Groovy-style division — int/int
+// divides exactly when even, intdiv truncates, mixed operands promote —
+// must agree between the interpreter and the compiled programs.
+func TestBuiltinsDifferentialIntegerDivision(t *testing.T) {
+	onEvt := &Event{Device: 0, Name: "switch", Value: ir.StrV("on")}
+	sw := map[string]ir.Value{"sw": ir.DeviceV(0)}
+
+	ih, ch := runBoth(t, header+`
+def h(evt) {
+    state.even = 8 / 2
+    state.odd = 7 / 2
+    state.trunc = 7.intdiv(2)
+    state.negTrunc = (-7).intdiv(2)
+    state.mixed = 7 / 2.0
+    state.modulo = 7 % 3
+    state.chain = (9 / 3).intdiv(2)
+}
+`, "h", onEvt, sw)
+	for _, host := range []*fakeHost{ih, ch} {
+		if got := host.state["trunc"].AsInt(); got != 3 {
+			t.Errorf("7.intdiv(2) = %v, want 3", got)
+		}
+		if got := host.state["even"].AsInt(); got != 4 {
+			t.Errorf("8 / 2 = %v, want 4", got)
+		}
+		if got := host.state["modulo"].AsInt(); got != 1 {
+			t.Errorf("7 %% 3 = %v, want 1", got)
+		}
+	}
+}
+
+// TestBuiltinsDifferentialStringCoercion: comparisons coerce numeric
+// strings (sensor values arrive as strings) identically in both
+// engines — equality, ordering, and the truthiness that conditions
+// branch on.
+func TestBuiltinsDifferentialStringCoercion(t *testing.T) {
+	sw := map[string]ir.Value{"sw": ir.DeviceV(0)}
+
+	runBoth(t, header+`
+def h(evt) {
+    state.eqNum = evt.value == 150
+    state.eqStr = evt.value == "150"
+    state.gt = evt.value > 100
+    state.lt = evt.value < 200
+    state.strOrd = "abc" < "abd"
+    state.numStr = 5 == "5"
+    state.concat = "v=" + evt.value + 1
+    if (evt.value > limit) { sw.off() }
+}
+`, "h", &Event{Device: 0, Name: "power", Value: ir.StrV("150")},
+		map[string]ir.Value{"sw": ir.DeviceV(0), "limit": ir.IntV(100)})
+
+	runBoth(t, header+`
+def h(evt) {
+    state.empty = "" ? "truthy" : "falsy"
+    state.zeroStr = "0" ? "truthy" : "falsy"
+    state.cmpCase = "ON" == "on"
+    state.ci = "ON".toLowerCase() == "on"
+}
+`, "h", &Event{Device: 0, Name: "switch", Value: ir.StrV("on")}, sw)
+}
+
+// TestBuiltinsDifferentialNullPropagation: attribute access through
+// null receivers (unbound optional inputs, missing map keys, null
+// event fields) must null-propagate — not error — identically in both
+// engines, including through method calls and further member access.
+func TestBuiltinsDifferentialNullPropagation(t *testing.T) {
+	onEvt := &Event{Device: 0, Name: "switch", Value: ir.StrV("on")}
+	// "maybe" is deliberately left unbound: it reads as null.
+	sw := map[string]ir.Value{"sw": ir.DeviceV(0)}
+
+	ih, ch := runBoth(t, header+`
+def h(evt) {
+    state.a = maybe.currentSwitch
+    state.b = maybe?.currentSwitch
+    state.c = state.missing
+    state.d = state.missing ?: "fallback"
+    def m = [x: 1]
+    state.e = m.nothere
+    state.f = m.nothere ?: 9
+    if (maybe) { state.g = "bound" } else { state.g = "unbound" }
+}
+`, "h", onEvt, sw)
+	for _, host := range []*fakeHost{ih, ch} {
+		if got := host.state["d"].String(); got != "fallback" {
+			t.Errorf("elvis over null state read = %q, want \"fallback\"", got)
+		}
+		if got := host.state["g"].String(); got != "unbound" {
+			t.Errorf("null input truthiness = %q, want \"unbound\"", got)
+		}
+		if host.state["a"].Kind != ir.VNull || host.state["b"].Kind != ir.VNull {
+			t.Errorf("null attribute access: a=%v b=%v, want null", host.state["a"], host.state["b"])
+		}
+	}
+}
+
+// TestAppEffectsExtraction: the compile-time footprints POR consumes.
+func TestAppEffectsExtraction(t *testing.T) {
+	app, err := smartapp.Translate(header + `
+def h(evt) {
+    if (sw.currentSwitch == "on" && location.mode == "Home") {
+        sws.off()
+        helper()
+    }
+}
+def helper() {
+    sendPush("x")
+    runIn(60, later)
+}
+def later() { state.done = true }
+def pure(evt) { state.n = (state.n ?: 0) + 1 }
+def dyn(evt) { state.x = sw.currentValue(evt.name) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := AppEffects(app)
+
+	h := eff["h"]
+	if h == nil || h.Unknown {
+		t.Fatalf("h: effects missing or unknown: %+v", h)
+	}
+	if !h.ReadAttrs["switch"] || !h.ReadsMode {
+		t.Errorf("h: reads = %v mode=%v, want switch + mode", h.ReadAttrs, h.ReadsMode)
+	}
+	if !h.Commands || !h.WriteAttrs["switch"] {
+		t.Errorf("h: commands=%v writes=%v, want the off() command on switch", h.Commands, h.WriteAttrs)
+	}
+	if !h.Notifies || !h.Schedules {
+		t.Errorf("h: transitive helper effects lost: notifies=%v schedules=%v", h.Notifies, h.Schedules)
+	}
+	if h.PureLocal() {
+		t.Error("h issues commands; must not be pure-local")
+	}
+
+	p := eff["pure"]
+	if p == nil || !p.PureLocal() || p.Unknown {
+		t.Fatalf("pure: want pure-local effects, got %+v", p)
+	}
+
+	l := eff["later"]
+	if l == nil || !l.PureLocal() {
+		t.Fatalf("later: state-only timer callback must be pure-local, got %+v", l)
+	}
+
+	d := eff["dyn"]
+	if d == nil || !d.Unknown {
+		t.Fatalf("dyn: dynamic attribute name must defeat the analysis, got %+v", d)
+	}
+}

@@ -2,7 +2,10 @@ package eval
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"iotsan/internal/device"
 	"iotsan/internal/groovy"
 	"iotsan/internal/ir"
 )
@@ -25,6 +28,9 @@ func Compile(app *ir.App, bindings map[string]ir.Value, stateIdx map[string]int)
 		StateIdx: stateIdx,
 		Methods:  make(map[string]*Program, len(app.Methods)),
 	}
+	// Effects are extracted before lowering so even apps that fall back
+	// to the interpreter (ca.Err set) carry their footprints.
+	ca.Effects = AppEffects(app)
 	direct := evtDirectMethods(app)
 	for name, m := range app.Methods {
 		p, err := compileMethod(ca, m, direct[name])
@@ -698,4 +704,506 @@ func (c *compiler) stateAssign(key string, rhsFn exprFn, apply func(old, rhs ir.
 		st[key] = nv
 		return nv, ctlNormal, nil
 	}
+}
+
+// ---- compile-time effects extraction ----
+
+// Effects is the statically extracted footprint of one method and
+// everything it can transitively call: which device attributes it may
+// read or write, which platform facilities it touches, and whether any
+// construct defeated the analysis. The model's partial-order reducer
+// derives handler independence from these sets, so every approximation
+// here errs toward MORE effects — a missed read or write would let the
+// reducer prune an interleaving that actually matters, while a spurious
+// one only costs reduction.
+type Effects struct {
+	// ReadAttrs/WriteAttrs are device attribute names the method may
+	// read (dev.currentX, currentValue("x"), device.x) or drive via
+	// actuator commands (sw.on() writes "switch"). Attribute-level, not
+	// device-level: two handlers touching the same attribute on
+	// different devices are treated as dependent, which is conservative.
+	ReadAttrs  map[string]bool
+	WriteAttrs map[string]bool
+	// EventNames are synthetic sendEvent attribute names the method can
+	// raise (they enqueue subscriber handlers like real device events).
+	EventNames map[string]bool
+	ReadsMode  bool // location.mode / location.currentMode reads
+	WritesMode bool // setLocationMode / location.mode = / location.setMode
+	ReadsTime  bool // now(), evt.date, xState timestamps, ...
+	// Commands is set when the method can issue any actuator command:
+	// commands append to the state's per-cascade command log, whose
+	// encoding is order-sensitive, so two command-issuing handlers never
+	// commute even on disjoint attributes.
+	Commands bool
+	// SendsEvent/Schedules/Unsubscribes/Notifies/Network flag sendEvent,
+	// runIn/schedule/unschedule, unsubscribe, SMS/push/contact
+	// notifications, and HTTP requests respectively.
+	SendsEvent   bool
+	Schedules    bool
+	Unsubscribes bool
+	Notifies     bool
+	Network      bool
+	// Unknown is set when the analysis met a construct it cannot bound
+	// (dynamic attribute names, unresolvable calls, unsupported nodes).
+	// An Unknown method must be treated as dependent on everything and
+	// visible to every property.
+	Unknown bool
+}
+
+// PureLocal reports whether the method's writes are confined to its own
+// app instance (persistent state, timers): it issues no actuator
+// commands, raises no synthetic events, and never changes the location
+// mode or its subscriptions. Dispatching a pure-local handler is
+// invisible to every safety property and commutes with any transition
+// of another app that does not read or write what it reads or writes.
+func (ef *Effects) PureLocal() bool {
+	return !ef.Unknown && !ef.Commands && !ef.SendsEvent &&
+		!ef.WritesMode && !ef.Unsubscribes
+}
+
+// OutputAttrs returns the attribute names whose change events the
+// method can cause: command-target attributes, synthetic event names,
+// and "mode" for location-mode changes. Sorted for determinism.
+func (ef *Effects) OutputAttrs() []string {
+	set := map[string]bool{}
+	for a := range ef.WriteAttrs {
+		set[a] = true
+	}
+	for a := range ef.EventNames {
+		set[a] = true
+	}
+	if ef.WritesMode {
+		set["mode"] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppEffects extracts the effects of every method of an app. Each
+// method's footprint includes everything reachable through intra-app
+// helper calls (cycle-safe); it is independent of bindings, so the same
+// table serves compiled and interpreter-mode execution.
+func AppEffects(app *ir.App) map[string]*Effects {
+	out := make(map[string]*Effects, len(app.Methods))
+	for name := range app.Methods {
+		w := &effectsWalker{app: app, visited: map[string]bool{}, ef: &Effects{
+			ReadAttrs:  map[string]bool{},
+			WriteAttrs: map[string]bool{},
+			EventNames: map[string]bool{},
+		}}
+		w.method(name)
+		out[name] = w.ef
+	}
+	return out
+}
+
+// effectsWalker accumulates one method's transitive effects over the
+// same AST the compiler lowers. Any node it does not recognise marks
+// the effects Unknown — the sound default.
+type effectsWalker struct {
+	app     *ir.App
+	visited map[string]bool
+	ef      *Effects
+}
+
+func (w *effectsWalker) method(name string) {
+	if w.visited[name] {
+		return
+	}
+	w.visited[name] = true
+	m := w.app.Methods[name]
+	if m == nil {
+		w.ef.Unknown = true
+		return
+	}
+	for _, p := range m.Params {
+		if p.Default != nil {
+			w.expr(p.Default)
+		}
+	}
+	w.block(m.Body)
+}
+
+func (w *effectsWalker) block(b *groovy.Block) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.Stmts {
+		w.stmt(st)
+	}
+}
+
+func (w *effectsWalker) stmt(st groovy.Stmt) {
+	switch s := st.(type) {
+	case nil:
+	case *groovy.VarDeclStmt:
+		w.expr(s.Init)
+	case *groovy.AssignStmt:
+		w.expr(s.RHS)
+		w.assignTarget(s.LHS)
+	case *groovy.ExprStmt:
+		w.expr(s.X)
+	case *groovy.IfStmt:
+		w.expr(s.Cond)
+		w.block(s.Then)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *groovy.Block:
+		w.block(s)
+	case *groovy.WhileStmt:
+		w.expr(s.Cond)
+		w.block(s.Body)
+	case *groovy.ForInStmt:
+		w.expr(s.Iter)
+		w.block(s.Body)
+	case *groovy.ForCStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+		w.block(s.Body)
+	case *groovy.ReturnStmt:
+		w.expr(s.X)
+	case *groovy.BreakStmt, *groovy.ContinueStmt, *groovy.ThrowStmt:
+	case *groovy.SwitchStmt:
+		w.expr(s.Subject)
+		for _, c := range s.Cases {
+			for _, vx := range c.Values {
+				w.expr(vx)
+			}
+			for _, b := range c.Body {
+				w.stmt(b)
+			}
+		}
+		for _, b := range s.Default {
+			w.stmt(b)
+		}
+	case *groovy.TryStmt:
+		w.block(s.Body)
+		for _, c := range s.Catches {
+			w.block(c.Body)
+		}
+		w.block(s.Finally)
+	default:
+		w.ef.Unknown = true
+	}
+}
+
+// assignTarget classifies the left-hand side of an assignment:
+// state.x and locals are app-local, location.mode is a mode write,
+// anything else unrecognised defeats the analysis.
+func (w *effectsWalker) assignTarget(lhs groovy.Expr) {
+	switch t := lhs.(type) {
+	case *groovy.Ident:
+	case *groovy.PropertyExpr:
+		if id, ok := t.Recv.(*groovy.Ident); ok {
+			switch id.Name {
+			case "state", "atomicState":
+				return
+			case "location":
+				if t.Name == "mode" {
+					w.ef.WritesMode = true
+					return
+				}
+			}
+		}
+		// Property assignment on anything else: the compiler rejects it
+		// at run time, but stay conservative.
+		w.ef.Unknown = true
+	case *groovy.IndexExpr:
+		w.expr(t.Recv)
+		w.expr(t.Index)
+	default:
+		w.ef.Unknown = true
+	}
+}
+
+func (w *effectsWalker) expr(e groovy.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *groovy.Ident, *groovy.IntLit, *groovy.NumLit, *groovy.StrLit,
+		*groovy.BoolLit, *groovy.NullLit:
+	case *groovy.GStringLit:
+		for _, ge := range x.Exprs {
+			w.expr(ge)
+		}
+	case *groovy.ListLit:
+		for _, el := range x.Elems {
+			w.expr(el)
+		}
+	case *groovy.MapLit:
+		for _, en := range x.Entries {
+			w.expr(en.Value)
+		}
+	case *groovy.BinaryExpr:
+		w.expr(x.L)
+		w.expr(x.R)
+	case *groovy.UnaryExpr:
+		w.expr(x.X)
+	case *groovy.TernaryExpr:
+		w.expr(x.Cond)
+		w.expr(x.Then)
+		w.expr(x.Else)
+	case *groovy.ElvisExpr:
+		w.expr(x.X)
+		w.expr(x.Y)
+	case *groovy.IndexExpr:
+		w.expr(x.Recv)
+		w.expr(x.Index)
+	case *groovy.CastExpr:
+		w.expr(x.X)
+	case *groovy.ClosureExpr:
+		w.block(x.Body)
+	case *groovy.PropertyExpr:
+		w.property(x)
+	case *groovy.CallExpr:
+		w.call(x)
+	default:
+		w.ef.Unknown = true
+	}
+}
+
+// property classifies a property read. Receivers are not tracked to
+// concrete devices: any property whose name derives a registry
+// attribute (currentX, xState, or a bare attribute name) counts as a
+// read of that attribute, which over-approximates reads through
+// aliases, collections, and state-stored device references.
+func (w *effectsWalker) property(x *groovy.PropertyExpr) {
+	if id, ok := x.Recv.(*groovy.Ident); ok {
+		switch id.Name {
+		case "state", "atomicState", "settings", "app", "Math":
+			return // app-local or constant
+		case "location":
+			if x.Name == "mode" || x.Name == "currentMode" {
+				w.ef.ReadsMode = true
+			}
+			return
+		}
+	}
+	w.expr(x.Recv)
+	switch x.Name {
+	case "date":
+		w.ef.ReadsTime = true // evt.date / xState.date render host.Now()
+		return
+	}
+	if attr, ok := attrOfProperty(x.Name); ok {
+		w.ef.ReadAttrs[attr] = true
+		if strings.HasSuffix(x.Name, "State") {
+			w.ef.ReadsTime = true // xState maps carry a timestamp
+		}
+	}
+}
+
+// attrOfProperty maps a property name to the device attribute it would
+// read if the receiver were a device: currentSwitch → switch,
+// temperatureState → temperature, temperature → temperature. Only
+// names present in the capability registry count.
+func attrOfProperty(name string) (string, bool) {
+	cand := name
+	if strings.HasPrefix(name, "current") && len(name) > len("current") {
+		rest := name[len("current"):]
+		cand = strings.ToLower(rest[:1]) + rest[1:]
+	} else if strings.HasSuffix(name, "State") && len(name) > len("State") {
+		cand = name[:len(name)-len("State")]
+	}
+	if registryHasAttr(cand) {
+		return cand, true
+	}
+	if cand != name && registryHasAttr(name) {
+		return name, true
+	}
+	return "", false
+}
+
+func registryHasAttr(attr string) bool {
+	for _, cn := range device.Capabilities() {
+		if device.CapabilityByName(cn).Attribute(attr) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// call classifies a call expression. The dispatch mirrors the
+// compiler's: log/Math fast paths, bare platform builtins, user
+// methods, then receiver methods — where any name that is a registry
+// command is treated as an actuator command on some device.
+func (w *effectsWalker) call(x *groovy.CallExpr) {
+	if id, ok := x.Recv.(*groovy.Ident); ok && (id.Name == "log" || id.Name == "Math") {
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+		return
+	}
+	for _, a := range x.Args {
+		w.expr(a)
+	}
+	for _, na := range x.NamedArgs {
+		w.expr(na.Value)
+	}
+	if x.Closure != nil {
+		w.block(x.Closure.Body)
+	}
+
+	if x.Recv == nil {
+		w.bareCall(x)
+		return
+	}
+	w.expr(x.Recv)
+
+	// location.setMode / location.getMode.
+	if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "location" {
+		switch x.Name {
+		case "setMode":
+			w.ef.WritesMode = true
+			return
+		case "getMode":
+			w.ef.ReadsMode = true
+			return
+		}
+	}
+
+	switch x.Name {
+	case "currentValue", "latestValue", "currentState", "latestState":
+		if x.Name == "currentState" || x.Name == "latestState" {
+			w.ef.ReadsTime = true
+		}
+		if attr := constStrArg(x, 0); attr != "" {
+			w.ef.ReadAttrs[attr] = true
+		} else {
+			w.ef.Unknown = true // dynamic attribute name
+		}
+		return
+	case "hasCapability", "hasCommand", "hasAttribute",
+		"getDisplayName", "getLabel", "getName",
+		"events", "eventsSince", "statesSince", "supportedAttributes":
+		return // device read APIs with no model-state footprint
+	}
+	if pureValueMethods[x.Name] {
+		return
+	}
+	if attrs := registryCommandAttrs(x.Name); attrs != nil {
+		// A command reaching any device drives these attributes; the
+		// receiver may be an input, an alias, a collection element, or
+		// even a device stashed in state — all write the same class.
+		w.ef.Commands = true
+		for _, a := range attrs {
+			w.ef.WriteAttrs[a] = true
+		}
+		return
+	}
+	w.ef.Unknown = true
+}
+
+// bareCall classifies a receiverless call: platform builtins by name,
+// then intra-app helper methods (walked transitively).
+func (w *effectsWalker) bareCall(x *groovy.CallExpr) {
+	switch x.Name {
+	case "subscribe":
+		// Static wiring; runtime re-subscription is a no-op.
+		return
+	case "unsubscribe":
+		w.ef.Unsubscribes = true
+		return
+	case "unschedule":
+		w.ef.Schedules = true // clears own timers: app-local
+		return
+	case "sendSms", "sendSmsMessage", "sendPush", "sendPushMessage",
+		"sendNotification", "sendNotificationToContacts", "sendNotificationEvent":
+		w.ef.Notifies = true
+		return
+	case "httpPost", "httpPostJson", "httpGet", "httpPut", "httpDelete":
+		w.ef.Network = true
+		return
+	case "sendEvent":
+		w.ef.SendsEvent = true
+		name := ""
+		for _, na := range x.NamedArgs {
+			if na.Key == "name" {
+				if s, ok := na.Value.(*groovy.StrLit); ok {
+					name = s.V
+				}
+			}
+		}
+		if name != "" {
+			w.ef.EventNames[name] = true
+		} else {
+			w.ef.Unknown = true // dynamic event name
+		}
+		return
+	case "setLocationMode":
+		w.ef.WritesMode = true
+		return
+	case "runIn", "schedule", "runOnce",
+		"runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
+		"runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours":
+		w.ef.Schedules = true
+		return
+	case "now", "getSunriseAndSunset", "timeToday", "timeTodayAfter", "toDateTime":
+		w.ef.ReadsTime = true
+		return
+	case "canSchedule", "timeOfDayIsBetween", "parseJson", "parseLanMessage",
+		"pause", "getAllChildDevices", "getChildDevices":
+		return
+	}
+	if w.app.Methods[x.Name] != nil {
+		w.method(x.Name)
+		return
+	}
+	w.ef.Unknown = true
+}
+
+// pureValueMethods are receiver methods that only compute over values
+// (collections, strings, numbers) with no model-state footprint; their
+// arguments and closures are walked by the caller.
+var pureValueMethods = map[string]bool{
+	"each": true, "eachWithIndex": true, "find": true, "findAll": true,
+	"collect": true, "any": true, "every": true, "count": true,
+	"first": true, "last": true, "size": true, "isEmpty": true,
+	"contains": true, "sum": true, "max": true, "min": true,
+	"join": true, "reverse": true, "sort": true, "unique": true,
+	"add": true, "push": true, "leftShift": true, "plus": true,
+	"minus": true, "get": true, "getAt": true, "indexOf": true,
+	"toString": true, "toInteger": true, "toLong": true, "toFloat": true,
+	"toDouble": true, "toBigDecimal": true, "intValue": true,
+	"longValue": true, "floatValue": true, "doubleValue": true,
+	"round": true, "intdiv": true, "abs": true, "times": true,
+	"put": true, "containsKey": true, "remove": true, "keySet": true,
+	"keys": true, "values": true, "toUpperCase": true, "toLowerCase": true,
+	"trim": true, "split": true, "replace": true, "replaceAll": true,
+	"startsWith": true, "endsWith": true, "substring": true,
+	"equalsIgnoreCase": true, "padLeft": true, "padRight": true,
+	"format": true, "isNumber": true, "power": true, "mod": true,
+}
+
+func constStrArg(x *groovy.CallExpr, i int) string {
+	if i >= len(x.Args) {
+		return ""
+	}
+	if s, ok := x.Args[i].(*groovy.StrLit); ok {
+		return s.V
+	}
+	return ""
+}
+
+// registryCommandAttrs returns the attributes a command name can drive,
+// across every capability in the registry; nil when the name is no
+// command at all (such calls are runtime no-ops on devices).
+func registryCommandAttrs(name string) []string {
+	var out []string
+	for _, cn := range device.Capabilities() {
+		if cmd := device.CapabilityByName(cn).Command(name); cmd != nil && cmd.Attribute != "" {
+			out = append(out, cmd.Attribute)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -57,6 +57,10 @@ type CompiledApp struct {
 	// keeps the KV map representation).
 	StateIdx map[string]int
 	Methods  map[string]*Program
+	// Effects holds the per-method read/write footprints extracted at
+	// compile time (see AppEffects); the model's partial-order reducer
+	// derives its handler-independence relation from them.
+	Effects map[string]*Effects
 	// Err is the first compilation failure; when non-nil the app must
 	// run under the tree-walking interpreter instead.
 	Err error

@@ -84,6 +84,38 @@ func GroupSchedulerWorkload() (*config.System, map[string]*ir.App, iotsan.Option
 	return sys, apps, opts, desc, nil
 }
 
+// PORWorkload builds the canonical partial-order-reduction workload:
+// the first 12 apps of market group 1 under the concurrent design at
+// MaxEvents=2 with the full invariant catalog — fully explorable, so
+// the with/without-POR state counts compare complete searches. The POR
+// reduction gate (TestPORReductionGate) and `iotsan-bench -table perf`
+// (the states-before/after + reduction-ratio record in
+// BENCH_<date>.json) share this workload shape.
+func PORWorkload() (*model.Model, checker.Options, string, error) {
+	sources := corpus.Group(1)
+	if len(sources) > 12 {
+		sources = sources[:12]
+	}
+	apps, err := TranslateAll(sources)
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	sys := ExpertConfig("por-bench", sources, apps)
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 2, CheckConflicts: true, Invariants: invs, Design: model.Concurrent,
+	})
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	copts := checker.Options{MaxDepth: 100}
+	desc := fmt.Sprintf("market group 1 prefix (%d apps), concurrent design, MaxEvents=2, full invariants", len(sources))
+	return m, copts, desc, nil
+}
+
 // GroupModel builds the verification model for a configured system
 // with the full invariant catalog at MaxEvents=2 — the equal-work
 // benchmark workload (fully explorable, so every checker strategy

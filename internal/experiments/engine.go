@@ -11,6 +11,7 @@ var (
 	engineStrategy      iotsan.Strategy
 	engineWorkers       int
 	engineGroupParallel bool
+	enginePOR           bool
 )
 
 // SetEngine selects the checker engine used by the Run* experiments
@@ -24,10 +25,14 @@ func SetEngine(strategy iotsan.Strategy, workers int) {
 // verified under one shared worker budget) for the Run* experiments.
 func SetGroupParallel(on bool) { engineGroupParallel = on }
 
+// SetPOR enables partial-order reduction for the Run* experiments.
+func SetPOR(on bool) { enginePOR = on }
+
 // engineOptions applies the configured engine to an analysis run.
 func engineOptions(o iotsan.Options) iotsan.Options {
 	o.Strategy = engineStrategy
 	o.Workers = engineWorkers
 	o.GroupParallel = engineGroupParallel
+	o.POR = enginePOR
 	return o
 }

@@ -230,6 +230,11 @@ type Model struct {
 	// execs pools executors (with their compiled-execution Envs) so a
 	// transition costs no executor allocations.
 	execs sync.Pool
+
+	// por is the partial-order-reduction table (concurrent design only;
+	// nil otherwise). Built at New; consulted only when the checker runs
+	// with Options.POR.
+	por *porData
 }
 
 // subKey indexes resolved subscriptions by event source and attribute.
@@ -383,6 +388,9 @@ func New(cfg *config.System, apps map[string]*ir.App, opts Options) (*Model, err
 		}
 	}
 	m.execs.New = func() any { return m.newPooledExecutor() }
+	if opts.Design == Concurrent {
+		m.buildPOR()
+	}
 	return m, nil
 }
 

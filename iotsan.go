@@ -108,6 +108,17 @@ type Options struct {
 	// sizes the worker budget shared by all concurrently running
 	// related-set verifications.
 	Workers int
+	// POR enables partial-order reduction in the checker: at each
+	// expansion the concurrent design's pending-dispatch interleavings
+	// are pruned to a persistent subset of provably independent handler
+	// dispatches (computed from the compile-time read/write sets of the
+	// handlers, seeded by the dependency graph's overlap/conflict
+	// predicates). The distinct-violation set is preserved exactly — a
+	// CI gate enforces it on the whole corpus — while the explored state
+	// space shrinks with the number of independent pending handlers.
+	// The sequential design is unaffected (its transitions are
+	// property-visible external events, which are never reducible).
+	POR bool
 	// GroupParallel verifies independent related sets concurrently
 	// under one shared worker budget of Workers tokens instead of
 	// strictly one after another. Per-group results and the deduped
@@ -423,6 +434,7 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 		Workers:   opts.Workers,
 		Stop:      stop,
 		Budget:    budget,
+		POR:       opts.POR,
 	}
 	if opts.Bitstate {
 		copts.Store = checker.Bitstate

@@ -165,3 +165,64 @@ func TestAnalyzeMaxViolationsCancelsSiblings(t *testing.T) {
 		}
 	}
 }
+
+// TestStopCancelledGroupsReportTruncated: a group whose search was cut
+// short by the global MaxViolations stop flag must never be reported as
+// a complete (violation-free) verification — its GroupResult carries
+// Truncated. Deterministic under the sequential scheduler: the cap
+// commits in group order, so every group after the capping one starts
+// with the stop flag already set and must report exactly one explored
+// state (the initial state) and Truncated. A group that genuinely
+// finished before the cap keeps Truncated=false — completeness is only
+// claimed where it is true.
+func TestStopCancelledGroupsReportTruncated(t *testing.T) {
+	sys, apps := multiGroupSystem(t)
+
+	full, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{MaxEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the group whose committed violations reach the cap of 1: the
+	// first group contributing any reportable violation.
+	capIdx := -1
+	for i, g := range full.Groups {
+		for _, f := range g.Result.Violations {
+			if f.Property != "handler-exec-error" {
+				capIdx = i
+				break
+			}
+		}
+		if capIdx >= 0 {
+			break
+		}
+	}
+	if capIdx < 0 || capIdx == len(full.Groups)-1 {
+		t.Fatalf("capping group %d leaves no cancelled siblings to assert on", capIdx)
+	}
+
+	for _, strat := range []iotsan.Strategy{iotsan.StrategyDFS, iotsan.StrategyParallel, iotsan.StrategySteal} {
+		rep, err := iotsan.AnalyzeTranslated(sys, apps, iotsan.Options{
+			MaxEvents:     2,
+			Strategy:      strat,
+			Workers:       2,
+			MaxViolations: 1,
+		})
+		if err != nil {
+			t.Fatalf("strategy %v: %v", strat, err)
+		}
+		if len(rep.Groups) != len(full.Groups) {
+			t.Fatalf("strategy %v: %d group entries, want %d", strat, len(rep.Groups), len(full.Groups))
+		}
+		for i := capIdx + 1; i < len(rep.Groups); i++ {
+			g := rep.Groups[i]
+			if !g.Result.Truncated {
+				t.Errorf("strategy %v: cancelled group %d (%v) reported as complete (Truncated=false, %d states)",
+					strat, i, g.Apps, g.Result.StatesExplored)
+			}
+			if g.Result.StatesExplored != 1 {
+				t.Errorf("strategy %v: cancelled group %d explored %d states, want 1 (initial only)",
+					strat, i, g.Result.StatesExplored)
+			}
+		}
+	}
+}
