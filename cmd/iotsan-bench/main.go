@@ -30,6 +30,7 @@ import (
 
 	"iotsan"
 	"iotsan/internal/checker"
+	"iotsan/internal/config"
 	"iotsan/internal/corpus"
 	"iotsan/internal/experiments"
 	"iotsan/internal/ifttt"
@@ -42,23 +43,21 @@ func main() { os.Exit(realMain()) }
 func realMain() int {
 	table := flag.String("table", "all", "table to regenerate (5, 6, 7a, 7b, 8, 9, attribution, perf, all)")
 	events := flag.Int("events", 2, "external events for Tables 5/6")
-	strategy := flag.String("strategy", "dfs", "checker search strategy: dfs (sequential), parallel (level-synchronous), or steal (work-stealing)")
-	workers := flag.Int("workers", 0, "checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)")
-	groupPar := flag.Bool("group-parallel", false, "verify independent related sets concurrently under one shared worker budget")
-	por := flag.Bool("por", false, "partial-order reduction for the table experiments (the perf table always measures POR on its own workload)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	jsonOut := flag.Bool("json", false, "write the -table perf record to BENCH_<date>.json")
+	engineFl := config.RegisterEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	strat, err := iotsan.ParseStrategy(*strategy)
+	engine, err := engineFl.Engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	experiments.SetEngine(strat, *workers)
-	experiments.SetGroupParallel(*groupPar)
-	experiments.SetPOR(*por)
+	experiments.SetEngine(engine.Strategy, engine.Workers)
+	experiments.SetGroupParallel(engine.GroupParallel)
+	experiments.SetPOR(engine.POR)
+	experiments.SetSymmetry(engine.Symmetry)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -222,16 +221,18 @@ func realMain() int {
 // perfRecord is the machine-readable states/s record of one perf run;
 // one BENCH_<date>.json per PR tracks the throughput trajectory.
 type perfRecord struct {
-	Date          string     `json:"date"`
-	GoOS          string     `json:"goos"`
-	GoArch        string     `json:"goarch"`
-	CPUs          int        `json:"cpus"`
-	Workload      string     `json:"workload"`
-	Runs          []perfRun  `json:"runs"`
-	GroupWorkload string     `json:"group_workload,omitempty"`
-	GroupRuns     []groupRun `json:"group_runs,omitempty"`
-	PORWorkload   string     `json:"por_workload,omitempty"`
-	PORRuns       []porRun   `json:"por_runs,omitempty"`
+	Date             string        `json:"date"`
+	GoOS             string        `json:"goos"`
+	GoArch           string        `json:"goarch"`
+	CPUs             int           `json:"cpus"`
+	Workload         string        `json:"workload"`
+	Runs             []perfRun     `json:"runs"`
+	GroupWorkload    string        `json:"group_workload,omitempty"`
+	GroupRuns        []groupRun    `json:"group_runs,omitempty"`
+	PORWorkload      string        `json:"por_workload,omitempty"`
+	PORRuns          []porRun      `json:"por_runs,omitempty"`
+	SymmetryWorkload string        `json:"symmetry_workload,omitempty"`
+	SymmetryRuns     []symmetryRun `json:"symmetry_runs,omitempty"`
 }
 
 type perfRun struct {
@@ -267,6 +268,26 @@ type porRun struct {
 	Pruned         int     `json:"pruned_transitions"`
 	SecondsFull    float64 `json:"seconds_full"`
 	SecondsPOR     float64 `json:"seconds_por"`
+}
+
+// symmetryRun is one with/without-symmetry-reduction measurement on
+// the shared SymmetryWorkload: explored states of the complete
+// searches, the fold ratio, and — for the "steal+por" row — the
+// composed POR+symmetry numbers (reductions: none / POR / symmetry /
+// both).
+type symmetryRun struct {
+	Strategy   string  `json:"strategy"`
+	POR        bool    `json:"por"`
+	StatesFull int     `json:"states_full"`
+	StatesSym  int     `json:"states_sym"`
+	FoldRatio  float64 `json:"fold_ratio"`
+	// ViolationsFull/Violations are recorded from both runs so the
+	// committed artifact is self-checking: a mismatch means the fold
+	// changed the violation set, which the equivalence gates forbid.
+	ViolationsFull int     `json:"violations_full"`
+	Violations     int     `json:"violations"`
+	SecondsFull    float64 `json:"seconds_full"`
+	SecondsSym     float64 `json:"seconds_sym"`
 }
 
 // runPerf measures checker throughput on the shared
@@ -321,6 +342,9 @@ func runPerf(writeJSON bool) error {
 	if err := runPORPerf(&rec); err != nil {
 		return err
 	}
+	if err := runSymmetryPerf(&rec); err != nil {
+		return err
+	}
 
 	if writeJSON {
 		path := "BENCH_" + rec.Date + ".json"
@@ -372,6 +396,66 @@ func runPORPerf(rec *perfRecord) error {
 		fmt.Printf("%-9s states %7d -> %-7d (%.1f%% reduction)  %6.3fs -> %6.3fs  choices=%d pruned=%d\n",
 			r.Strategy, r.StatesFull, r.StatesPOR, r.ReductionRatio*100,
 			r.SecondsFull, r.SecondsPOR, r.ChoicePoints, r.Pruned)
+	}
+	return nil
+}
+
+// runSymmetryPerf measures symmetry reduction on the shared
+// SymmetryWorkload: one complete search without and one with the
+// canonical store per row — dfs and steal without POR, plus a steal
+// row with POR on in both searches, so the recorded fold ratio there
+// is the *additional* reduction symmetry buys on top of POR (the
+// reductions compose multiplicatively).
+func runSymmetryPerf(rec *perfRecord) error {
+	m, copts, desc, err := experiments.SymmetryWorkload()
+	if err != nil {
+		return err
+	}
+	rec.SymmetryWorkload = desc
+	fmt.Printf("\nsymmetry reduction (%s):\n", desc)
+
+	rows := []struct {
+		strategy checker.StrategyKind
+		por      bool
+	}{
+		{checker.StrategyDFS, false},
+		{checker.StrategySteal, false},
+		{checker.StrategySteal, true},
+	}
+	for _, row := range rows {
+		o := copts
+		o.Strategy = row.strategy
+		o.Workers = 2
+		o.POR = row.por
+		start := time.Now()
+		full := checker.Run(m.System(), o)
+		secFull := time.Since(start).Seconds()
+		o.Symmetry = true
+		start = time.Now()
+		sym := checker.Run(m.System(), o)
+		secSym := time.Since(start).Seconds()
+		r := symmetryRun{
+			Strategy:       row.strategy.String(),
+			POR:            row.por,
+			StatesFull:     full.StatesExplored,
+			StatesSym:      sym.StatesExplored,
+			FoldRatio:      1 - float64(sym.StatesExplored)/float64(full.StatesExplored),
+			ViolationsFull: len(full.Violations),
+			Violations:     len(sym.Violations),
+			SecondsFull:    secFull,
+			SecondsSym:     secSym,
+		}
+		rec.SymmetryRuns = append(rec.SymmetryRuns, r)
+		tag := r.Strategy
+		if r.POR {
+			tag += "+por"
+		}
+		fmt.Printf("%-11s states %7d -> %-7d (%.1f%% fold)  %6.3fs -> %6.3fs  violations=%d\n",
+			tag, r.StatesFull, r.StatesSym, r.FoldRatio*100, r.SecondsFull, r.SecondsSym, r.Violations)
+		if r.Violations != r.ViolationsFull {
+			fmt.Printf("WARNING: %s: symmetry changed the violation count (%d -> %d) — the fold is unsound for this workload\n",
+				tag, r.ViolationsFull, r.Violations)
+		}
 	}
 	return nil
 }

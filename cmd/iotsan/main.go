@@ -31,19 +31,16 @@ func main() {
 		failures   = flag.Bool("failures", false, "enumerate device/communication failures")
 		concurrent = flag.Bool("concurrent", false, "use the concurrent design instead of sequential")
 		trails     = flag.Bool("trails", true, "print counter-example trails")
-		strategy   = flag.String("strategy", "dfs", "checker search strategy: dfs (sequential), parallel (level-synchronous), or steal (work-stealing)")
-		workers    = flag.Int("workers", 0, "checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)")
-		groupPar   = flag.Bool("group-parallel", false, "verify independent related sets concurrently under one shared worker budget")
 		maxViol    = flag.Int("max-violations", 0, "stop after this many distinct violations, cancelling sibling group searches (0 = collect all)")
-		por        = flag.Bool("por", false, "partial-order reduction: prune equivalent handler interleavings (concurrent design)")
 		interp     = flag.Bool("interp", false, "run handlers under the tree-walking interpreter instead of compiled programs (oracle mode)")
+		engineFl   = config.RegisterEngineFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	strat, err := iotsan.ParseStrategy(*strategy)
+	engine, err := engineFl.Engine()
 	if err != nil {
 		fatal(err)
 	}
@@ -62,8 +59,9 @@ func main() {
 	}
 
 	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
-		Strategy: strat, Workers: *workers, GroupParallel: *groupPar,
-		MaxViolations: *maxViol, POR: *por, Interpreter: *interp}
+		Strategy: engine.Strategy, Workers: engine.Workers,
+		GroupParallel: engine.GroupParallel, MaxViolations: *maxViol,
+		POR: engine.POR, Symmetry: engine.Symmetry, Interpreter: *interp}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

@@ -97,6 +97,35 @@ type Reducer interface {
 	Reduce(s State, trs []Transition) []int
 }
 
+// CanonicalEncoder is optionally implemented by Systems that support
+// symmetry reduction. CanonicalEncode appends a canonical encoding of
+// the state: two states that are equivalent under the system's symmetry
+// group (e.g. a permutation of interchangeable devices) must produce
+// identical canonical encodings, and two inequivalent states must not.
+// With Options.Symmetry set, the engine derives every visited-store
+// digest — including the partial-order-reduction proviso's probes, so a
+// symmetry-folded state counts as visited for the cycle proviso — from
+// the canonical encoding instead of State.Encode. Everything else (the
+// frontier, parent-link trails, expansion, replay) keeps operating on
+// raw states, so reported counter-example trails replay as concrete
+// executions of the unreduced model: the stored representative of each
+// orbit is the first raw state that reached it, and the parent edge
+// recorded for it replays from that raw state.
+//
+// CanonicalEncode must be safe for concurrent calls on distinct states
+// (same contract as Expand/Inspect).
+//
+// Systems may additionally implement HasSymmetry() bool to report
+// whether canonicalization is non-trivial for this model; when it
+// returns false the engine ignores the encoder entirely — digests take
+// the raw path and the work-stealing strategy keeps its depth
+// relaxation (which must be disabled under a real fold, where a
+// duplicate hit is only isomorphic, not byte-identical, to the stored
+// representative).
+type CanonicalEncoder interface {
+	CanonicalEncode(s State, buf []byte) []byte
+}
+
 // ProgressCertifier is optionally implemented by Reducers that can
 // prove no cycle of the reduced state graph traverses a reduced-subset
 // transition — e.g. because every subset transition strictly decreases
@@ -233,6 +262,17 @@ type Options struct {
 	// explore the same reduced graph (Reduce is a pure function of the
 	// state), preserving the cross-strategy equivalence guarantees.
 	POR bool
+	// Symmetry enables symmetry reduction when the system implements
+	// CanonicalEncoder: the visited store (and the parent-link table
+	// keyed off the same digests) stores canonical state keys, folding
+	// states that are permutations of interchangeable components into
+	// one representative, while raw states continue to flow through the
+	// frontier and trails so counter-examples replay concretely. All
+	// strategies share the one expansion/digest path, so the folded
+	// state graph is identical across DFS, parallel, and steal, and the
+	// reduction composes with POR (canonical keys also serve the
+	// visited-state proviso).
+	Symmetry bool
 }
 
 // TrailStep is one step of a counter-example trail. From/Key carry the

@@ -33,6 +33,12 @@ type engine struct {
 	reducer   Reducer
 	certified bool
 
+	// canon is non-nil when Options.Symmetry is set and the system
+	// supports symmetry canonicalization; every visited-store digest is
+	// then derived from the canonical encoding (digest is the single
+	// funnel, so all strategies and the POR proviso fold identically).
+	canon CanonicalEncoder
+
 	// needH2 is set when the store derives probes from the second hash
 	// (bitstate); the exhaustive stores key on h1 alone, so the second
 	// hashing pass is skipped on their per-state hot path.
@@ -67,11 +73,22 @@ func newEngine(sys System, opts Options) *engine {
 			certified = pc.CertifiesProgress()
 		}
 	}
+	var ce CanonicalEncoder
+	if opts.Symmetry {
+		ce, _ = sys.(CanonicalEncoder)
+		if hs, ok := sys.(interface{ HasSymmetry() bool }); ok && !hs.HasSymmetry() {
+			// Canonicalization is the identity (no non-trivial orbits):
+			// keep the raw digest path so the strategies retain their
+			// exact-duplicate invariants (steal depth relaxation).
+			ce = nil
+		}
+	}
 	return &engine{
 		sys:       sys,
 		replayer:  rp,
 		reducer:   rd,
 		certified: certified,
+		canon:     ce,
 		opts:      opts,
 		st:        newStore(opts, opts.Strategy != StrategyDFS),
 		start:     time.Now(),
@@ -85,10 +102,18 @@ func newEngine(sys System, opts Options) *engine {
 }
 
 // digest encodes s into buf (reusing its capacity) and returns the
-// fingerprint plus the grown buffer. h2 is only computed when the
-// store probes with it.
+// fingerprint plus the grown buffer. With symmetry reduction the
+// canonical encoding is hashed instead of the raw one — this is the
+// single funnel every strategy, the parent-link table, and the POR
+// proviso key states through, so switching it folds the whole search
+// onto orbit representatives. h2 is only computed when the store
+// probes with it.
 func (e *engine) digest(s State, buf []byte) (digest, []byte) {
-	buf = s.Encode(buf[:0])
+	if e.canon != nil {
+		buf = e.canon.CanonicalEncode(s, buf[:0])
+	} else {
+		buf = s.Encode(buf[:0])
+	}
 	d := digest{h1: fnv1a(buf)}
 	if e.needH2 {
 		d.h2 = hash2(buf)

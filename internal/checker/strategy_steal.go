@@ -322,13 +322,19 @@ func (r *stealRun) expand(ent *stealEntry, w int, buf []byte) []byte {
 	// so relaxation is disabled there (clipping then keeps the
 	// first-path semantics for that combination only). Certified
 	// reducers are pure functions of the state and replay identically.
+	// Symmetry reduction disables relaxation for the same reason in a
+	// different guise: a duplicate hit is then only *isomorphic* to the
+	// stored representative, not byte-identical, so re-expanding the
+	// duplicate raw state would record parent edges and trail steps
+	// whose replay keys do not stitch onto the representative's chain —
+	// counter-examples would stop being concrete executions.
 	onDup := func(st State, d digest) {
 		if r.parents.relax(d.h1, int32(childDepth)) {
 			r.pending.Add(1)
 			r.deques[w].push(&stealEntry{state: st, d: d})
 		}
 	}
-	if e.reducer != nil && !e.certified {
+	if (e.reducer != nil && !e.certified) || e.canon != nil {
 		onDup = nil
 	}
 	buf, _ = expandShared(e, r.parents, ent.state, ent.d.h1, childDepth, buf, count,

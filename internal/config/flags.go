@@ -1,0 +1,64 @@
+// Engine flag wiring shared by the CLIs. cmd/iotsan and
+// cmd/iotsan-bench expose the same checker-engine surface (-strategy,
+// -workers, -group-parallel, -por, -symmetry); declaring it here once
+// keeps the two front-ends from drifting as reductions and engines are
+// added.
+package config
+
+import (
+	"flag"
+
+	"iotsan/internal/checker"
+)
+
+// Engine is the resolved checker-engine configuration selected on a
+// command line.
+type Engine struct {
+	Strategy      checker.StrategyKind
+	Workers       int
+	GroupParallel bool
+	POR           bool
+	Symmetry      bool
+}
+
+// EngineFlags holds the registered (unparsed) engine flags; call
+// Engine after flag.Parse to resolve them.
+type EngineFlags struct {
+	strategy      *string
+	workers       *int
+	groupParallel *bool
+	por           *bool
+	symmetry      *bool
+}
+
+// RegisterEngineFlags declares the shared engine flags on a flag set
+// (pass flag.CommandLine for a CLI's global flags).
+func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
+	return &EngineFlags{
+		strategy: fs.String("strategy", "dfs",
+			"checker search strategy: dfs (sequential), parallel (level-synchronous), or steal (work-stealing)"),
+		workers: fs.Int("workers", 0,
+			"checker goroutines for -strategy parallel/steal and the -group-parallel budget (0 = GOMAXPROCS)"),
+		groupParallel: fs.Bool("group-parallel", false,
+			"verify independent related sets concurrently under one shared worker budget"),
+		por: fs.Bool("por", false,
+			"partial-order reduction: prune equivalent handler interleavings (concurrent design)"),
+		symmetry: fs.Bool("symmetry", false,
+			"symmetry reduction: fold states related by permutations of interchangeable devices"),
+	}
+}
+
+// Engine resolves the parsed flags into an engine configuration.
+func (f *EngineFlags) Engine() (Engine, error) {
+	strat, err := checker.ParseStrategy(*f.strategy)
+	if err != nil {
+		return Engine{}, err
+	}
+	return Engine{
+		Strategy:      strat,
+		Workers:       *f.workers,
+		GroupParallel: *f.groupParallel,
+		POR:           *f.por,
+		Symmetry:      *f.symmetry,
+	}, nil
+}

@@ -1,0 +1,153 @@
+package corpus
+
+// The symmetry group: apps written against fleets of interchangeable
+// devices (multiple identical presence sensors, multiple identical
+// door contacts) driving shared singleton actuators. The symmetry
+// reduction's equivalence and fold-ratio gates run on this group: its
+// configurations install ≥3 interchangeable devices of two capability
+// types, so within-orbit permutations of sensor state induce large
+// isomorphic subspaces the canonicalization layer must fold without
+// changing the distinct-violation set. All apps are symmetry-safe by
+// construction: device identity appears only in log/notification
+// messages, aggregation over the device lists is order-insensitive
+// (any/each), and commands target singleton devices or broadcast
+// uniformly.
+
+// TagSymmetry marks the interchangeable-device corpus group.
+const TagSymmetry Tag = "symmetry"
+
+// SymmetryGroup returns the interchangeable-device app group, sorted by
+// name.
+func SymmetryGroup() []Source {
+	return WithTag(TagSymmetry)
+}
+
+func symApp(name, groovy string) {
+	register(Source{Name: name, Groovy: groovy, Tags: []Tag{TagExtra, TagSymmetry}})
+}
+
+func init() {
+	// Opposing commands on the same contact-open event: every open of
+	// any of the interchangeable contacts raises a conflicting-commands
+	// violation on the singleton hall light.
+	symApp("Any Door Light On", `
+definition(name: "Any Door Light On", namespace: "iotsan.corpus", author: "Community",
+    description: "Turn the hall light on when any door opens.", category: "Convenience")
+preferences {
+    section("Doors") { input "contacts", "capability.contactSensor", multiple: true }
+    section("Light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(contacts, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(contacts, "contact.open", openHandler) }
+def openHandler(evt) {
+    log.debug "open from ${evt.displayName}"
+    light.on()
+}
+`)
+
+	symApp("Any Door Light Off", `
+definition(name: "Any Door Light Off", namespace: "iotsan.corpus", author: "Community",
+    description: "Keep the hall dark: switch the light off when a door opens.", category: "Green Living")
+preferences {
+    section("Doors") { input "contacts", "capability.contactSensor", multiple: true }
+    section("Light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(contacts, "contact.open", openHandler) }
+def updated() { unsubscribe(); subscribe(contacts, "contact.open", openHandler) }
+def openHandler(evt) {
+    light.off()
+}
+`)
+
+	// Two apps turning the same light on for the same arrival event:
+	// repeated-commands on the singleton light, triggered through the
+	// presence-sensor orbit.
+	symApp("Arrival Hall Light", `
+definition(name: "Arrival Hall Light", namespace: "iotsan.corpus", author: "Community",
+    description: "Light the hall when someone arrives.", category: "Convenience")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(people, "presence.present", arrivalHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arrivalHandler) }
+def arrivalHandler(evt) {
+    light.on()
+}
+`)
+
+	symApp("Welcome Glow", `
+definition(name: "Welcome Glow", namespace: "iotsan.corpus", author: "Community",
+    description: "Glow the hall light for arrivals and notify.", category: "Convenience")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Light") { input "light", "capability.switch" }
+}
+def installed() { subscribe(people, "presence.present", arrivalHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arrivalHandler) }
+def arrivalHandler(evt) {
+    light.on()
+    sendPush("Welcome home, ${evt.displayName}")
+}
+`)
+
+	// Order-insensitive aggregation over the presence orbit plus
+	// persistent state and a lock actuator: exercises slot state and
+	// queue canonicalization without breaking the symmetry certificate.
+	symApp("Last Out Lock", `
+definition(name: "Last Out Lock", namespace: "iotsan.corpus", author: "Community",
+    description: "Lock the front door when the last person leaves.", category: "Safety & Security")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(people, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    def anyoneHome = people.any { it.currentPresence == "present" }
+    if (!anyoneHome) {
+        lock1.lock()
+        state.lastAction = "locked"
+    }
+}
+`)
+
+	// Pure-local bookkeeping over the presence orbit: writes only its
+	// own persistent state (no commands, no events), so its pending
+	// dispatches are partial-order-reducible — the composed
+	// POR+symmetry benchmark row needs both reductions to engage.
+	symApp("Arrival Counter", `
+definition(name: "Arrival Counter", namespace: "iotsan.corpus", author: "Community",
+    description: "Count comings and goings.", category: "Convenience")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+}
+def installed() { subscribe(people, "presence", presenceHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    if (evt.value == "present") {
+        state.arrivals = (state.arrivals ?: 0) + 1
+    } else {
+        state.departures = (state.departures ?: 0) + 1
+    }
+}
+`)
+
+	// Unlocks on any arrival: with Last Out Lock this reproduces the
+	// paper's unsafe-unlock pattern over an orbit of presence sensors
+	// (main-door invariants fire identically whichever sensor arrives).
+	symApp("First In Unlock", `
+definition(name: "First In Unlock", namespace: "iotsan.corpus", author: "Community",
+    description: "Unlock the front door when someone arrives.", category: "Safety & Security")
+preferences {
+    section("People") { input "people", "capability.presenceSensor", multiple: true }
+    section("Lock") { input "lock1", "capability.lock" }
+}
+def installed() { subscribe(people, "presence.present", arrivalHandler) }
+def updated() { unsubscribe(); subscribe(people, "presence.present", arrivalHandler) }
+def arrivalHandler(evt) {
+    lock1.unlock()
+    state.lastAction = "unlocked"
+}
+`)
+}

@@ -110,6 +110,47 @@ def h(evt) {
 	}
 }
 
+// TestAppEffectsTaintMechanics: regression fixtures for the symmetry
+// certificate's taint plumbing — the visited-guard signature must not
+// collide across methods, and settings-qualified input references must
+// resolve through the unshadowable input set.
+func TestAppEffectsTaintMechanics(t *testing.T) {
+	app, err := smartapp.Translate(header + `
+def h(evt) {
+    f0()
+    f(1)
+}
+def f0() { state.a = 1 }
+def f(x) { sws.off() }
+def shadowed(evt) { helper(1) }
+def helper(sws) { state.x = settings.sws[0].currentSwitch }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := AppEffects(app)
+
+	h := eff["h"]
+	if h == nil || h.Unknown {
+		t.Fatalf("h: effects missing or unknown: %+v", h)
+	}
+	if !h.Commands || !h.WriteAttrs["switch"] {
+		// A "f0"/"f"+taint-digit signature collision would skip f's walk
+		// and silently drop its command footprint.
+		t.Errorf("h: commands=%v writes=%v, want f's off() command recorded", h.Commands, h.WriteAttrs)
+	}
+
+	s := eff["shadowed"]
+	if s == nil || s.Unknown {
+		t.Fatalf("shadowed: effects missing or unknown: %+v", s)
+	}
+	if !s.DeviceIdentity {
+		// The helper's parameter shares the input's name; the
+		// settings-qualified reference must stay tainted regardless.
+		t.Error("shadowed: settings.sws[0] into state must set DeviceIdentity")
+	}
+}
+
 // TestAppEffectsExtraction: the compile-time footprints POR consumes.
 func TestAppEffectsExtraction(t *testing.T) {
 	app, err := smartapp.Translate(header + `

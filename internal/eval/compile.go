@@ -748,6 +748,18 @@ type Effects struct {
 	// An Unknown method must be treated as dependent on everything and
 	// visible to every property.
 	Unknown bool
+	// DeviceIdentity is set when the method can observe or propagate the
+	// identity of an individual device in a way that distinguishes
+	// devices bound to the same multi-device input: identity property
+	// reads (.id/.label/.displayName) outside log and notification
+	// messages, order- or position-sensitive extraction from a
+	// multi-device input list (indexing, first/last/find/sort/min/max),
+	// or writing data derived from such a list into persistent state or
+	// synthetic events. The symmetry-reduction layer refuses to place two
+	// devices in one orbit when an app observing them carries this flag —
+	// swapping the devices would not be guaranteed to fix the handler's
+	// behaviour.
+	DeviceIdentity bool
 }
 
 // PureLocal reports whether the method's writes are confined to its own
@@ -789,17 +801,34 @@ func (ef *Effects) OutputAttrs() []string {
 // table serves compiled and interpreter-mode execution.
 func AppEffects(app *ir.App) map[string]*Effects {
 	out := make(map[string]*Effects, len(app.Methods))
+	// The input-name set and the helper mention memo are app-level facts:
+	// shared across the per-method walkers so helper bodies are scanned
+	// once per app, not once per handler.
+	devListInputs := map[string]bool{}
+	for _, in := range app.Inputs {
+		if in.Kind == ir.InputDevice && in.Multiple {
+			devListInputs[in.Name] = true
+		}
+	}
+	mentionsMemo := map[string]int8{}
 	for name := range app.Methods {
 		w := &effectsWalker{app: app, visited: map[string]bool{}, ef: &Effects{
 			ReadAttrs:  map[string]bool{},
 			WriteAttrs: map[string]bool{},
 			EventNames: map[string]bool{},
-		}}
+		}, devLists: map[string]int8{}, devListInputs: devListInputs, mentionsMemo: mentionsMemo}
 		w.method(name)
 		out[name] = w.ef
 	}
 	return out
 }
+
+// Device-list taint levels (see effectsWalker.devLists).
+const (
+	taintNone int8 = iota
+	taintElem      // element of a list, or scalar data read from one
+	taintList      // the list itself or an order-preserving derivation
+)
 
 // effectsWalker accumulates one method's transitive effects over the
 // same AST the compiler lowers. Any node it does not recognise marks
@@ -808,24 +837,136 @@ type effectsWalker struct {
 	app     *ir.App
 	visited map[string]bool
 	ef      *Effects
+
+	// suppress counts enclosing log/notification-message argument
+	// contexts: device identity read there never reaches model state or
+	// violation details (log is a no-op host call; notification message
+	// bodies are discarded), so `log.debug "$evt.displayName"` does not
+	// defeat symmetry.
+	suppress int
+	// devLists maps names to their device-list taint level: taintList
+	// for multi-device inputs and list-valued derivations (aliases,
+	// findAll/collect results), taintElem for element bindings (closure
+	// params and for-in vars of iterations over a list) and scalar data
+	// read from elements. Level taintList values are order-carrying
+	// aggregates (flagged in ordered comparisons, sinks, and positional
+	// extraction); level taintElem values carry a position-dependent
+	// *choice* (flagged in sinks and extraction, but compared freely —
+	// per-element predicates like any{ it.x == "y" } are symmetric).
+	// devListInputs is the input-only subset, used when scanning helper
+	// methods (whose scope does not include this method's locals).
+	// mentionsMemo caches per-helper "mentions a device list" verdicts.
+	devLists      map[string]int8
+	devListInputs map[string]bool
+	mentionsMemo  map[string]int8
+	// taintGrew records that a walk raised some name's taint level; the
+	// element-binding fixpoint loop (withElemTaint) re-walks until it
+	// stays false.
+	taintGrew bool
+	// evtParam names the current method's event parameter when the
+	// method is a subscription/schedule handler: evt.name there is the
+	// event's attribute name, not device identity. Cleared while walking
+	// helper methods (their params are not events).
+	evtParam map[string]bool
 }
 
 func (w *effectsWalker) method(name string) {
-	if w.visited[name] {
-		return
-	}
-	w.visited[name] = true
+	w.methodWithArgs(name, nil)
+}
+
+// methodWithArgs walks a method with the call-site argument taint bound
+// to its parameters (args nil for entry-point walks). The visited guard
+// is keyed by (name, parameter-taint signature) so a helper reached
+// both with and without a device list re-walks under each binding.
+//
+// The body runs in its own lexical taint scope — a fresh map seeded
+// from the (unshadowable) inputs and the parameter taints, matching
+// Groovy scoping: a called method sees inputs and its params, never the
+// caller's locals, and its locals cannot leak back. The suppression
+// context of the call site is reset too — a helper invoked inside a log
+// argument still performs its own state writes for real.
+//
+// The body is walked to a taint *fixpoint*: loops and closures feed
+// assignments made late in a body into statements walked earlier
+// (`state.x = prev; prev = it.attr` is order-dependent on the next
+// iteration), so the walk repeats until no name's taint grows. Effects
+// accumulation is idempotent, so re-walking only strengthens the
+// result; if the bound is ever hit while still growing, the sound
+// default is to refuse the symmetry certificate outright.
+func (w *effectsWalker) methodWithArgs(name string, args []groovy.Expr) {
 	m := w.app.Methods[name]
 	if m == nil {
 		w.ef.Unknown = true
 		return
 	}
-	for _, p := range m.Params {
+	lvls := make([]int8, len(m.Params))
+	sig := name + "\x00" // separator: method names must not collide with taint digits
+	for i := range m.Params {
+		if i < len(args) {
+			lvls[i] = w.taintsDevList(args[i])
+		}
+		sig += string('0' + rune(lvls[i]))
+	}
+	if w.visited[sig] {
+		return
+	}
+	w.visited[sig] = true
+
+	prevEvt, prevSuppress, prevLists, prevGrew := w.evtParam, w.suppress, w.devLists, w.taintGrew
+	w.evtParam = nil
+	w.suppress = 0
+	w.devLists = make(map[string]int8, len(w.devListInputs)+len(m.Params))
+	for in := range w.devListInputs {
+		w.devLists[in] = taintList
+	}
+	if len(m.Params) > 0 && w.isHandlerMethod(name) {
+		w.evtParam = map[string]bool{m.Params[0].Name: true}
+	}
+	for i, p := range m.Params {
 		if p.Default != nil {
 			w.expr(p.Default)
 		}
+		if lvls[i] != taintNone {
+			w.devLists[p.Name] = lvls[i]
+			delete(w.evtParam, p.Name)
+		} else {
+			delete(w.devLists, p.Name) // param shadows any same-named input
+		}
 	}
-	w.block(m.Body)
+	for pass := 0; ; pass++ {
+		w.taintGrew = false
+		w.block(m.Body)
+		if !w.taintGrew {
+			break
+		}
+		if pass >= 8 {
+			// Taint still growing past any realistic alias-chain depth:
+			// refuse the certificate rather than under-approximate.
+			w.ef.DeviceIdentity = true
+			break
+		}
+	}
+	// Restore the caller's scope; growth inside this method is invisible
+	// to the caller's own fixpoint (separate scopes), so its flag is
+	// restored rather than merged.
+	w.evtParam, w.suppress, w.devLists, w.taintGrew = prevEvt, prevSuppress, prevLists, prevGrew
+}
+
+// isHandlerMethod reports whether the method is registered as a
+// subscription or schedule handler (its first parameter is then the
+// platform event).
+func (w *effectsWalker) isHandlerMethod(name string) bool {
+	for _, s := range w.app.Subscriptions {
+		if s.Handler == name {
+			return true
+		}
+	}
+	for _, s := range w.app.Schedules {
+		if s.Handler == name {
+			return true
+		}
+	}
+	return false
 }
 
 func (w *effectsWalker) block(b *groovy.Block) {
@@ -841,8 +982,30 @@ func (w *effectsWalker) stmt(st groovy.Stmt) {
 	switch s := st.(type) {
 	case nil:
 	case *groovy.VarDeclStmt:
+		if lvl := w.taintsDevList(s.Init); lvl > w.devLists[s.Name] {
+			// Aliasing/derivation: def x = sensors / sensors.findAll{...}.
+			// Taint only grows (monotone), so the element-binding
+			// fixpoint loop terminates.
+			w.devLists[s.Name] = lvl
+			w.taintGrew = true
+		}
 		w.expr(s.Init)
 	case *groovy.AssignStmt:
+		if lvl := w.taintsDevList(s.RHS); lvl != taintNone {
+			if lhs, ok := s.LHS.(*groovy.Ident); ok && lvl > w.devLists[lhs.Name] {
+				w.devLists[lhs.Name] = lvl
+				w.taintGrew = true
+			}
+			if stateWriteTarget(s.LHS) && w.suppress == 0 {
+				// Device-list-derived data flows into persistent state
+				// (a symmetry sink): element choices are order-dependent
+				// (last-writer), aggregates carry order, and a stored
+				// list could be position-read by another handler, which
+				// per-method analysis cannot see. The check is on the
+				// whole RHS value, so helper returns are covered.
+				w.ef.DeviceIdentity = true
+			}
+		}
 		w.expr(s.RHS)
 		w.assignTarget(s.LHS)
 	case *groovy.ExprStmt:
@@ -860,7 +1023,14 @@ func (w *effectsWalker) stmt(st groovy.Stmt) {
 		w.block(s.Body)
 	case *groovy.ForInStmt:
 		w.expr(s.Iter)
-		w.block(s.Body)
+		if w.taintsDevList(s.Iter) != taintNone {
+			// for (p in people): the loop variable binds list elements,
+			// exactly like an .each closure param — element-derived data
+			// in a sink is list-order-dependent.
+			w.withElemTaint([]string{s.Var}, func() { w.block(s.Body) })
+		} else {
+			w.block(s.Body)
+		}
 	case *groovy.ForCStmt:
 		if s.Init != nil {
 			w.stmt(s.Init)
@@ -897,6 +1067,242 @@ func (w *effectsWalker) stmt(st groovy.Stmt) {
 	}
 }
 
+// withClosureTaint runs fn with the closure's parameter names (or the
+// implicit `it`) bound as list elements, restoring the previous taint
+// and event-parameter state afterwards (a param may shadow an outer
+// name — including the handler's event parameter, whose .name
+// exemption must not leak onto a device element).
+func (w *effectsWalker) withClosureTaint(c *groovy.ClosureExpr, fn func()) {
+	names := []string{"it"}
+	if len(c.Params) > 0 {
+		names = names[:0]
+		for _, p := range c.Params {
+			names = append(names, p.Name)
+		}
+	}
+	w.withElemTaint(names, fn)
+}
+
+// withElemTaint binds names as list elements (taintElem) for the
+// duration of fn, shadowing any event-parameter exemption they carry.
+// Loop-carried taint flow through the body is handled by the
+// method-level fixpoint in methodWithArgs, not here — nesting fixpoint
+// loops would let an inner loop's convergence clear the outer's
+// progress flag.
+func (w *effectsWalker) withElemTaint(names []string, fn func()) {
+	prev := make([]int8, len(names))
+	prevEvt := make([]bool, len(names))
+	for i, n := range names {
+		prev[i] = w.devLists[n]
+		w.devLists[n] = taintElem
+		if w.evtParam[n] {
+			prevEvt[i] = true
+			delete(w.evtParam, n)
+		}
+	}
+	fn()
+	for i, n := range names {
+		if prev[i] == taintNone {
+			delete(w.devLists, n)
+		} else {
+			w.devLists[n] = prev[i]
+		}
+		if prevEvt[i] {
+			w.evtParam[n] = true
+		}
+	}
+}
+
+// orderInsensitiveAggregates are list methods whose value is a function
+// of the element *multiset* — invariant under any permutation of the
+// list — so they launder device-list taint: any{}/count{}/size() over
+// interchangeable devices is symmetric by construction.
+var orderInsensitiveAggregates = map[string]bool{
+	"any": true, "every": true, "count": true, "contains": true,
+	"size": true, "isEmpty": true, "sum": true,
+}
+
+// taintsDevList returns the device-list taint level of an expression:
+// taintList for the list itself and order-preserving derivations
+// (findAll/collect/sort chains, helper returns, list concatenation),
+// taintElem for elements and scalar data read from them, taintNone for
+// everything else — including order-insensitive aggregates (any, count,
+// size, …), which launder the taint.
+func (w *effectsWalker) taintsDevList(e groovy.Expr) int8 {
+	switch x := e.(type) {
+	case *groovy.Ident:
+		return w.devLists[x.Name]
+	case *groovy.PropertyExpr:
+		if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "settings" {
+			// settings.sensors names the input itself — resolved through
+			// the unshadowable input set, so a local or parameter
+			// sharing the input's name cannot erase the taint.
+			if w.devListInputs[x.Name] {
+				return taintList
+			}
+			return taintNone
+		}
+		if w.taintsDevList(x.Recv) != taintNone {
+			// A property of a tainted value: scalar data carrying a
+			// position-dependent choice (it.currentPresence, list.first).
+			return taintElem
+		}
+		return taintNone
+	case *groovy.CallExpr:
+		if x.Recv != nil && orderInsensitiveAggregates[x.Name] {
+			return taintNone // multiset-invariant: taint laundered
+		}
+		lvl := taintNone
+		// Arguments taint the result too: list-combining method forms
+		// (l.plus(people)) and helpers taking the list as a parameter
+		// (f(people)) can both return list-derived data.
+		for _, a := range x.Args {
+			if l := w.taintsDevList(a); l > lvl {
+				lvl = l
+			}
+		}
+		if x.Recv != nil {
+			if l := w.taintsDevList(x.Recv); l > lvl {
+				lvl = l
+			}
+			return lvl
+		}
+		// A receiverless intra-app helper call: its return value may be
+		// the device list (`def ppl() { return people }` … `ppl()[0]`).
+		// Taint conservatively when the helper's body mentions any
+		// multi-device input at all.
+		if w.app.Methods[x.Name] != nil && w.methodMentionsDevList(x.Name) {
+			return taintList
+		}
+		return lvl
+	case *groovy.IndexExpr:
+		if w.taintsDevList(x.Recv) != taintNone {
+			return taintElem
+		}
+		return taintNone
+	case *groovy.ListLit:
+		for _, el := range x.Elems {
+			if w.taintsDevList(el) != taintNone {
+				return taintList // an ordered literal built from tainted parts
+			}
+		}
+		return taintNone
+	case *groovy.GStringLit:
+		lvl := taintNone
+		for _, ge := range x.Exprs {
+			// Interpolating a list renders it in order (order-carrying);
+			// interpolating element data stays element-level.
+			lvl = maxTaint(lvl, w.taintsDevList(ge))
+		}
+		return lvl
+	case *groovy.MapLit:
+		lvl := taintNone
+		for _, en := range x.Entries {
+			lvl = maxTaint(lvl, w.taintsDevList(en.Value))
+		}
+		return lvl
+	case *groovy.UnaryExpr:
+		return w.taintsDevList(x.X)
+	case *groovy.BinaryExpr:
+		return maxTaint(w.taintsDevList(x.L), w.taintsDevList(x.R))
+	case *groovy.TernaryExpr:
+		return maxTaint(w.taintsDevList(x.Then), w.taintsDevList(x.Else))
+	case *groovy.ElvisExpr:
+		return maxTaint(w.taintsDevList(x.X), w.taintsDevList(x.Y))
+	case *groovy.CastExpr:
+		return w.taintsDevList(x.X)
+	case *groovy.IntLit, *groovy.NumLit, *groovy.StrLit, *groovy.BoolLit,
+		*groovy.NullLit:
+		return taintNone
+	case nil:
+		return taintNone
+	}
+	// Unhandled expression kind: scan the subtree for tainted references
+	// — the sound default is tainted-if-it-could-be, mirroring the
+	// walker's own unrecognized-node => Unknown rule (a literal wrapper
+	// like a future container kind must not launder taint).
+	lvl := taintNone
+	groovy.Walk(e, func(n groovy.Node) bool {
+		switch x := n.(type) {
+		case *groovy.Ident:
+			lvl = maxTaint(lvl, w.devLists[x.Name])
+		case *groovy.PropertyExpr:
+			if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "settings" && w.devListInputs[x.Name] {
+				lvl = taintList
+			}
+		}
+		return lvl < taintList
+	})
+	return lvl
+}
+
+func maxTaint(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// methodMentionsDevList reports (memoized, shared across the app's
+// per-method walkers) whether a method's source mentions a multi-device
+// input by name, directly or through further helper calls — the
+// conservative signal that its return value may derive from the list.
+// The walk is groovy.Walk, whose traversal covers every node kind, so a
+// future AST construct cannot silently hide a mention.
+func (w *effectsWalker) methodMentionsDevList(name string) bool {
+	switch w.mentionsMemo[name] {
+	case 1, 3:
+		return true // known-true, or in progress (cycle: assume true — the sound direction)
+	case 2:
+		return false
+	}
+	w.mentionsMemo[name] = 3
+	found := false
+	if m := w.app.Methods[name]; m != nil {
+		groovy.Walk(m, func(n groovy.Node) bool {
+			if found {
+				return false
+			}
+			switch x := n.(type) {
+			case *groovy.Ident:
+				if w.devListInputs[x.Name] {
+					found = true
+				}
+			case *groovy.PropertyExpr:
+				if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "settings" && w.devListInputs[x.Name] {
+					found = true
+				}
+			case *groovy.CallExpr:
+				if x.Recv == nil && w.app.Methods[x.Name] != nil && w.methodMentionsDevList(x.Name) {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	if found {
+		w.mentionsMemo[name] = 1
+	} else {
+		w.mentionsMemo[name] = 2
+	}
+	return found
+}
+
+// stateWriteTarget reports whether an assignment target is the app's
+// persistent state: state.x / atomicState.x, the index forms
+// state["x"] / state.m["k"], or any deeper path rooted at either.
+func stateWriteTarget(lhs groovy.Expr) bool {
+	switch t := lhs.(type) {
+	case *groovy.Ident:
+		return t.Name == "state" || t.Name == "atomicState"
+	case *groovy.PropertyExpr:
+		return stateWriteTarget(t.Recv)
+	case *groovy.IndexExpr:
+		return stateWriteTarget(t.Recv)
+	}
+	return false
+}
+
 // assignTarget classifies the left-hand side of an assignment:
 // state.x and locals are app-local, location.mode is a mode write,
 // anything else unrecognised defeats the analysis.
@@ -929,7 +1335,8 @@ func (w *effectsWalker) assignTarget(lhs groovy.Expr) {
 func (w *effectsWalker) expr(e groovy.Expr) {
 	switch x := e.(type) {
 	case nil:
-	case *groovy.Ident, *groovy.IntLit, *groovy.NumLit, *groovy.StrLit,
+	case *groovy.Ident:
+	case *groovy.IntLit, *groovy.NumLit, *groovy.StrLit,
 		*groovy.BoolLit, *groovy.NullLit:
 	case *groovy.GStringLit:
 		for _, ge := range x.Exprs {
@@ -944,6 +1351,16 @@ func (w *effectsWalker) expr(e groovy.Expr) {
 			w.expr(en.Value)
 		}
 	case *groovy.BinaryExpr:
+		if w.suppress == 0 && comparisonOps[x.Op] && !isNullLit(x.L) && !isNullLit(x.R) &&
+			(w.taintsDevList(x.L) >= taintList || w.taintsDevList(x.R) >= taintList) {
+			// Comparing an order-carrying aggregate (collect{…}.join(),
+			// an ordered list, an interpolated list string) branches on
+			// list order: the method can distinguish permutations.
+			// Element-level operands compare freely (per-element
+			// predicates are symmetric), and null checks only observe
+			// presence.
+			w.ef.DeviceIdentity = true
+		}
 		w.expr(x.L)
 		w.expr(x.R)
 	case *groovy.UnaryExpr:
@@ -956,6 +1373,12 @@ func (w *effectsWalker) expr(e groovy.Expr) {
 		w.expr(x.X)
 		w.expr(x.Y)
 	case *groovy.IndexExpr:
+		if w.suppress == 0 && w.taintsDevList(x.Recv) != taintNone {
+			// sensors[0] / sensors.findAll{...}[0]: position-sensitive
+			// (suppressed inside log/notification arguments, whose
+			// values the model host discards).
+			w.ef.DeviceIdentity = true
+		}
 		w.expr(x.Recv)
 		w.expr(x.Index)
 	case *groovy.CastExpr:
@@ -979,7 +1402,12 @@ func (w *effectsWalker) expr(e groovy.Expr) {
 func (w *effectsWalker) property(x *groovy.PropertyExpr) {
 	if id, ok := x.Recv.(*groovy.Ident); ok {
 		switch id.Name {
-		case "state", "atomicState", "settings", "app", "Math":
+		case "settings":
+			// settings.sensors is the qualified form of a bare input
+			// reference; sink flow is checked at value level
+			// (taintsDevList) by the state-write and sendEvent sites.
+			return
+		case "state", "atomicState", "app", "Math":
 			return // app-local or constant
 		case "location":
 			if x.Name == "mode" || x.Name == "currentMode" {
@@ -992,6 +1420,29 @@ func (w *effectsWalker) property(x *groovy.PropertyExpr) {
 	switch x.Name {
 	case "date":
 		w.ef.ReadsTime = true // evt.date / xState.date render host.Now()
+		return
+	case "id", "deviceId", "label", "displayName", "deviceNetworkId":
+		if w.suppress == 0 {
+			// Device identity observed outside a log/notification message:
+			// the method can distinguish devices of one orbit.
+			w.ef.DeviceIdentity = true
+		}
+		return
+	case "name":
+		// device.name is identity (the label); evt.name is the event's
+		// attribute name — exempt only the handler's event parameter.
+		if id, ok := x.Recv.(*groovy.Ident); ok && w.evtParam[id.Name] {
+			return
+		}
+		if w.suppress == 0 {
+			w.ef.DeviceIdentity = true
+		}
+		return
+	}
+	if w.suppress == 0 && orderSensitiveMethods[x.Name] && w.taintsDevList(x.Recv) != taintNone {
+		// Property-form positional extraction (people.first, list.last)
+		// mirrors the call form the runtime also accepts.
+		w.ef.DeviceIdentity = true
 		return
 	}
 	if attr, ok := attrOfProperty(x.Name); ok {
@@ -1037,20 +1488,86 @@ func registryHasAttr(attr string) bool {
 // methods, then receiver methods — where any name that is a registry
 // command is treated as an actuator command on some device.
 func (w *effectsWalker) call(x *groovy.CallExpr) {
-	if id, ok := x.Recv.(*groovy.Ident); ok && (id.Name == "log" || id.Name == "Math") {
+	if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "log" {
+		// Log output never reaches model state, properties, or trails:
+		// identity reads inside it are harmless for symmetry.
+		w.suppress++
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+		w.suppress--
+		return
+	}
+	if id, ok := x.Recv.(*groovy.Ident); ok && id.Name == "Math" {
 		for _, a := range x.Args {
 			w.expr(a)
 		}
 		return
 	}
-	for _, a := range x.Args {
-		w.expr(a)
+	// Notification message bodies are discarded by the model host; only
+	// the Notifies flag (set below in bareCall) is observable, so
+	// identity reads inside them are suppressed for the symmetry
+	// certificate. The recipient argument of sendSms/sendSmsMessage is
+	// NOT discarded — it reaches recipientConfigured and leak-property
+	// violation details verbatim — so suppression starts at the message.
+	suppressFrom := -1
+	if x.Recv == nil && notifyMessageCalls[x.Name] {
+		suppressFrom = 0
+		if x.Name == "sendSms" || x.Name == "sendSmsMessage" {
+			suppressFrom = 1
+		}
+	}
+	if x.Recv == nil && x.Name == "sendEvent" && w.suppress == 0 {
+		// Synthetic event payloads re-enter the model as state: a
+		// device-list-derived value there is a symmetry sink exactly
+		// like a persistent-state write.
+		for _, a := range x.Args {
+			if w.taintsDevList(a) != taintNone {
+				w.ef.DeviceIdentity = true
+			}
+		}
+		for _, na := range x.NamedArgs {
+			if w.taintsDevList(na.Value) != taintNone {
+				w.ef.DeviceIdentity = true
+			}
+		}
+	}
+	for i, a := range x.Args {
+		if suppressFrom >= 0 && i >= suppressFrom {
+			w.suppress++
+			w.expr(a)
+			w.suppress--
+		} else {
+			w.expr(a)
+		}
+	}
+	if suppressFrom >= 0 {
+		w.suppress++
 	}
 	for _, na := range x.NamedArgs {
 		w.expr(na.Value)
 	}
+	if suppressFrom >= 0 {
+		w.suppress--
+	}
 	if x.Closure != nil {
-		w.block(x.Closure.Body)
+		if x.Recv != nil && w.taintsDevList(x.Recv) != taintNone {
+			// Iterating a device list binds its elements to the closure
+			// parameters: element-derived data flowing into a sink
+			// (people.each { state.last = it.currentPresence }) is
+			// order-dependent, so params taint like the list itself.
+			w.withClosureTaint(x.Closure, func() { w.block(x.Closure.Body) })
+		} else {
+			w.block(x.Closure.Body)
+		}
+	}
+	if w.suppress == 0 && x.Recv != nil && w.taintsDevList(x.Recv) != taintNone && orderSensitiveMethods[x.Name] {
+		// sensors.first() / sensors.find{...} / sensors.findAll{...}.sort():
+		// extracts an order- or position-determined element of (data
+		// derived from) a multi-device input — behaviour may distinguish
+		// devices of one orbit. Suppressed inside log/notification
+		// arguments, whose values the model host discards.
+		w.ef.DeviceIdentity = true
 	}
 
 	if x.Recv == nil {
@@ -1082,10 +1599,28 @@ func (w *effectsWalker) call(x *groovy.CallExpr) {
 			w.ef.Unknown = true // dynamic attribute name
 		}
 		return
+	case "getDisplayName", "getLabel", "getName", "getId":
+		if w.suppress == 0 {
+			w.ef.DeviceIdentity = true // identity getters, same as .label/.id
+		}
+		return
 	case "hasCapability", "hasCommand", "hasAttribute",
-		"getDisplayName", "getLabel", "getName",
 		"events", "eventsSince", "statesSince", "supportedAttributes":
 		return // device read APIs with no model-state footprint
+	}
+	if stateMutatorMethods[x.Name] && stateWriteTarget(x.Recv) {
+		// In-place mutation of a persistent-state collection
+		// (state.m.put(k, v), state.list.add(v)): builtins execute these
+		// against the live backing map/list, so the arguments are a
+		// symmetry sink exactly like an assignment RHS.
+		if w.suppress == 0 {
+			for _, a := range x.Args {
+				if w.taintsDevList(a) != taintNone {
+					w.ef.DeviceIdentity = true
+				}
+			}
+		}
+		return
 	}
 	if pureValueMethods[x.Name] {
 		return
@@ -1116,10 +1651,14 @@ func (w *effectsWalker) bareCall(x *groovy.CallExpr) {
 	case "unschedule":
 		w.ef.Schedules = true // clears own timers: app-local
 		return
-	case "sendSms", "sendSmsMessage", "sendPush", "sendPushMessage",
-		"sendNotification", "sendNotificationToContacts", "sendNotificationEvent":
+	}
+	if notifyMessageCalls[x.Name] {
+		// One source of truth with the argument-suppression set in
+		// call(): a notification builtin added there is a Notifies here.
 		w.ef.Notifies = true
 		return
+	}
+	switch x.Name {
 	case "httpPost", "httpPostJson", "httpGet", "httpPut", "httpDelete":
 		w.ef.Network = true
 		return
@@ -1155,10 +1694,55 @@ func (w *effectsWalker) bareCall(x *groovy.CallExpr) {
 		return
 	}
 	if w.app.Methods[x.Name] != nil {
-		w.method(x.Name)
+		w.methodWithArgs(x.Name, x.Args)
 		return
 	}
 	w.ef.Unknown = true
+}
+
+// notifyMessageCalls are the receiverless notification builtins whose
+// string arguments the model host discards (only the "app notified" bit
+// is observable); identity reads inside them are suppressed for the
+// symmetry certificate. HTTP calls are deliberately absent: request
+// URLs appear verbatim in leak-property violation details.
+var notifyMessageCalls = map[string]bool{
+	"sendSms": true, "sendSmsMessage": true, "sendPush": true,
+	"sendPushMessage": true, "sendNotification": true,
+	"sendNotificationToContacts": true, "sendNotificationEvent": true,
+}
+
+// comparisonOps are the binary operators that observe a value rather
+// than combine it — comparing an order-carrying aggregate branches on
+// list order.
+var comparisonOps = map[groovy.Kind]bool{
+	groovy.Eq: true, groovy.Neq: true, groovy.Lt: true, groovy.Gt: true,
+	groovy.Le: true, groovy.Ge: true, groovy.Compare: true,
+}
+
+func isNullLit(e groovy.Expr) bool {
+	_, ok := e.(*groovy.NullLit)
+	return ok
+}
+
+// orderSensitiveMethods extract an element (or an ordering) determined
+// by list position. Applied to a multi-device input they can
+// distinguish devices that are otherwise interchangeable; uniform
+// broadcasts (each/collect/on()/off()) deliberately stay off this list
+// — the canonicalization layer normalises their order-dependent queue
+// and command-log effects.
+var orderSensitiveMethods = map[string]bool{
+	"first": true, "last": true, "head": true, "getAt": true, "get": true,
+	"find": true, "sort": true, "min": true, "max": true, "indexOf": true,
+	"eachWithIndex": true, "reverse": true, "take": true, "drop": true,
+	"pop": true,
+}
+
+// stateMutatorMethods mutate their receiver collection in place; on a
+// persistent-state-rooted receiver they write app state without an
+// assignment, so their arguments need the same sink treatment.
+var stateMutatorMethods = map[string]bool{
+	"put": true, "putAll": true, "remove": true, "add": true,
+	"push": true, "leftShift": true, "addAll": true,
 }
 
 // pureValueMethods are receiver methods that only compute over values

@@ -116,6 +116,88 @@ func PORWorkload() (*model.Model, checker.Options, string, error) {
 	return m, copts, desc, nil
 }
 
+// SymmetrySystem builds the interchangeable-device deployment the
+// symmetry gates and benchmarks share: the corpus symmetry group
+// installed over three identical presence sensors and three identical
+// entry contacts (two orbit capability types) driving a singleton hall
+// light and front-door lock. Every multi-device input binds the whole
+// fleet, so within-orbit sensor permutations induce isomorphic
+// subspaces for the canonicalization layer to fold.
+func SymmetrySystem(name string) (*config.System, map[string]*ir.App, error) {
+	sources := corpus.SymmetryGroup()
+	apps, err := TranslateAll(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := &config.System{
+		Name:  name,
+		Modes: []string{"Home", "Away", "Night"},
+		Mode:  "Home",
+		Devices: []config.Device{
+			{ID: "presA", Label: "Presence A", Model: "Presence Sensor"},
+			{ID: "presB", Label: "Presence B", Model: "Presence Sensor"},
+			{ID: "presC", Label: "Presence C", Model: "Presence Sensor"},
+			{ID: "contactA", Label: "Door Contact A", Model: "Contact Sensor", Association: props.RoleEntryContact},
+			{ID: "contactB", Label: "Door Contact B", Model: "Contact Sensor", Association: props.RoleEntryContact},
+			{ID: "contactC", Label: "Door Contact C", Model: "Contact Sensor", Association: props.RoleEntryContact},
+			{ID: "hallLight", Label: "Hall Light", Model: "Smart Bulb"},
+			{ID: "frontLock", Label: "Front Door Lock", Model: "Smart Lock", Association: props.RoleMainDoor},
+		},
+		Phones: []string{"15551230000"},
+	}
+	people := config.Binding{DeviceIDs: []string{"presA", "presB", "presC"}}
+	contacts := config.Binding{DeviceIDs: []string{"contactA", "contactB", "contactC"}}
+	light := config.Binding{DeviceIDs: []string{"hallLight"}}
+	lock := config.Binding{DeviceIDs: []string{"frontLock"}}
+	for _, s := range sources {
+		inst := config.AppInstance{App: s.Name, Bindings: map[string]config.Binding{}}
+		for _, in := range apps[s.Name].Inputs {
+			switch in.Name {
+			case "people":
+				inst.Bindings[in.Name] = people
+			case "contacts":
+				inst.Bindings[in.Name] = contacts
+			case "light":
+				inst.Bindings[in.Name] = light
+			case "lock1":
+				inst.Bindings[in.Name] = lock
+			}
+		}
+		sys.Apps = append(sys.Apps, inst)
+	}
+	return sys, apps, nil
+}
+
+// SymmetryWorkload builds the canonical symmetry-reduction workload:
+// the interchangeable-device system under the concurrent design at
+// MaxEvents=2 with the full invariant catalog and Options.Symmetry
+// model tables — fully explorable, so with/without-symmetry state
+// counts compare complete searches. The ≥30% fold gate
+// (TestSymmetryReductionGate) and `iotsan-bench -table perf` (the
+// symmetry_runs record in BENCH_<date>.json) share this workload.
+func SymmetryWorkload() (*model.Model, checker.Options, string, error) {
+	sys, apps, err := SymmetrySystem("symmetry-bench")
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 2, CheckConflicts: true, Invariants: invs,
+		Design: model.Concurrent, Symmetry: true,
+	})
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	copts := checker.Options{MaxDepth: 100}
+	st := m.SymmetryStats()
+	desc := fmt.Sprintf("symmetry group (%d apps, 3+3 interchangeable devices, %d orbits), concurrent design, MaxEvents=2, full invariants",
+		len(sys.Apps), st.Orbits)
+	return m, copts, desc, nil
+}
+
 // GroupModel builds the verification model for a configured system
 // with the full invariant catalog at MaxEvents=2 — the equal-work
 // benchmark workload (fully explorable, so every checker strategy

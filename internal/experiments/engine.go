@@ -12,6 +12,7 @@ var (
 	engineWorkers       int
 	engineGroupParallel bool
 	enginePOR           bool
+	engineSymmetry      bool
 )
 
 // SetEngine selects the checker engine used by the Run* experiments
@@ -28,11 +29,16 @@ func SetGroupParallel(on bool) { engineGroupParallel = on }
 // SetPOR enables partial-order reduction for the Run* experiments.
 func SetPOR(on bool) { enginePOR = on }
 
+// SetSymmetry enables symmetry reduction over interchangeable devices
+// for the Run* experiments.
+func SetSymmetry(on bool) { engineSymmetry = on }
+
 // engineOptions applies the configured engine to an analysis run.
 func engineOptions(o iotsan.Options) iotsan.Options {
 	o.Strategy = engineStrategy
 	o.Workers = engineWorkers
 	o.GroupParallel = engineGroupParallel
 	o.POR = enginePOR
+	o.Symmetry = engineSymmetry
 	return o
 }

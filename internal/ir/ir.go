@@ -426,6 +426,17 @@ func (v Value) String() string {
 // Encode appends a deterministic binary encoding of v to buf, for state
 // hashing. The encoding is unambiguous (kind-tagged, length-prefixed).
 func (v Value) Encode(buf []byte) []byte {
+	return v.EncodeMapped(buf, nil)
+}
+
+// EncodeMapped is Encode with device references renumbered through
+// devMap (old index → new index; indices outside devMap pass through).
+// The symmetry-reduction layer uses it to encode app state under an
+// orbit permutation without materializing renamed values. A nil devMap
+// is the identity — Encode delegates here, so the two paths share one
+// switch and a future Value kind cannot diverge between raw and
+// canonical encodings.
+func (v Value) EncodeMapped(buf []byte, devMap []int32) []byte {
 	buf = append(buf, byte(v.Kind))
 	switch v.Kind {
 	case VBool:
@@ -441,11 +452,15 @@ func (v Value) Encode(buf []byte) []byte {
 	case VStr:
 		buf = appendString(buf, v.S)
 	case VDevice:
-		buf = appendInt64(buf, int64(v.Dev))
+		d := int64(v.Dev)
+		if devMap != nil && v.Dev >= 0 && v.Dev < len(devMap) {
+			d = int64(devMap[v.Dev])
+		}
+		buf = appendInt64(buf, d)
 	case VList, VDevices:
 		buf = appendInt64(buf, int64(len(v.L)))
 		for _, e := range v.L {
-			buf = e.Encode(buf)
+			buf = e.EncodeMapped(buf, devMap)
 		}
 	case VMap:
 		keys := make([]string, 0, len(v.M))
@@ -456,10 +471,37 @@ func (v Value) Encode(buf []byte) []byte {
 		buf = appendInt64(buf, int64(len(keys)))
 		for _, k := range keys {
 			buf = appendString(buf, k)
-			buf = v.M[k].Encode(buf)
+			buf = v.M[k].EncodeMapped(buf, devMap)
 		}
 	}
 	return buf
+}
+
+// MapDevices returns a deep copy of v with device references renumbered
+// through devMap (nil = identity; v is returned unchanged).
+func (v Value) MapDevices(devMap []int32) Value {
+	if devMap == nil {
+		return v
+	}
+	switch v.Kind {
+	case VDevice:
+		if v.Dev >= 0 && v.Dev < len(devMap) {
+			v.Dev = int(devMap[v.Dev])
+		}
+	case VList, VDevices:
+		l := make([]Value, len(v.L))
+		for i, e := range v.L {
+			l[i] = e.MapDevices(devMap)
+		}
+		v.L = l
+	case VMap:
+		m := make(map[string]Value, len(v.M))
+		for k, e := range v.M {
+			m[k] = e.MapDevices(devMap)
+		}
+		v.M = m
+	}
+	return v
 }
 
 func appendInt64(buf []byte, v int64) []byte {

@@ -87,6 +87,13 @@ type Options struct {
 	// observationally identical (the differential corpus test enforces
 	// it); the interpreter is retained as the oracle and for debugging.
 	Interpreter bool
+	// Symmetry computes device orbits at New (symmetry.go): maximal sets
+	// of interchangeable devices, proved by the compile-time footprint,
+	// subscription, binding, and association checks. The checker's
+	// Options.Symmetry then keys its visited store on the canonical
+	// (orbit-folded) state encoding. Building the table is cheap; whether
+	// the canonical path is used is the checker's decision.
+	Symmetry bool
 }
 
 func (o *Options) maxCascade() int {
@@ -235,6 +242,13 @@ type Model struct {
 	// nil otherwise). Built at New; consulted only when the checker runs
 	// with Options.POR.
 	por *porData
+
+	// sym is the symmetry-reduction table (non-nil only when
+	// Options.Symmetry found at least one non-trivial device orbit).
+	// Built at New; consulted by CanonicalEncode, which the checker
+	// routes its visited-store digests through under its own
+	// Options.Symmetry.
+	sym *symData
 }
 
 // subKey indexes resolved subscriptions by event source and attribute.
@@ -390,6 +404,9 @@ func New(cfg *config.System, apps map[string]*ir.App, opts Options) (*Model, err
 	m.execs.New = func() any { return m.newPooledExecutor() }
 	if opts.Design == Concurrent {
 		m.buildPOR()
+	}
+	if opts.Symmetry {
+		m.buildSymmetry()
 	}
 	return m, nil
 }

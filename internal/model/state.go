@@ -98,24 +98,7 @@ func (m *Model) Initial() *State {
 		n := len(d.Attrs)
 		ds := DevState{Online: true, Attrs: s.attrs[off : off+n : off+n]}
 		off += n
-		for j, a := range d.Attrs {
-			ds.Attrs[j] = int16(a.Default)
-		}
-		// Apply configured initial attribute overrides.
-		for attr, val := range m.Cfg.Devices[i].Initial {
-			j := d.AttrIndex(attr)
-			if j < 0 {
-				continue
-			}
-			a := d.Attrs[j]
-			if a.Numeric {
-				if n, err := parseInt(val); err == nil {
-					ds.Attrs[j] = int16(n)
-				}
-			} else if k := indexOf(a.Values, val); k >= 0 {
-				ds.Attrs[j] = int16(k)
-			}
-		}
+		m.initialAttrs(i, ds.Attrs)
 		s.Devices[i] = ds
 	}
 
@@ -131,6 +114,32 @@ func (m *Model) Initial() *State {
 		}
 	}
 	return s
+}
+
+// initialAttrs writes device i's initial attribute values (schema
+// defaults plus configured overrides) into dst, which must have
+// len(m.Devices[i].Attrs) entries. Shared by Initial and the symmetry
+// layer's orbit signatures (two devices with differing initial state
+// are never interchangeable).
+func (m *Model) initialAttrs(i int, dst []int16) {
+	d := m.Devices[i]
+	for j, a := range d.Attrs {
+		dst[j] = int16(a.Default)
+	}
+	for attr, val := range m.Cfg.Devices[i].Initial {
+		j := d.AttrIndex(attr)
+		if j < 0 {
+			continue
+		}
+		a := d.Attrs[j]
+		if a.Numeric {
+			if n, err := parseInt(val); err == nil {
+				dst[j] = int16(n)
+			}
+		} else if k := indexOf(a.Values, val); k >= 0 {
+			dst[j] = int16(k)
+		}
+	}
 }
 
 func parseInt(s string) (int64, error) {
@@ -229,10 +238,46 @@ func cloneValue(v ir.Value) ir.Value {
 }
 
 // Encode appends a deterministic binary encoding of the state (the
-// "state vector" Spin would hash) to buf.
+// "state vector" Spin would hash) to buf. This is the raw path of the
+// two-path encoder: device blocks in device-index order, queue and
+// command log in execution order. The canonical path (symmetry
+// reduction) routes through the same encode with a canonView that
+// permutes interchangeable-device blocks and normalises the dependent
+// queue/command-log entries; see Model.CanonicalEncode in symmetry.go.
 func (s *State) Encode(buf []byte) []byte {
+	return s.encode(buf, nil)
+}
+
+// canonView describes one canonicalization of a state for the encoder:
+// the orbit permutation over device blocks plus the renamed and
+// normalised queue/command-log views. A nil canonView selects the raw
+// encoding. The view references a state-specific renaming, so it is
+// consumed by exactly one encode call.
+type canonView struct {
+	order  []int32   // encode position → device index (blocks permuted within orbits)
+	devMap []int32   // device index → canonical index (inverse of order)
+	queue  []Pending // renamed queue, orbit-sourced entries normalised
+	cmds   []CmdRec  // renamed command log, orbit-target entries normalised
+}
+
+// encode is the shared two-path state-vector encoder. The raw path
+// (cv == nil) is byte-for-byte the historical encoding; the canonical
+// path reads device blocks through cv.order, renames device references
+// inside app slot/KV values through cv.devMap, and substitutes the
+// normalised queue and command log.
+func (s *State) encode(buf []byte, cv *canonView) []byte {
+	var devMap []int32
+	queue, cmds := s.Queue, s.Cmds
+	if cv != nil {
+		devMap = cv.devMap
+		queue, cmds = cv.queue, cv.cmds
+	}
 	buf = append(buf, s.Mode, byte(s.EventsUsed))
-	for _, d := range s.Devices {
+	for p := range s.Devices {
+		d := &s.Devices[p]
+		if cv != nil {
+			d = &s.Devices[cv.order[p]]
+		}
 		if d.Online {
 			buf = append(buf, 1)
 		} else {
@@ -242,7 +287,8 @@ func (s *State) Encode(buf []byte) []byte {
 			buf = append(buf, byte(a), byte(a>>8))
 		}
 	}
-	for _, a := range s.Apps {
+	for i := range s.Apps {
+		a := &s.Apps[i]
 		if a.Unsubscribed {
 			buf = append(buf, 1)
 		} else {
@@ -256,7 +302,7 @@ func (s *State) Encode(buf []byte) []byte {
 		// Slotted state encodes in fixed layout order — no key strings,
 		// no sorting. Dynamic apps keep the sorted-key KV encoding.
 		for _, v := range a.Slots {
-			buf = v.Encode(buf)
+			buf = v.EncodeMapped(buf, devMap)
 		}
 		if len(a.KV) > 0 {
 			keys := make([]string, 0, len(a.KV))
@@ -267,18 +313,18 @@ func (s *State) Encode(buf []byte) []byte {
 			for _, k := range keys {
 				buf = append(buf, []byte(k)...)
 				buf = append(buf, 0)
-				buf = a.KV[k].Encode(buf)
+				buf = a.KV[k].EncodeMapped(buf, devMap)
 			}
 		}
 		buf = append(buf, 0xFE)
 	}
-	for _, p := range s.Queue {
+	for _, p := range queue {
 		buf = append(buf, byte(p.SubIdx), byte(p.Source), byte(p.Val), byte(p.Val>>8))
 		buf = append(buf, []byte(p.Raw)...)
 		buf = append(buf, 0)
 	}
 	buf = append(buf, 0xFD)
-	for _, c := range s.Cmds {
+	for _, c := range cmds {
 		buf = append(buf, byte(c.Dev), byte(c.App))
 		buf = append(buf, []byte(c.Cmd)...)
 		buf = append(buf, 0, byte(c.Arg), byte(c.Arg>>8))

@@ -119,6 +119,22 @@ type Options struct {
 	// The sequential design is unaffected (its transitions are
 	// property-visible external events, which are never reducible).
 	POR bool
+	// Symmetry enables symmetry reduction over interchangeable devices:
+	// the model computes device orbits (sets of command-free sensor
+	// devices with identical schema, initial state, association role,
+	// subscription structure, and binding positions, observed only by
+	// apps whose compile-time footprints carry no device-identity or
+	// list-order-sensitive uses) and the checker keys its
+	// visited store on a canonical encoding that folds states related by
+	// within-orbit permutations into one representative. The
+	// distinct-violation set is preserved exactly — a CI gate enforces it
+	// on the whole corpus across all strategies — while the explored
+	// state space shrinks with the number of interchangeable devices.
+	// Composes multiplicatively with POR (reduction happens on the same
+	// canonical store the POR proviso probes) and with both parallel
+	// levels. Trails still replay on the raw model: frontier states and
+	// parent-link replay keys stay concrete.
+	Symmetry bool
 	// GroupParallel verifies independent related sets concurrently
 	// under one shared worker budget of Workers tokens instead of
 	// strictly one after another. Per-group results and the deduped
@@ -414,6 +430,7 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 		Invariants:      invs,
 		RelevantAttrs:   relevantAttrs(sub, apps),
 		Interpreter:     opts.Interpreter,
+		Symmetry:        opts.Symmetry,
 	})
 	if err != nil {
 		return nil, err
@@ -435,6 +452,7 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 		Stop:      stop,
 		Budget:    budget,
 		POR:       opts.POR,
+		Symmetry:  opts.Symmetry,
 	}
 	if opts.Bitstate {
 		copts.Store = checker.Bitstate
