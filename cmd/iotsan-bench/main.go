@@ -58,6 +58,7 @@ func realMain() int {
 	experiments.SetGroupParallel(engine.GroupParallel)
 	experiments.SetPOR(engine.POR)
 	experiments.SetSymmetry(engine.Symmetry)
+	experiments.SetIncremental(engine.Incremental)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -233,6 +234,8 @@ type perfRecord struct {
 	PORRuns          []porRun      `json:"por_runs,omitempty"`
 	SymmetryWorkload string        `json:"symmetry_workload,omitempty"`
 	SymmetryRuns     []symmetryRun `json:"symmetry_runs,omitempty"`
+	EncodeWorkload   string        `json:"encode_workload,omitempty"`
+	EncodeRuns       []encodeRun   `json:"encode_runs,omitempty"`
 }
 
 type perfRun struct {
@@ -290,6 +293,24 @@ type symmetryRun struct {
 	SecondsSym     float64 `json:"seconds_sym"`
 }
 
+// encodeRun is one equal-work full-vs-incremental digest measurement:
+// the identical workload and checker options run on a model with the
+// block-hash cache off (every child state re-encodes and re-hashes the
+// whole vector) and on (only dirtied blocks re-encode). Both searches
+// are complete, so the state counts must match and the speedup is pure
+// encode/hash savings.
+type encodeRun struct {
+	Strategy         string  `json:"strategy"`
+	POR              bool    `json:"por"`
+	Symmetry         bool    `json:"symmetry"`
+	States           int     `json:"states"`
+	SecondsFull      float64 `json:"seconds_full"`
+	SecondsInc       float64 `json:"seconds_inc"`
+	FullStatesPerSec float64 `json:"full_states_per_sec"`
+	IncStatesPerSec  float64 `json:"inc_states_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
 // runPerf measures checker throughput on the shared
 // BenchmarkParallelCheck workload (largest market group, full property
 // set, 20k-state cap) and optionally writes the record to
@@ -343,6 +364,9 @@ func runPerf(writeJSON bool) error {
 		return err
 	}
 	if err := runSymmetryPerf(&rec); err != nil {
+		return err
+	}
+	if err := runEncodePerf(&rec); err != nil {
 		return err
 	}
 
@@ -455,6 +479,89 @@ func runSymmetryPerf(rec *perfRecord) error {
 		if r.Violations != r.ViolationsFull {
 			fmt.Printf("WARNING: %s: symmetry changed the violation count (%d -> %d) — the fold is unsound for this workload\n",
 				tag, r.ViolationsFull, r.Violations)
+		}
+	}
+	return nil
+}
+
+// runEncodePerf measures the incremental block encode + digest on
+// equal work: the shared EncodeWorkload (and SymmetryEncodeWorkload
+// for the canonical-path rows) built twice — cache off and cache on —
+// and searched to completion with identical checker options, per
+// strategy × {plain, por} plus symmetry rows. The recorded state
+// counts come from both runs so the artifact is self-checking: a
+// mismatch on a non-symmetry row means the incremental digest changed
+// the state partition, which the equivalence gates forbid.
+func runEncodePerf(rec *perfRecord) error {
+	full, copts, desc, err := experiments.EncodeWorkload(false)
+	if err != nil {
+		return err
+	}
+	inc, _, _, err := experiments.EncodeWorkload(true)
+	if err != nil {
+		return err
+	}
+	symFull, symOpts, _, err := experiments.SymmetryEncodeWorkload(false)
+	if err != nil {
+		return err
+	}
+	symInc, _, _, err := experiments.SymmetryEncodeWorkload(true)
+	if err != nil {
+		return err
+	}
+	rec.EncodeWorkload = desc
+	fmt.Printf("\nincremental encode+digest (%s; symmetry rows on the interchangeable-device group):\n", desc)
+
+	rows := []struct {
+		strategy checker.StrategyKind
+		por, sym bool
+	}{
+		{checker.StrategyDFS, false, false},
+		{checker.StrategyDFS, true, false},
+		{checker.StrategySteal, false, false},
+		{checker.StrategySteal, true, false},
+		{checker.StrategyDFS, false, true},
+		{checker.StrategySteal, false, true},
+	}
+	for _, row := range rows {
+		fullM, incM, o := full, inc, copts
+		if row.sym {
+			fullM, incM, o = symFull, symInc, symOpts
+		}
+		o.Strategy = row.strategy
+		o.Workers = 2
+		o.POR = row.por
+		o.Symmetry = row.sym
+		start := time.Now()
+		fr := checker.Run(fullM.System(), o)
+		secFull := time.Since(start).Seconds()
+		start = time.Now()
+		ri := checker.Run(incM.System(), o)
+		secInc := time.Since(start).Seconds()
+		r := encodeRun{
+			Strategy:         row.strategy.String(),
+			POR:              row.por,
+			Symmetry:         row.sym,
+			States:           ri.StatesExplored,
+			SecondsFull:      secFull,
+			SecondsInc:       secInc,
+			FullStatesPerSec: float64(fr.StatesExplored) / secFull,
+			IncStatesPerSec:  float64(ri.StatesExplored) / secInc,
+			Speedup:          secFull / secInc,
+		}
+		rec.EncodeRuns = append(rec.EncodeRuns, r)
+		tag := r.Strategy
+		if r.POR {
+			tag += "+por"
+		}
+		if r.Symmetry {
+			tag += "+sym"
+		}
+		fmt.Printf("%-11s states=%-7d full %9.0f states/s -> inc %9.0f states/s  (%.2fx)\n",
+			tag, r.States, r.FullStatesPerSec, r.IncStatesPerSec, r.Speedup)
+		if !row.sym && fr.StatesExplored != ri.StatesExplored {
+			fmt.Printf("WARNING: %s: incremental digest changed the explored state count (%d -> %d)\n",
+				tag, fr.StatesExplored, ri.StatesExplored)
 		}
 	}
 	return nil

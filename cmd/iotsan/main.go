@@ -61,7 +61,8 @@ func main() {
 	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
 		Strategy: engine.Strategy, Workers: engine.Workers,
 		GroupParallel: engine.GroupParallel, MaxViolations: *maxViol,
-		POR: engine.POR, Symmetry: engine.Symmetry, Interpreter: *interp}
+		POR: engine.POR, Symmetry: engine.Symmetry, Interpreter: *interp,
+		NoIncremental: !engine.Incremental}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

@@ -126,6 +126,50 @@ type CanonicalEncoder interface {
 	CanonicalEncode(s State, buf []byte) []byte
 }
 
+// IncrementalDigester is optionally implemented by Systems whose states
+// carry a block-hash cache: IncrementalDigest returns the (h1, h2)
+// visited-store digest of s computed from cached per-block hashes
+// (re-encoding only blocks the producing transition dirtied), with
+// canonical selecting the symmetry-canonical fold. When HasIncremental
+// reports true the engine derives every digest through it instead of
+// encode-then-hash; the digest must induce the same state equivalence
+// as hashing the (canonical) encoding — equal-encoding states must
+// collide and distinct encodings must collide no more often than the
+// flat hash would. The first digest of a state mutates its cache
+// (refreshing dirty blocks), so the engine's contract is that each
+// state object is digested by the goroutine that produced it before
+// the state is shared; all three strategies satisfy this by digesting
+// children where they are expanded.
+type IncrementalDigester interface {
+	IncrementalDigest(s State, canonical bool) (h1, h2 uint64)
+	HasIncremental() bool
+}
+
+// StateRecycler is optionally implemented by Systems that can reuse
+// dead state objects: Recycle hands back a state the search has proven
+// unreachable from any live structure — a duplicate child that matched
+// the visited store, a successor clipped by the depth bound before it
+// was ever digested, or a fully expanded frame popped off the DFS
+// stack. The system may then recycle the state's backing storage into
+// future Expand clones, which removes most of the allocation (and GC)
+// cost of the expansion hot path. The engine only recycles states it
+// obtained from Expand/Initial of the same run and never touches one
+// again afterwards; recorded trails are materialized eagerly and drop
+// their state references before any of those states can be recycled.
+type StateRecycler interface {
+	Recycle(s State)
+}
+
+// TransitionRecycler is optionally implemented by Systems alongside
+// StateRecycler: strategies hand back a successor slice once every
+// entry has been consumed (explored, matched, or recycled), letting the
+// system reuse the backing array for later Expand calls. Only the
+// array is reused — Steps and Label values copied out of entries (e.g.
+// into trail steps) remain valid because they own their storage.
+type TransitionRecycler interface {
+	RecycleTransitions(trs []Transition)
+}
+
 // ProgressCertifier is optionally implemented by Reducers that can
 // prove no cycle of the reduced state graph traverses a reduced-subset
 // transition — e.g. because every subset transition strictly decreases

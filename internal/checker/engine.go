@@ -39,6 +39,21 @@ type engine struct {
 	// funnel, so all strategies and the POR proviso fold identically).
 	canon CanonicalEncoder
 
+	// inc is non-nil when the system's states carry an incremental
+	// block-hash cache (IncrementalDigester with HasIncremental true);
+	// digest then folds cached block hashes instead of encode-and-hash.
+	inc IncrementalDigester
+
+	// rec is non-nil when the system recycles dead states; the
+	// sequential DFS hands back duplicate children, depth-clipped
+	// successors, and popped frames.
+	rec StateRecycler
+
+	// trec is non-nil when the system additionally reuses successor
+	// slice backing arrays; the sequential DFS returns each frame's
+	// fully consumed succs slice on pop.
+	trec TransitionRecycler
+
 	// needH2 is set when the store derives probes from the second hash
 	// (bitstate); the exhaustive stores key on h1 alone, so the second
 	// hashing pass is skipped on their per-state hot path.
@@ -83,12 +98,21 @@ func newEngine(sys System, opts Options) *engine {
 			ce = nil
 		}
 	}
+	var inc IncrementalDigester
+	if id, ok := sys.(IncrementalDigester); ok && id.HasIncremental() {
+		inc = id
+	}
+	rec, _ := sys.(StateRecycler)
+	trec, _ := sys.(TransitionRecycler)
 	return &engine{
 		sys:       sys,
 		replayer:  rp,
 		reducer:   rd,
 		certified: certified,
 		canon:     ce,
+		inc:       inc,
+		rec:       rec,
+		trec:      trec,
 		opts:      opts,
 		st:        newStore(opts, opts.Strategy != StrategyDFS),
 		start:     time.Now(),
@@ -106,9 +130,19 @@ func newEngine(sys System, opts Options) *engine {
 // canonical encoding is hashed instead of the raw one — this is the
 // single funnel every strategy, the parent-link table, and the POR
 // proviso key states through, so switching it folds the whole search
-// onto orbit representatives. h2 is only computed when the store
-// probes with it.
+// onto orbit representatives. With an incremental digester the
+// fingerprint folds the state's cached block hashes instead, skipping
+// the flat re-encode entirely (buf passes through untouched). h2 is
+// only computed when the store probes with it.
 func (e *engine) digest(s State, buf []byte) (digest, []byte) {
+	if e.inc != nil {
+		h1, h2 := e.inc.IncrementalDigest(s, e.canon != nil)
+		d := digest{h1: h1}
+		if e.needH2 {
+			d.h2 = h2
+		}
+		return d, buf
+	}
 	if e.canon != nil {
 		buf = e.canon.CanonicalEncode(s, buf[:0])
 	} else {
@@ -273,6 +307,22 @@ func (e *engine) expand(state State, buf []byte, count bool) ([]Transition, []by
 	out := make([]Transition, len(sel))
 	for j, i := range sel {
 		out[j] = trs[i]
+		trs[i].Next = nil // kept; cleared so the recycle sweep skips it
+	}
+	if e.rec != nil {
+		// Pruned transitions never leave this expansion on any strategy —
+		// their freshly cloned states are dead.
+		for i := range trs {
+			if trs[i].Next != nil {
+				e.rec.Recycle(trs[i].Next)
+				trs[i].Next = nil
+			}
+		}
+		if e.trec != nil {
+			// Every entry was copied to out or recycled above; the
+			// backing array itself is dead too.
+			e.trec.RecycleTransitions(trs)
+		}
 	}
 	return out, buf
 }

@@ -37,6 +37,28 @@ func (sequentialDFS) search(e *engine) {
 		if top.next >= len(top.succs) || len(stack) > e.opts.MaxDepth {
 			if len(stack) > e.opts.MaxDepth {
 				e.truncated.Store(true)
+				if e.rec != nil {
+					// Depth-clipped successors were cloned but never
+					// digested or recorded anywhere — hand them back.
+					for i := top.next; i < len(top.succs); i++ {
+						e.rec.Recycle(top.succs[i].Next)
+						top.succs[i].Next = nil
+					}
+				}
+			}
+			if e.rec != nil {
+				// The popped frame's state is dead: fully expanded, out of
+				// the trail window, and recorded trails materialized their
+				// replays before this point.
+				e.rec.Recycle(top.state)
+				top.state = nil
+				if e.trec != nil {
+					// Every succs entry was explored (child frames pop
+					// first), matched, or clipped above; trail steps copy
+					// Label/Steps out, so the array is reusable.
+					e.trec.RecycleTransitions(top.succs)
+					top.succs = nil
+				}
 			}
 			stack = stack[:len(stack)-1]
 			if len(trail) > 0 {
@@ -75,6 +97,15 @@ func (sequentialDFS) search(e *engine) {
 		if e.st.seen(d) {
 			e.matched.Add(1)
 			trail = trail[:len(trail)-1]
+			if e.rec != nil {
+				// A duplicate child never enters the stack, the trail, or
+				// a recorded violation — its storage is immediately
+				// reusable. Duplicates are the bulk of the clones on
+				// diamond-heavy state spaces, so this is where the state
+				// free-list pays.
+				e.rec.Recycle(tr.Next)
+				top.succs[top.next-1].Next = nil
+			}
 			continue
 		}
 		e.explored.Add(1)

@@ -19,6 +19,7 @@ type Engine struct {
 	GroupParallel bool
 	POR           bool
 	Symmetry      bool
+	Incremental   bool
 }
 
 // EngineFlags holds the registered (unparsed) engine flags; call
@@ -29,6 +30,7 @@ type EngineFlags struct {
 	groupParallel *bool
 	por           *bool
 	symmetry      *bool
+	incremental   *bool
 }
 
 // RegisterEngineFlags declares the shared engine flags on a flag set
@@ -45,6 +47,8 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 			"partial-order reduction: prune equivalent handler interleavings (concurrent design)"),
 		symmetry: fs.Bool("symmetry", false,
 			"symmetry reduction: fold states related by permutations of interchangeable devices"),
+		incremental: fs.Bool("incremental", true,
+			"incremental state digests: hash only the state-vector blocks each transition dirtied (set to false for the flat encode-and-hash path)"),
 	}
 }
 
@@ -60,5 +64,6 @@ func (f *EngineFlags) Engine() (Engine, error) {
 		GroupParallel: *f.groupParallel,
 		POR:           *f.por,
 		Symmetry:      *f.symmetry,
+		Incremental:   *f.incremental,
 	}, nil
 }

@@ -38,6 +38,7 @@ func ParallelCheckWorkload() (*model.Model, checker.Options, string, error) {
 	}
 	m, err := model.New(sys, apps, model.Options{
 		MaxEvents: 3, CheckConflicts: true, Invariants: invs,
+		Incremental: engineIncremental,
 	})
 	if err != nil {
 		return nil, checker.Options{}, "", err
@@ -107,6 +108,7 @@ func PORWorkload() (*model.Model, checker.Options, string, error) {
 	}
 	m, err := model.New(sys, apps, model.Options{
 		MaxEvents: 2, CheckConflicts: true, Invariants: invs, Design: model.Concurrent,
+		Incremental: engineIncremental,
 	})
 	if err != nil {
 		return nil, checker.Options{}, "", err
@@ -187,6 +189,7 @@ func SymmetryWorkload() (*model.Model, checker.Options, string, error) {
 	m, err := model.New(sys, apps, model.Options{
 		MaxEvents: 2, CheckConflicts: true, Invariants: invs,
 		Design: model.Concurrent, Symmetry: true,
+		Incremental: engineIncremental,
 	})
 	if err != nil {
 		return nil, checker.Options{}, "", err
@@ -209,5 +212,65 @@ func GroupModel(sys *config.System, apps map[string]*ir.App) (*model.Model, erro
 	}
 	return model.New(sys, apps, model.Options{
 		MaxEvents: 2, CheckConflicts: true, Invariants: invs,
+		Incremental: engineIncremental,
 	})
+}
+
+// EncodeWorkload builds the equal-work incremental-digest comparison
+// workload: the PORWorkload shape (market group 1 prefix, concurrent
+// design, MaxEvents=2, fully explorable so full-encode and incremental
+// variants perform identical expansion work) with the incremental
+// cache explicitly on or off. `iotsan-bench -table perf` (the
+// encode_runs record in BENCH_<date>.json) runs it per strategy ×
+// {plain, por}; the symmetry rows use SymmetryEncodeWorkload.
+func EncodeWorkload(incremental bool) (*model.Model, checker.Options, string, error) {
+	sources := corpus.Group(1)
+	if len(sources) > 12 {
+		sources = sources[:12]
+	}
+	apps, err := TranslateAll(sources)
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	sys := ExpertConfig("encode-bench", sources, apps)
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 2, CheckConflicts: true, Invariants: invs, Design: model.Concurrent,
+		Incremental: incremental,
+	})
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	copts := checker.Options{MaxDepth: 100}
+	desc := fmt.Sprintf("market group 1 prefix (%d apps), concurrent design, MaxEvents=2, full invariants", len(sources))
+	return m, copts, desc, nil
+}
+
+// SymmetryEncodeWorkload is the SymmetryWorkload with the incremental
+// cache explicitly on or off — the symmetry rows of the encode_runs
+// comparison (cached per-device block hashes double as orbit profile
+// keys, so the canonical path is where incremental reuse compounds).
+func SymmetryEncodeWorkload(incremental bool) (*model.Model, checker.Options, string, error) {
+	sys, apps, err := SymmetrySystem("symmetry-encode-bench")
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 2, CheckConflicts: true, Invariants: invs,
+		Design: model.Concurrent, Symmetry: true,
+		Incremental: incremental,
+	})
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	copts := checker.Options{MaxDepth: 100}
+	desc := fmt.Sprintf("symmetry group (%d apps, 3+3 interchangeable devices), concurrent design, MaxEvents=2, full invariants", len(sys.Apps))
+	return m, copts, desc, nil
 }

@@ -13,6 +13,7 @@ var (
 	engineGroupParallel bool
 	enginePOR           bool
 	engineSymmetry      bool
+	engineIncremental   = true
 )
 
 // SetEngine selects the checker engine used by the Run* experiments
@@ -33,6 +34,11 @@ func SetPOR(on bool) { enginePOR = on }
 // for the Run* experiments.
 func SetSymmetry(on bool) { engineSymmetry = on }
 
+// SetIncremental toggles the incremental block-hash state digest for
+// the Run* experiments and the benchmark workloads (default on,
+// mirroring the -incremental flag).
+func SetIncremental(on bool) { engineIncremental = on }
+
 // engineOptions applies the configured engine to an analysis run.
 func engineOptions(o iotsan.Options) iotsan.Options {
 	o.Strategy = engineStrategy
@@ -40,5 +46,6 @@ func engineOptions(o iotsan.Options) iotsan.Options {
 	o.GroupParallel = engineGroupParallel
 	o.POR = enginePOR
 	o.Symmetry = engineSymmetry
+	o.NoIncremental = !engineIncremental
 	return o
 }

@@ -437,6 +437,17 @@ func (v Value) Encode(buf []byte) []byte {
 // switch and a future Value kind cannot diverge between raw and
 // canonical encodings.
 func (v Value) EncodeMapped(buf []byte, devMap []int32) []byte {
+	buf, _ = v.EncodeMappedDev(buf, devMap)
+	return buf
+}
+
+// EncodeMappedDev is EncodeMapped additionally reporting whether the
+// value (recursively) contains a device reference. The incremental
+// encoder uses the bit to decide which cached app-block hashes survive
+// a device renumbering: a block whose last encoding carried no VDevice
+// is invariant under every devMap.
+func (v Value) EncodeMappedDev(buf []byte, devMap []int32) ([]byte, bool) {
+	hasDev := false
 	buf = append(buf, byte(v.Kind))
 	switch v.Kind {
 	case VBool:
@@ -452,6 +463,7 @@ func (v Value) EncodeMapped(buf []byte, devMap []int32) []byte {
 	case VStr:
 		buf = appendString(buf, v.S)
 	case VDevice:
+		hasDev = true
 		d := int64(v.Dev)
 		if devMap != nil && v.Dev >= 0 && v.Dev < len(devMap) {
 			d = int64(devMap[v.Dev])
@@ -460,7 +472,9 @@ func (v Value) EncodeMapped(buf []byte, devMap []int32) []byte {
 	case VList, VDevices:
 		buf = appendInt64(buf, int64(len(v.L)))
 		for _, e := range v.L {
-			buf = e.EncodeMapped(buf, devMap)
+			var h bool
+			buf, h = e.EncodeMappedDev(buf, devMap)
+			hasDev = hasDev || h
 		}
 	case VMap:
 		keys := make([]string, 0, len(v.M))
@@ -471,10 +485,12 @@ func (v Value) EncodeMapped(buf []byte, devMap []int32) []byte {
 		buf = appendInt64(buf, int64(len(keys)))
 		for _, k := range keys {
 			buf = appendString(buf, k)
-			buf = v.M[k].EncodeMapped(buf, devMap)
+			var h bool
+			buf, h = v.M[k].EncodeMappedDev(buf, devMap)
+			hasDev = hasDev || h
 		}
 	}
-	return buf
+	return buf, hasDev
 }
 
 // MapDevices returns a deep copy of v with device references renumbered

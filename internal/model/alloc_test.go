@@ -30,6 +30,10 @@ def onSwitch(evt) {
 `
 
 func cascadeModel(t *testing.T, interpreter bool) *Model {
+	return cascadeModelOpts(t, Options{MaxEvents: 3, Interpreter: interpreter})
+}
+
+func cascadeModelOpts(t *testing.T, opts Options) *Model {
 	t.Helper()
 	app, err := smartapp.Translate(cascadeApp)
 	if err != nil {
@@ -48,7 +52,7 @@ func cascadeModel(t *testing.T, interpreter bool) *Model {
 			}},
 		},
 	}
-	m, err := New(cfg, map[string]*ir.App{"Cascade": app}, Options{MaxEvents: 3, Interpreter: interpreter})
+	m, err := New(cfg, map[string]*ir.App{"Cascade": app}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,5 +125,41 @@ func TestCloneAllocBudget(t *testing.T) {
 	// slots = 5 allocations regardless of device count.
 	if allocs > 5 {
 		t.Errorf("State.Clone allocates %.1f times, want <= 5", allocs)
+	}
+
+	// The incremental block-hash cache (hashes + dirty mask + devref
+	// mask, one shared backing) adds exactly one.
+	mi := cascadeModelOpts(t, Options{MaxEvents: 3, Incremental: true})
+	si := mi.Initial()
+	allocs = testing.AllocsPerRun(100, func() {
+		_ = si.Clone()
+	})
+	if allocs > 6 {
+		t.Errorf("State.Clone with incremental cache allocates %.1f times, want <= 6", allocs)
+	}
+}
+
+// TestIncrementalDigestZeroAlloc is the CI allocation gate for the
+// incremental digest path: folding a fully clean state's cached block
+// hashes performs zero heap allocations, and so does refreshing dirty
+// blocks (the per-block re-encode runs in pooled scratch; this model
+// has no KV apps, whose sorted-key encoding is the one deliberate
+// exception on dirty blocks).
+func TestIncrementalDigestZeroAlloc(t *testing.T) {
+	m := cascadeModelOpts(t, Options{MaxEvents: 3, Incremental: true})
+	s := m.Initial()
+	m.IncrementalDigest(s, false) // settle caches and warm the scratch pool
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.IncrementalDigest(s, false)
+	}); allocs != 0 {
+		t.Errorf("clean-state incremental digest allocates %.2f times, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.MarkAllDirty()
+		m.IncrementalDigest(s, false)
+	}); allocs != 0 {
+		t.Errorf("all-dirty incremental digest allocates %.2f times, want 0", allocs)
 	}
 }

@@ -1,0 +1,290 @@
+package model
+
+import "math/bits"
+
+// Incremental block encode + digest.
+//
+// The state vector is block-structured: block 0 is the header (mode +
+// event budget), blocks 1..nDev the per-device attribute vectors,
+// blocks 1+nDev..nDev+nApp the per-app frames, then the pending queue
+// and the command log. When Options.Incremental is set, every State
+// carries a per-block 64-bit hash cache plus a dirty bitset; Clone
+// inherits the parent's hashes and the executors mark exactly the
+// blocks they write (the mark contract is documented in the README).
+// The engine digest then re-encodes only dirty blocks into a pooled
+// scratch buffer and combines the block hashes with an order-sensitive
+// mix, instead of re-serializing the whole vector per child state.
+//
+// The per-block hash is FNV-1a over exactly the bytes the per-block
+// encoder in state.go would append, and the full encoding is the
+// concatenation of those encoders, so incremental and from-scratch
+// digests agree on which states are distinct by construction (the
+// combined digest values differ from hashing the flat vector, which is
+// fine: nothing persists or orders on digest values).
+
+// Block indices within a state with nDev devices and nApp apps:
+//
+//	0                  header (Mode, EventsUsed)
+//	1 + d              device d
+//	1 + nDev + i       app i
+//	1 + nDev + nApp    queue
+//	2 + nDev + nApp    command log
+func (s *State) nBlocks() int    { return 3 + len(s.Devices) + len(s.Apps) }
+func (s *State) queueBlock() int { return 1 + len(s.Devices) + len(s.Apps) }
+func (s *State) cmdsBlock() int  { return 2 + len(s.Devices) + len(s.Apps) }
+
+func maskWords(n int) int { return (n + 63) / 64 }
+
+// initCache allocates the block-hash cache with every block dirty. The
+// three slices are cut from a single backing array so the whole cache
+// is one allocation (Clone's alloc budget is load-bearing, see
+// TestCloneAllocBudget).
+func (s *State) initCache() {
+	nb := s.nBlocks()
+	hw := maskWords(nb)
+	aw := maskWords(len(s.Apps))
+	back := make([]uint64, nb+hw+aw)
+	s.blockHash = back[:nb:nb]
+	s.dirtyMask = back[nb : nb+hw : nb+hw]
+	s.devRefMask = back[nb+hw:]
+	s.MarkAllDirty()
+}
+
+// cloneCacheFrom copies p's cache into s (same shape: Clone never adds
+// devices or apps). One allocation.
+func (s *State) cloneCacheFrom(p *State) {
+	back := make([]uint64, len(p.blockHash)+len(p.dirtyMask)+len(p.devRefMask))
+	nb, hw := len(p.blockHash), len(p.dirtyMask)
+	s.blockHash = back[:nb:nb]
+	s.dirtyMask = back[nb : nb+hw : nb+hw]
+	s.devRefMask = back[nb+hw:]
+	copy(s.blockHash, p.blockHash)
+	copy(s.dirtyMask, p.dirtyMask)
+	copy(s.devRefMask, p.devRefMask)
+}
+
+// markBlock flags block b stale. All mark methods are no-ops on states
+// without a cache (Options.Incremental off), so executors mark
+// unconditionally.
+func (s *State) markBlock(b int) {
+	if s.dirtyMask == nil {
+		return
+	}
+	s.dirtyMask[b>>6] |= 1 << uint(b&63)
+}
+
+func (s *State) markHeader()      { s.markBlock(0) }
+func (s *State) markDevice(d int) { s.markBlock(1 + d) }
+func (s *State) markApp(i int)    { s.markBlock(1 + len(s.Devices) + i) }
+func (s *State) markQueue()       { s.markBlock(s.queueBlock()) }
+func (s *State) markCmds()        { s.markBlock(s.cmdsBlock()) }
+
+// MarkAllDirty invalidates every cached block hash. Callers that mutate
+// a State outside the executor layer (symmetry canonicalization, test
+// harnesses) must call it before the state is digested again; it is a
+// no-op without a cache.
+func (s *State) MarkAllDirty() {
+	if s.dirtyMask == nil {
+		return
+	}
+	nb := s.nBlocks()
+	for w := range s.dirtyMask {
+		n := nb - w<<6
+		if n >= 64 {
+			s.dirtyMask[w] = ^uint64(0)
+		} else {
+			s.dirtyMask[w] = 1<<uint(n) - 1
+		}
+	}
+}
+
+func (s *State) setDevRef(i int, has bool) {
+	if has {
+		s.devRefMask[i>>6] |= 1 << uint(i&63)
+	} else {
+		s.devRefMask[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+func (s *State) appHasDevRef(i int) bool {
+	return s.devRefMask[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Hash/mix constants: FNV-1a (matching the checker store's h1) plus a
+// multiplicative mix with a splitmix64 finalizer for h2.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	mixMult     = 0x9e3779b97f4a7c15
+	mixSeed     = 0x2545f4914f6cdd1d
+)
+
+func fnv1a64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// blockMix folds block hashes in encode order into the (h1, h2) engine
+// digest. Both folds are order-sensitive: swapping two block hashes
+// changes the result, mirroring position-sensitivity of the flat
+// encoding.
+type blockMix struct {
+	h1, h2 uint64
+}
+
+func newBlockMix() blockMix { return blockMix{h1: fnvOffset64, h2: mixSeed} }
+
+func (x *blockMix) mix(bh uint64) {
+	x.h1 = (x.h1 ^ bh) * fnvPrime64
+	x.h2 = (x.h2 ^ bh) * mixMult
+}
+
+// sum finalizes the fold; h2 gets the splitmix64 finalizer so the two
+// hashes stay independent (h2 backs the hash-compact/bitstate second
+// key).
+func (x *blockMix) sum() (uint64, uint64) {
+	h2 := x.h2
+	h2 ^= h2 >> 30
+	h2 *= 0xbf58476d1ce4e5b9
+	h2 ^= h2 >> 27
+	h2 *= 0x94d049bb133111eb
+	h2 ^= h2 >> 31
+	return x.h1, h2
+}
+
+// refreshBlocks re-encodes every dirty block into a pooled scratch
+// buffer and updates its cached hash, clearing the dirty mask. No-op
+// (and allocation-free) on clean or cache-less states.
+func (m *Model) refreshBlocks(s *State) {
+	if s.dirtyMask == nil {
+		return
+	}
+	anyDirty := false
+	for _, w := range s.dirtyMask {
+		if w != 0 {
+			anyDirty = true
+			break
+		}
+	}
+	if !anyDirty {
+		return
+	}
+	bp := m.encBufs.Get().(*[]byte)
+	buf := *bp
+	nDev, nApp := len(s.Devices), len(s.Apps)
+	for wi, word := range s.dirtyMask {
+		for word != 0 {
+			b := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			buf = buf[:0]
+			switch {
+			case b == 0:
+				buf = s.encodeHeader(buf)
+			case b <= nDev:
+				buf = encodeDevice(buf, &s.Devices[b-1])
+			case b <= nDev+nApp:
+				ai := b - 1 - nDev
+				var ref bool
+				buf, ref = encodeApp(buf, &s.Apps[ai], nil)
+				s.setDevRef(ai, ref)
+			case b == s.queueBlock():
+				buf = encodeQueue(buf, s.Queue)
+			default:
+				buf = encodeCmds(buf, s.Cmds)
+			}
+			s.blockHash[b] = fnv1a64(buf)
+		}
+		s.dirtyMask[wi] = 0
+	}
+	*bp = buf
+	m.encBufs.Put(bp)
+}
+
+// IncrementalDigest returns the engine digest of s computed from the
+// per-block hash cache, refreshing dirty blocks first. With canonical
+// set (and a symmetry table present) it folds the blocks through the
+// orbit-canonical view instead of index order, reusing cached raw
+// hashes for every block the canonicalization leaves untouched.
+// Exported for the checker (via the IncrementalDigester interface) and
+// for equivalence tests.
+func (m *Model) IncrementalDigest(s *State, canonical bool) (uint64, uint64) {
+	// Refresh before any canonical-view construction: orbit profiles key
+	// on cached device-block hashes, which must reflect content, never
+	// dirtiness (dirty masks are not invariant under the group action).
+	m.refreshBlocks(s)
+	if !canonical || m.sym == nil {
+		mx := newBlockMix()
+		for _, bh := range s.blockHash {
+			mx.mix(bh)
+		}
+		return mx.sum()
+	}
+	return m.canonicalFold(s)
+}
+
+// canonicalFold combines cached block hashes through the canonical
+// (orbit-permuted) view: device blocks fold in canonical order, app
+// blocks re-encode only under a non-identity renaming when they hold a
+// device reference, and the queue/command blocks re-encode only when
+// canonicalization actually produced normalised copies.
+func (m *Model) canonicalFold(s *State) (uint64, uint64) {
+	cs := m.sym.scratch.Get().(*canonScratch)
+	cv := m.buildCanonView(s, cs)
+	nDev := len(s.Devices)
+
+	mx := newBlockMix()
+	mx.mix(s.blockHash[0])
+	identity := true
+	for p := 0; p < nDev; p++ {
+		d := cv.order[p]
+		if int(d) != p {
+			identity = false
+		}
+		mx.mix(s.blockHash[1+d])
+	}
+
+	var bp *[]byte
+	var buf []byte
+	for i := range s.Apps {
+		if identity || !s.appHasDevRef(i) {
+			mx.mix(s.blockHash[1+nDev+i])
+			continue
+		}
+		if bp == nil {
+			bp = m.encBufs.Get().(*[]byte)
+			buf = *bp
+		}
+		buf = buf[:0]
+		buf, _ = encodeApp(buf, &s.Apps[i], cv.devMap)
+		mx.mix(fnv1a64(buf))
+	}
+	if cv.queueAliased {
+		mx.mix(s.blockHash[s.queueBlock()])
+	} else {
+		if bp == nil {
+			bp = m.encBufs.Get().(*[]byte)
+			buf = *bp
+		}
+		buf = encodeQueue(buf[:0], cv.queue)
+		mx.mix(fnv1a64(buf))
+	}
+	if cv.cmdsAliased {
+		mx.mix(s.blockHash[s.cmdsBlock()])
+	} else {
+		if bp == nil {
+			bp = m.encBufs.Get().(*[]byte)
+			buf = *bp
+		}
+		buf = encodeCmds(buf[:0], cv.cmds)
+		mx.mix(fnv1a64(buf))
+	}
+	if bp != nil {
+		*bp = buf
+		m.encBufs.Put(bp)
+	}
+	m.sym.scratch.Put(cs)
+	return mx.sum()
+}

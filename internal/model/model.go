@@ -94,6 +94,11 @@ type Options struct {
 	// (orbit-folded) state encoding. Building the table is cheap; whether
 	// the canonical path is used is the checker's decision.
 	Symmetry bool
+	// Incremental gives every State a per-block hash cache so the
+	// engine digest re-encodes only the blocks a transition dirtied
+	// (incremental.go). Off by default for direct Model users; the CLI
+	// layer enables it unless -incremental=false.
+	Incremental bool
 }
 
 func (o *Options) maxCascade() int {
@@ -144,7 +149,17 @@ func (d *DevInst) attrString(ai int, raw int16) string {
 }
 
 // AttrIndex returns the index of attr in the instance's layout, or -1.
+// Device layouts are small (a few attributes), so a linear scan beats
+// hashing the key; the map covers unusually wide layouts.
 func (d *DevInst) AttrIndex(attr string) int {
+	if len(d.Attrs) <= 8 {
+		for i := range d.Attrs {
+			if d.Attrs[i].Name == attr {
+				return i
+			}
+		}
+		return -1
+	}
 	if i, ok := d.attrIdx[attr]; ok {
 		return i
 	}
@@ -238,6 +253,22 @@ type Model struct {
 	// transition costs no executor allocations.
 	execs sync.Pool
 
+	// encBufs pools the incremental digest's block-encode scratch
+	// buffers (refreshing a dirty block re-encodes just that block into
+	// one of these).
+	encBufs sync.Pool
+
+	// statePool is the free-list of dead states the checker hands back
+	// (checker.StateRecycler): Clone reuses their backing storage, which
+	// removes most per-child allocation on the expansion hot path. Zero
+	// value works — Get simply returns nil until something is recycled.
+	statePool sync.Pool
+
+	// trPool is the matching free-list of successor-slice backing
+	// arrays (checker.TransitionRecycler): the DFS returns each frame's
+	// consumed []Transition on pop and Expand reuses it.
+	trPool sync.Pool
+
 	// por is the partial-order-reduction table (concurrent design only;
 	// nil otherwise). Built at New; consulted only when the checker runs
 	// with Options.POR.
@@ -290,6 +321,10 @@ func New(cfg *config.System, apps map[string]*ir.App, opts Options) (*Model, err
 		opts.MaxEvents = 3
 	}
 	m := &Model{Cfg: cfg, Opts: opts}
+	m.encBufs.New = func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	}
 
 	for i, d := range cfg.Devices {
 		dm := device.ModelByName(d.Model)

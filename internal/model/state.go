@@ -1,7 +1,9 @@
 package model
 
 import (
+	"encoding/binary"
 	"sort"
+	"sync"
 
 	"iotsan/internal/ir"
 )
@@ -73,6 +75,23 @@ type State struct {
 	// Cmds is the per-cascade command log (concurrent design carries it
 	// across transitions until the next external injection).
 	Cmds []CmdRec
+
+	// Incremental-digest cache (nil unless Options.Incremental). The
+	// three slices share one backing array so Clone pays one allocation:
+	// blockHash caches the 64-bit hash of each encoded block, dirtyMask
+	// is a bitset of blocks whose hash is stale, and devRefMask records
+	// which app blocks encoded a VDevice reference last time (those are
+	// the only app blocks a device renumbering can change). See
+	// incremental.go for the block layout and mark contract.
+	blockHash  []uint64
+	dirtyMask  []uint64
+	devRefMask []uint64
+
+	// pool is the model's free-list of dead states (see Model.statePool):
+	// Clone draws recycled states from it and reuses their backing
+	// storage instead of allocating. Carried by every clone; nil for
+	// states built outside a model.
+	pool *sync.Pool
 }
 
 // Initial builds the initial state from the configuration: devices at
@@ -113,6 +132,10 @@ func (m *Model) Initial() *State {
 			}
 		}
 	}
+	if m.Opts.Incremental {
+		s.initCache()
+	}
+	s.pool = &m.statePool
 	return s
 }
 
@@ -167,10 +190,83 @@ type errInvalid string
 
 func (e errInvalid) Error() string { return string(e) }
 
-// Clone deep-copies the state. The flat attribute and slot backing
-// arrays are each copied with one allocation; per-device and per-app
-// headers are re-sliced onto them.
+// Clone deep-copies the state. When the model's free-list holds a
+// recycled dead state (see checker.StateRecycler), its backing storage
+// is reused and the clone performs no allocations beyond container
+// values; otherwise the flat attribute and slot backing arrays are each
+// copied with one allocation and per-device/per-app headers re-sliced
+// onto them.
 func (s *State) Clone() *State {
+	if s.pool != nil {
+		if v := s.pool.Get(); v != nil {
+			return s.cloneInto(v.(*State))
+		}
+	}
+	return s.cloneFresh()
+}
+
+// cloneInto deep-copies s into the recycled state n, reusing n's
+// backing arrays (same model, so the shapes match — checked anyway so a
+// foreign state degrades to a fresh clone instead of corrupting). The
+// per-device and per-app headers are rebuilt from flat offsets, never
+// trusted from n's previous life.
+func (s *State) cloneInto(n *State) *State {
+	if len(n.Devices) != len(s.Devices) || len(n.Apps) != len(s.Apps) ||
+		len(n.attrs) != len(s.attrs) || len(n.slots) != len(s.slots) {
+		return s.cloneFresh()
+	}
+	n.Time, n.Mode, n.EventsUsed = s.Time, s.Mode, s.EventsUsed
+	copy(n.attrs, s.attrs)
+	off := 0
+	for i := range s.Devices {
+		k := len(s.Devices[i].Attrs)
+		n.Devices[i] = DevState{Online: s.Devices[i].Online, Attrs: n.attrs[off : off+k : off+k]}
+		off += k
+	}
+	for i := range s.slots {
+		n.slots[i] = cloneValue(s.slots[i])
+	}
+	soff := 0
+	for i := range s.Apps {
+		sa, na := &s.Apps[i], &n.Apps[i]
+		na.Unsubscribed = sa.Unsubscribed
+		if k := len(sa.Slots); k > 0 {
+			na.Slots = n.slots[soff : soff+k : soff+k]
+			soff += k
+		} else {
+			na.Slots = nil
+		}
+		na.Timers = append(na.Timers[:0], sa.Timers...)
+		if sa.KV != nil {
+			if na.KV == nil {
+				na.KV = make(map[string]ir.Value, len(sa.KV))
+			} else {
+				clear(na.KV)
+			}
+			for k, v := range sa.KV {
+				na.KV[k] = cloneValue(v)
+			}
+		} else {
+			na.KV = nil
+		}
+	}
+	n.Queue = append(n.Queue[:0], s.Queue...)
+	n.Cmds = append(n.Cmds[:0], s.Cmds...)
+	switch {
+	case s.blockHash == nil:
+		n.blockHash, n.dirtyMask, n.devRefMask = nil, nil, nil
+	case n.blockHash == nil || len(n.blockHash) != len(s.blockHash):
+		n.cloneCacheFrom(s)
+	default:
+		copy(n.blockHash, s.blockHash)
+		copy(n.dirtyMask, s.dirtyMask)
+		copy(n.devRefMask, s.devRefMask)
+	}
+	n.pool = s.pool
+	return n
+}
+
+func (s *State) cloneFresh() *State {
 	n := &State{
 		Time: s.Time, Mode: s.Mode, EventsUsed: s.EventsUsed,
 		Devices: make([]DevState, len(s.Devices)),
@@ -216,6 +312,10 @@ func (s *State) Clone() *State {
 	if len(s.Cmds) > 0 {
 		n.Cmds = append([]CmdRec(nil), s.Cmds...)
 	}
+	if s.blockHash != nil {
+		n.cloneCacheFrom(s)
+	}
+	n.pool = s.pool
 	return n
 }
 
@@ -258,13 +358,21 @@ type canonView struct {
 	devMap []int32   // device index → canonical index (inverse of order)
 	queue  []Pending // renamed queue, orbit-sourced entries normalised
 	cmds   []CmdRec  // renamed command log, orbit-target entries normalised
+	// queueAliased/cmdsAliased report that queue/cmds alias the state's
+	// own slices unmodified (no orbit-sourced entries), so the
+	// incremental canonical fold may reuse the cached raw block hashes.
+	queueAliased bool
+	cmdsAliased  bool
 }
 
 // encode is the shared two-path state-vector encoder. The raw path
-// (cv == nil) is byte-for-byte the historical encoding; the canonical
+// (cv == nil) concatenates the blocks in index order; the canonical
 // path reads device blocks through cv.order, renames device references
 // inside app slot/KV values through cv.devMap, and substitutes the
-// normalised queue and command log.
+// normalised queue and command log. Both paths are compositions of the
+// per-block encoders below, so the incremental digest (which hashes
+// blocks independently, see incremental.go) agrees with the full
+// encoding by construction.
 func (s *State) encode(buf []byte, cv *canonView) []byte {
 	var devMap []int32
 	queue, cmds := s.Queue, s.Cmds
@@ -272,61 +380,106 @@ func (s *State) encode(buf []byte, cv *canonView) []byte {
 		devMap = cv.devMap
 		queue, cmds = cv.queue, cv.cmds
 	}
-	buf = append(buf, s.Mode, byte(s.EventsUsed))
+	buf = s.encodeHeader(buf)
 	for p := range s.Devices {
 		d := &s.Devices[p]
 		if cv != nil {
 			d = &s.Devices[cv.order[p]]
 		}
-		if d.Online {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
-		}
-		for _, a := range d.Attrs {
-			buf = append(buf, byte(a), byte(a>>8))
-		}
+		buf = encodeDevice(buf, d)
 	}
 	for i := range s.Apps {
-		a := &s.Apps[i]
-		if a.Unsubscribed {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
-		}
-		buf = append(buf, byte(len(a.Timers)))
-		for _, t := range a.Timers {
-			buf = append(buf, []byte(t.Handler)...)
-			buf = append(buf, 0)
-		}
-		// Slotted state encodes in fixed layout order — no key strings,
-		// no sorting. Dynamic apps keep the sorted-key KV encoding.
-		for _, v := range a.Slots {
-			buf = v.EncodeMapped(buf, devMap)
-		}
-		if len(a.KV) > 0 {
-			keys := make([]string, 0, len(a.KV))
-			for k := range a.KV {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				buf = append(buf, []byte(k)...)
-				buf = append(buf, 0)
-				buf = a.KV[k].EncodeMapped(buf, devMap)
-			}
-		}
-		buf = append(buf, 0xFE)
+		buf, _ = encodeApp(buf, &s.Apps[i], devMap)
 	}
-	for _, p := range queue {
-		buf = append(buf, byte(p.SubIdx), byte(p.Source), byte(p.Val), byte(p.Val>>8))
-		buf = append(buf, []byte(p.Raw)...)
+	buf = encodeQueue(buf, queue)
+	buf = encodeCmds(buf, cmds)
+	return buf
+}
+
+// encodeHeader appends the header block: mode plus the external-event
+// budget counter. EventsUsed is a varint — a single byte historically,
+// which aliased counts 256 apart. Time is derived from EventsUsed and
+// deliberately not encoded.
+func (s *State) encodeHeader(buf []byte) []byte {
+	buf = append(buf, s.Mode)
+	return binary.AppendUvarint(buf, uint64(s.EventsUsed))
+}
+
+// encodeDevice appends one device block: online flag plus the fixed
+// little-endian attribute vector.
+func encodeDevice(buf []byte, d *DevState) []byte {
+	if d.Online {
+		buf = append(buf, 1)
+	} else {
 		buf = append(buf, 0)
 	}
-	buf = append(buf, 0xFD)
+	for _, a := range d.Attrs {
+		buf = append(buf, byte(a), byte(a>>8))
+	}
+	return buf
+}
+
+// encodeApp appends one app block and reports whether any slot/KV value
+// encoded a VDevice reference (see State.devRefMask). Slotted state
+// encodes in fixed layout order — no key strings, no sorting; dynamic
+// apps keep the sorted-key KV encoding. 0xFE terminates the block.
+func encodeApp(buf []byte, a *AppState, devMap []int32) ([]byte, bool) {
+	if a.Unsubscribed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(a.Timers)))
+	for _, t := range a.Timers {
+		buf = append(buf, t.Handler...)
+		buf = append(buf, 0)
+	}
+	hasRef := false
+	for _, v := range a.Slots {
+		var h bool
+		buf, h = v.EncodeMappedDev(buf, devMap)
+		hasRef = hasRef || h
+	}
+	if len(a.KV) > 0 {
+		keys := make([]string, 0, len(a.KV))
+		for k := range a.KV {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = append(buf, k...)
+			buf = append(buf, 0)
+			var h bool
+			buf, h = a.KV[k].EncodeMappedDev(buf, devMap)
+			hasRef = hasRef || h
+		}
+	}
+	return append(buf, 0xFE), hasRef
+}
+
+// encodeQueue appends the pending-invocation block, 0xFD-terminated.
+// SubIdx and Source were single bytes historically, aliasing configs
+// with >255 subscriptions and truncating negative pseudo-sources;
+// SubIdx is now a uvarint and Source a zigzag varint.
+func encodeQueue(buf []byte, queue []Pending) []byte {
+	for _, p := range queue {
+		buf = binary.AppendUvarint(buf, uint64(p.SubIdx))
+		buf = binary.AppendVarint(buf, int64(p.Source))
+		buf = append(buf, byte(p.Val), byte(p.Val>>8))
+		buf = append(buf, p.Raw...)
+		buf = append(buf, 0)
+	}
+	return append(buf, 0xFD)
+}
+
+// encodeCmds appends the command-log block. Dev and App were single
+// bytes historically, aliasing device/app indices 256 apart; both are
+// now uvarints.
+func encodeCmds(buf []byte, cmds []CmdRec) []byte {
 	for _, c := range cmds {
-		buf = append(buf, byte(c.Dev), byte(c.App))
-		buf = append(buf, []byte(c.Cmd)...)
+		buf = binary.AppendUvarint(buf, uint64(c.Dev))
+		buf = binary.AppendUvarint(buf, uint64(c.App))
+		buf = append(buf, c.Cmd...)
 		buf = append(buf, 0, byte(c.Arg), byte(c.Arg>>8))
 	}
 	return buf

@@ -335,6 +335,19 @@ type canonScratch struct {
 	// slice would scribble over an immutable shared state.
 	queueBuf []Pending
 	cmdsBuf  []CmdRec
+	// refHdr holds the current reference-item header while walking app
+	// values (kept out of arena: arena may reallocate mid-walk).
+	refHdr []byte
+}
+
+// addItem appends the arena span [start, len(arena)) to device d's
+// profile-item bucket.
+func (cs *canonScratch) addItem(d, start int) {
+	if len(cs.itemsByDev[d]) == 0 {
+		cs.touched = append(cs.touched, int32(d))
+	}
+	cs.itemsByDev[d] = append(cs.itemsByDev[d],
+		itemSpan{start: int32(start), end: int32(len(cs.arena))})
 }
 
 // itemSpan is one profile item as a range of canonScratch.arena (spans
@@ -388,6 +401,9 @@ func (m *Model) Canonicalize(s *State) *State {
 	n.Queue = append(n.Queue[:0], cv.queue...)
 	n.Cmds = append(n.Cmds[:0], cv.cmds...)
 	m.sym.scratch.Put(cs)
+	// The in-place rewrite above invalidates every block hash n
+	// inherited from s's cache.
+	n.MarkAllDirty()
 	return n
 }
 
@@ -455,6 +471,7 @@ func (m *Model) ApplyDevicePermutation(s *State, perm []int) (*State, bool) {
 			c.Dev = int(devMap[c.Dev])
 		}
 	}
+	n.MarkAllDirty()
 	return n, true
 }
 
@@ -466,7 +483,13 @@ func (m *Model) ApplyDevicePermutation(s *State, perm []int) (*State, bool) {
 // action. The returned view references cs's storage.
 func (m *Model) buildCanonView(s *State, cs *canonScratch) *canonView {
 	p := m.sym
+	// Refresh the incremental cache (no-op without one) before any
+	// profile is derived: devProfile keys on cached device-block hashes,
+	// and bucketProfileItems consults devRefMask — both must reflect
+	// content, never staleness.
+	m.refreshBlocks(s)
 	cv := &cs.view
+	cv.queueAliased, cv.cmdsAliased = false, false
 	for i := range cv.order {
 		cv.order[i] = int32(i)
 		cv.devMap[i] = int32(i)
@@ -514,6 +537,7 @@ func (m *Model) buildCanonView(s *State, cs *canonScratch) *canonView {
 	}
 	if !hasOrbitEntries {
 		cv.queue = s.Queue
+		cv.queueAliased = true
 		cv.cmds = canonCmds(p, cv, cs, s)
 		return cv
 	}
@@ -575,6 +599,7 @@ func canonCmds(p *symData, cv *canonView, cs *canonScratch, s *State) []CmdRec {
 		}
 	}
 	if !hasOrbitCmds {
+		cv.cmdsAliased = true
 		return s.Cmds
 	}
 	cs.cmdsBuf = append(cs.cmdsBuf[:0], s.Cmds...)
@@ -618,21 +643,15 @@ func canonCmds(p *symData, cv *canonView, cs *canonScratch, s *State) []CmdRec {
 	return cmds
 }
 
-// bucketProfileItems makes one pass over the state's queue and command
-// log, bucketing a tagged byte key per orbit-device entry into
-// cs.itemsByDev. Keys carry roles instead of subscription indices and
-// no device indices, so they are invariant under the group action.
+// bucketProfileItems makes one pass over the state's queue, command
+// log, and stored app values, bucketing a tagged byte key per
+// orbit-device entry into cs.itemsByDev. Keys carry roles instead of
+// subscription indices and no device indices, so they are invariant
+// under the group action.
 func (m *Model) bucketProfileItems(s *State, cs *canonScratch) {
 	p := m.sym
 	cs.touched = cs.touched[:0]
 	cs.arena = cs.arena[:0]
-	add := func(d, start int) {
-		if len(cs.itemsByDev[d]) == 0 {
-			cs.touched = append(cs.touched, int32(d))
-		}
-		cs.itemsByDev[d] = append(cs.itemsByDev[d],
-			itemSpan{start: int32(start), end: int32(len(cs.arena))})
-	}
 	for _, pe := range s.Queue {
 		if role := p.roleOf[pe.SubIdx]; role >= 0 {
 			// Attributed to the subscription's device (== pe.Source for
@@ -649,7 +668,7 @@ func (m *Model) bucketProfileItems(s *State, cs *canonScratch) {
 				byte(role), byte(role>>8), byte(role>>16), byte(role>>24),
 				byte(pe.Val), byte(pe.Val>>8))
 			cs.arena = append(cs.arena, pe.Raw...)
-			add(m.subs[pe.SubIdx].Source, start)
+			cs.addItem(m.subs[pe.SubIdx].Source, start)
 		}
 	}
 	for _, c := range s.Cmds {
@@ -661,29 +680,102 @@ func (m *Model) bucketProfileItems(s *State, cs *canonScratch) {
 			cs.arena = append(cs.arena, c.Attr...)
 			cs.arena = append(cs.arena, 0)
 			cs.arena = append(cs.arena, c.Value...)
-			add(c.Dev, start)
+			cs.addItem(c.Dev, start)
 		}
+	}
+	// Reference-counting tie-break: a VDevice reference stashed in app
+	// slot/KV state pins who-points-at-whom. Each occurrence contributes
+	// an item keyed by its storage location (app, slot index or KV key)
+	// — device indices appear nowhere, so a transposition moves the item
+	// between the two devices' buckets with identical bytes, and states
+	// differing only in which orbit member a reference names fold
+	// instead of staying soundly distinct. With an incremental cache the
+	// devRefMask skips reference-free apps.
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		if s.devRefMask != nil && !s.appHasDevRef(i) {
+			continue
+		}
+		for j := range a.Slots {
+			cs.refHdr = append(cs.refHdr[:0], 3, byte(i), byte(i>>8), 0, byte(j), byte(j>>8))
+			m.bucketValueRefs(&a.Slots[j], cs)
+		}
+		for k := range a.KV {
+			cs.refHdr = append(cs.refHdr[:0], 3, byte(i), byte(i>>8), 1)
+			cs.refHdr = append(cs.refHdr, k...)
+			v := a.KV[k]
+			m.bucketValueRefs(&v, cs)
+		}
+	}
+}
+
+// bucketValueRefs walks v for VDevice references to orbit devices,
+// adding one cs.refHdr-keyed item per occurrence to the referenced
+// device's bucket. The recursion extends refHdr with each container
+// position (list index, map key) so the item pins the exact storage
+// path: two references held at different positions of one list get
+// distinct keys, which lets the orbit sort order the devices they name
+// (a transposed image carries the same path items on the swapped
+// devices, so the canonical representatives coincide). Paths contain
+// no device indices, keeping the keys invariant under the group
+// action.
+func (m *Model) bucketValueRefs(v *ir.Value, cs *canonScratch) {
+	switch v.Kind {
+	case ir.VDevice:
+		if v.Dev >= 0 && v.Dev < len(m.sym.orbitOf) && m.sym.orbitOf[v.Dev] >= 0 {
+			start := len(cs.arena)
+			cs.arena = append(cs.arena, cs.refHdr...)
+			cs.addItem(v.Dev, start)
+		}
+	case ir.VList, ir.VDevices:
+		n := len(cs.refHdr)
+		for i := range v.L {
+			cs.refHdr = append(cs.refHdr[:n], byte(i), byte(i>>8))
+			m.bucketValueRefs(&v.L[i], cs)
+		}
+		cs.refHdr = cs.refHdr[:n]
+	case ir.VMap:
+		n := len(cs.refHdr)
+		for k := range v.M {
+			cs.refHdr = append(cs.refHdr[:n], k...)
+			cs.refHdr = append(cs.refHdr, 0)
+			e := v.M[k]
+			m.bucketValueRefs(&e, cs)
+		}
+		cs.refHdr = cs.refHdr[:n]
 	}
 }
 
 // devProfile appends device d's canonical sort key for state s: its
 // local block (online flag + attribute values) followed by the sorted
-// multiset of its queued-event items (role, value, raw payload) and
+// multiset of its queued-event items (role, value, raw payload),
 // command-log items (command, argument, issuing app, target attribute,
-// value), as bucketed by bucketProfileItems. Every component is
-// invariant under the group action — roles replace subscription
-// indices, device indices appear nowhere — so isomorphic states
-// produce identical profile multisets and sort into identical
-// canonical representatives.
+// value), and stored-reference items (which app slots/keys point at
+// it), as bucketed by bucketProfileItems. Every component is invariant
+// under the group action — roles replace subscription indices, device
+// indices appear nowhere — so isomorphic states produce identical
+// profile multisets and sort into identical canonical representatives.
+// With an incremental cache the local block collapses to the cached
+// 8-byte device-block hash (refreshed by buildCanonView before any
+// profile is built; hash-equal means content-equal up to hash
+// collisions, which can only make the canonical choice fold less,
+// never unsoundly).
 func (m *Model) devProfile(s *State, d int, buf []byte, cs *canonScratch) []byte {
-	ds := &s.Devices[d]
-	if ds.Online {
-		buf = append(buf, 1)
+	if s.blockHash != nil {
+		h := s.blockHash[1+d]
+		buf = append(buf,
+			byte(h), byte(h>>8), byte(h>>16), byte(h>>24),
+			byte(h>>32), byte(h>>40), byte(h>>48), byte(h>>56))
 	} else {
-		buf = append(buf, 0)
-	}
-	for _, a := range ds.Attrs {
-		buf = append(buf, byte(a), byte(a>>8))
+		ds := &s.Devices[d]
+		if ds.Online {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, a := range ds.Attrs {
+			buf = append(buf, byte(a), byte(a>>8))
+		}
 	}
 	items := cs.itemsByDev[d]
 	sort.Slice(items, func(a, b int) bool {

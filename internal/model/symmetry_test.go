@@ -1132,6 +1132,77 @@ func TestSymmetryOffIsRaw(t *testing.T) {
 	}
 }
 
+// TestSymmetryStoredRefTieBreak is the regression gate for the
+// reference-counting tie-break in orbit ordering: two states that
+// differ only in WHICH orbit member an app's stored VDevice reference
+// names are images of each other under a transposition, so they must
+// fold to one canonical key — which requires the device profiles to
+// account for who points at whom (without reference items the orbit
+// sort is blind to the reference, keeps identity order for both
+// states, and the canonical encodings soundly-but-wastefully differ).
+// A stored reference must still split from no reference at all.
+func TestSymmetryStoredRefTieBreak(t *testing.T) {
+	for _, inc := range []bool{false, true} {
+		t.Run(fmt.Sprintf("incremental=%v", inc), func(t *testing.T) {
+			m := symTestModel(t, Options{Design: Concurrent, Incremental: inc})
+			base := m.Initial()
+			withRef := func(v ir.Value) *State {
+				s := base.Clone()
+				s.Apps[0].KV = map[string]ir.Value{"buddy": v}
+				s.MarkAllDirty()
+				return s
+			}
+			// Devices 0..2 are the presence-sensor orbit.
+			sA, sB := withRef(ir.DeviceV(0)), withRef(ir.DeviceV(1))
+			if !bytes.Equal(m.CanonicalEncode(sA, nil), m.CanonicalEncode(sB, nil)) {
+				t.Error("states differing only in the referenced orbit member did not fold")
+			}
+			if bytes.Equal(m.CanonicalEncode(sA, nil), m.CanonicalEncode(base, nil)) {
+				t.Error("a stored device reference folded onto the reference-free state")
+			}
+			// Same via a nested reference (list-wrapped), exercising the
+			// recursive walk.
+			nA := withRef(ir.DevicesV([]ir.Value{ir.DeviceV(2)}))
+			nB := withRef(ir.DevicesV([]ir.Value{ir.DeviceV(0)}))
+			if !bytes.Equal(m.CanonicalEncode(nA, nil), m.CanonicalEncode(nB, nil)) {
+				t.Error("nested orbit references did not fold")
+			}
+			if bytes.Equal(m.CanonicalEncode(nA, nil), m.CanonicalEncode(sA, nil)) {
+				t.Error("a nested reference folded onto a direct reference")
+			}
+			// Two references to distinct members fold with any other
+			// two-distinct-member pair but not with a doubled reference.
+			dAB := withRef(ir.DevicesV([]ir.Value{ir.DeviceV(0), ir.DeviceV(1)}))
+			dBC := withRef(ir.DevicesV([]ir.Value{ir.DeviceV(1), ir.DeviceV(2)}))
+			dAA := withRef(ir.DevicesV([]ir.Value{ir.DeviceV(0), ir.DeviceV(0)}))
+			if !bytes.Equal(m.CanonicalEncode(dAB, nil), m.CanonicalEncode(dBC, nil)) {
+				t.Error("distinct-member reference pairs did not fold")
+			}
+			if bytes.Equal(m.CanonicalEncode(dAB, nil), m.CanonicalEncode(dAA, nil)) {
+				t.Error("a doubled reference folded onto a distinct-member pair")
+			}
+			// The fold agrees with the group action on every sampled state:
+			// permutation invariance with stashed references in play.
+			orbits := m.DeviceOrbits()
+			perm := make([]int, len(m.Devices))
+			for d := range perm {
+				perm[d] = d
+			}
+			o := orbits[0]
+			perm[o[0]], perm[o[1]] = o[1], o[0]
+			for i, s := range []*State{sA, sB, nA, dAB, dAA} {
+				img, ok := m.ApplyDevicePermutation(s, perm)
+				if !ok {
+					t.Fatalf("state %d: transposition rejected", i)
+				}
+				if !bytes.Equal(m.CanonicalEncode(s, nil), m.CanonicalEncode(img, nil)) {
+					t.Errorf("state %d: canonical encoding not invariant under transposition", i)
+				}
+			}
+		})
+	}
+}
+
 // Guard against the corpus drifting: the symmetry group must keep
 // translating and stay symmetry-safe (its apps are the fold gate's
 // fuel).

@@ -4,11 +4,39 @@ import (
 	"iotsan/internal/ir"
 )
 
+// ViewMemoSlots is the size of the View's per-state atom memo table
+// (see View.Memo). The props package assigns one slot per shared atom
+// name; the constant leaves headroom for catalog growth.
+const ViewMemoSlots = 48
+
 // View is a read-only window over one state, used by property monitors
 // (the props package builds Invariants whose atoms query a View).
 type View struct {
 	M *Model
 	S *State
+
+	// memo caches shared atom results for this state: the invariant
+	// catalog re-evaluates the same named predicates (anyone_home,
+	// mode_away, ...) across dozens of properties, and Inspect builds
+	// one View per state, so each memoized atom runs its device scan
+	// once. 0 = unevaluated, 1 = false, 2 = true.
+	memo [ViewMemoSlots]uint8
+}
+
+// Memo returns f(v), computing it at most once per View per slot. Slots
+// are assigned by the atom catalog (props); predicates must be pure
+// functions of the underlying state.
+func (v *View) Memo(slot int, f func(*View) bool) bool {
+	if m := v.memo[slot]; m != 0 {
+		return m == 2
+	}
+	r := f(v)
+	if r {
+		v.memo[slot] = 2
+	} else {
+		v.memo[slot] = 1
+	}
+	return r
 }
 
 // Mode returns the current location mode.

@@ -97,55 +97,115 @@ func modeIs(mode string) func(v *model.View) bool {
 	return func(v *model.View) bool { return v.Mode() == mode }
 }
 
+// Memo slots for the shared atoms: one View.Memo slot per atom name, so
+// the dozens of catalog properties referencing the same predicate scan
+// the device lists once per inspected state instead of once per
+// property. Slot identity assumes one Thresholds per compiled invariant
+// set (CompileInvariants compiles a whole catalog with a single th, so
+// same-named atoms are identical predicates).
+const (
+	slotAnyoneHome = iota
+	slotModeAway
+	slotModeHome
+	slotModeNight
+	slotSmoke
+	slotCO
+	slotLeak
+	slotMotion
+	slotTempLow
+	slotTempHigh
+	slotHeaterOn
+	slotHeaterOff
+	slotACOn
+	slotACOff
+	slotMainLocked
+	slotMainUnlocked
+	slotAnyLockUnlocked
+	slotGarageOpen
+	slotGarageClosed
+	slotEntryOpen
+	slotAnyDoorOpen
+	slotAlarmOff
+	slotSecurityArmed
+	slotCamera
+	slotButtonHeld
+	slotSleeping
+	slotFireValveClosed
+	slotWaterMainOpen
+	slotWaterMainClosed
+	slotSprinklerOn
+	slotSprinklerOff
+	slotSoilDry
+	slotSoilWet
+	slotHumidityHigh
+	slotAwayDeviceOn
+	slotNightDeviceOn
+	slotEntertainmentOn
+	slotShadeOpen
+	slotNightLightOn
+	slotThermSpanBad
+	numSlots
+)
+
+// shared wraps an atom predicate in its per-state memo slot.
+func shared(slot int, f func(*model.View) bool) func(*model.View) bool {
+	return func(v *model.View) bool { return v.Memo(slot, f) }
+}
+
 // commonAtoms are shared across the catalog.
 func commonAtoms(sys *config.System, th Thresholds) atomMap {
+	if numSlots > model.ViewMemoSlots {
+		panic("props: atom catalog outgrew model.ViewMemoSlots")
+	}
 	return atomMap{
-		"anyone_home":    func(v *model.View) bool { return v.AnyoneHome() },
-		"mode_away":      modeIs("Away"),
-		"mode_home":      modeIs("Home"),
-		"mode_night":     modeIs("Night"),
-		"smoke_detected": func(v *model.View) bool { return v.SmokeDetected() },
-		"co_detected":    func(v *model.View) bool { return v.CODetected() },
-		"leak_detected":  func(v *model.View) bool { return v.LeakDetected() },
-		"motion_active":  func(v *model.View) bool { return v.AnyMotion() },
-		"temp_low":       tempBelow(th.TempLow),
-		"temp_high":      tempAbove(th.TempHigh),
+		"anyone_home":    shared(slotAnyoneHome, func(v *model.View) bool { return v.AnyoneHome() }),
+		"mode_away":      shared(slotModeAway, modeIs("Away")),
+		"mode_home":      shared(slotModeHome, modeIs("Home")),
+		"mode_night":     shared(slotModeNight, modeIs("Night")),
+		"smoke_detected": shared(slotSmoke, func(v *model.View) bool { return v.SmokeDetected() }),
+		"co_detected":    shared(slotCO, func(v *model.View) bool { return v.CODetected() }),
+		"leak_detected":  shared(slotLeak, func(v *model.View) bool { return v.LeakDetected() }),
+		"motion_active":  shared(slotMotion, func(v *model.View) bool { return v.AnyMotion() }),
+		"temp_low":       shared(slotTempLow, tempBelow(th.TempLow)),
+		"temp_high":      shared(slotTempHigh, tempAbove(th.TempHigh)),
 
-		"heater_on":  anyAssoc(RoleHeater, "switch", "on"),
-		"heater_off": anyAssoc(RoleHeater, "switch", "off"),
-		"ac_on":      anyAssoc(RoleAC, "switch", "on"),
-		"ac_off":     anyAssoc(RoleAC, "switch", "off"),
+		"heater_on":  shared(slotHeaterOn, anyAssoc(RoleHeater, "switch", "on")),
+		"heater_off": shared(slotHeaterOff, anyAssoc(RoleHeater, "switch", "off")),
+		"ac_on":      shared(slotACOn, anyAssoc(RoleAC, "switch", "on")),
+		"ac_off":     shared(slotACOff, anyAssoc(RoleAC, "switch", "off")),
 
-		"main_door_locked":   allAssoc(RoleMainDoor, "lock", "locked"),
-		"main_door_unlocked": anyAssoc(RoleMainDoor, "lock", "unlocked"),
-		"any_lock_unlocked":  anyCap("lock", "lock", "unlocked"),
-		"garage_open":        anyAssoc(RoleGarage, "door", "open"),
-		"garage_closed":      allAssoc(RoleGarage, "door", "closed"),
-		"entry_contact_open": anyAssoc(RoleEntryContact, "contact", "open"),
-		"any_door_open":      anyCap("doorControl", "door", "open"),
+		"main_door_locked":   shared(slotMainLocked, allAssoc(RoleMainDoor, "lock", "locked")),
+		"main_door_unlocked": shared(slotMainUnlocked, anyAssoc(RoleMainDoor, "lock", "unlocked")),
+		"any_lock_unlocked":  shared(slotAnyLockUnlocked, anyCap("lock", "lock", "unlocked")),
+		"garage_open":        shared(slotGarageOpen, anyAssoc(RoleGarage, "door", "open")),
+		"garage_closed":      shared(slotGarageClosed, allAssoc(RoleGarage, "door", "closed")),
+		"entry_contact_open": shared(slotEntryOpen, anyAssoc(RoleEntryContact, "contact", "open")),
+		"any_door_open":      shared(slotAnyDoorOpen, anyCap("doorControl", "door", "open")),
 
-		"alarm_active":     func(v *model.View) bool { return !allAlarmsOff(v) },
-		"alarm_off":        allAlarmsOff,
-		"security_armed":   anyAssoc(RoleSecuritySw, "switch", "on"),
-		"camera_capturing": anyAssoc(RoleCamera, "image", "taken"),
-		"button_held":      anyCap("button", "button", "held"),
-		"sleeping":         anyCap("sleepSensor", "sleeping", "sleeping"),
+		// alarm_active shares alarm_off's slot (it is its negation), so
+		// the alarm scan runs at most once per state.
+		"alarm_active":     func(v *model.View) bool { return !v.Memo(slotAlarmOff, allAlarmsOff) },
+		"alarm_off":        shared(slotAlarmOff, allAlarmsOff),
+		"security_armed":   shared(slotSecurityArmed, anyAssoc(RoleSecuritySw, "switch", "on")),
+		"camera_capturing": shared(slotCamera, anyAssoc(RoleCamera, "image", "taken")),
+		"button_held":      shared(slotButtonHeld, anyCap("button", "button", "held")),
+		"sleeping":         shared(slotSleeping, anyCap("sleepSensor", "sleeping", "sleeping")),
 
-		"fire_valve_closed": anyAssoc(RoleFireValve, "valve", "closed"),
-		"water_main_open":   anyAssoc(RoleWaterMain, "valve", "open"),
-		"water_main_closed": allAssoc(RoleWaterMain, "valve", "closed"),
-		"sprinkler_on":      anyAssoc(RoleSprinkler, "switch", "on"),
-		"sprinkler_off":     allAssoc(RoleSprinkler, "switch", "off"),
-		"soil_dry":          numBelow("soilMoistureMeasurement", "soilMoisture", th.SoilLow),
-		"soil_wet":          numAbove("soilMoistureMeasurement", "soilMoisture", th.SoilHigh),
-		"humidity_high":     numAbove("relativeHumidityMeasurement", "humidity", th.HumidHigh),
+		"fire_valve_closed": shared(slotFireValveClosed, anyAssoc(RoleFireValve, "valve", "closed")),
+		"water_main_open":   shared(slotWaterMainOpen, anyAssoc(RoleWaterMain, "valve", "open")),
+		"water_main_closed": shared(slotWaterMainClosed, allAssoc(RoleWaterMain, "valve", "closed")),
+		"sprinkler_on":      shared(slotSprinklerOn, anyAssoc(RoleSprinkler, "switch", "on")),
+		"sprinkler_off":     shared(slotSprinklerOff, allAssoc(RoleSprinkler, "switch", "off")),
+		"soil_dry":          shared(slotSoilDry, numBelow("soilMoistureMeasurement", "soilMoisture", th.SoilLow)),
+		"soil_wet":          shared(slotSoilWet, numAbove("soilMoistureMeasurement", "soilMoisture", th.SoilHigh)),
+		"humidity_high":     shared(slotHumidityHigh, numAbove("relativeHumidityMeasurement", "humidity", th.HumidHigh)),
 
-		"away_device_on":      anyAssoc(RoleAwayDevice, "switch", "on"),
-		"night_device_on":     anyAssoc(RoleNightDevice, "switch", "on"),
-		"entertainment_on":    anyAssoc(RoleEntertainment, "status", "playing"),
-		"shade_open":          anyAssoc(RoleShade, "windowShade", "open"),
-		"night_light_on":      anyAssoc(RoleNightLight, "switch", "on"),
-		"thermostat_span_bad": thermostatSpanBad,
+		"away_device_on":      shared(slotAwayDeviceOn, anyAssoc(RoleAwayDevice, "switch", "on")),
+		"night_device_on":     shared(slotNightDeviceOn, anyAssoc(RoleNightDevice, "switch", "on")),
+		"entertainment_on":    shared(slotEntertainmentOn, anyAssoc(RoleEntertainment, "status", "playing")),
+		"shade_open":          shared(slotShadeOpen, anyAssoc(RoleShade, "windowShade", "open")),
+		"night_light_on":      shared(slotNightLightOn, anyAssoc(RoleNightLight, "switch", "on")),
+		"thermostat_span_bad": shared(slotThermSpanBad, thermostatSpanBad),
 	}
 }
 

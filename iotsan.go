@@ -155,6 +155,11 @@ type Options struct {
 	// instead of the closure-compiled programs (the differential-testing
 	// oracle; observationally identical, several times slower).
 	Interpreter bool
+	// NoIncremental disables the incremental block-hash state digest
+	// (states then re-encode the full vector per digest). The zero
+	// value keeps incremental digests ON — the flag is an escape hatch,
+	// mirroring the -incremental CLI default.
+	NoIncremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -431,6 +436,7 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 		RelevantAttrs:   relevantAttrs(sub, apps),
 		Interpreter:     opts.Interpreter,
 		Symmetry:        opts.Symmetry,
+		Incremental:     !opts.NoIncremental,
 	})
 	if err != nil {
 		return nil, err
