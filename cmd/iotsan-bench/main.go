@@ -59,6 +59,8 @@ func realMain() int {
 	experiments.SetPOR(engine.POR)
 	experiments.SetSymmetry(engine.Symmetry)
 	experiments.SetIncremental(engine.Incremental)
+	experiments.SetFailures(engine.Failures)
+	experiments.SetFaults(engine.Faults, engine.MaxFaults)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -236,6 +238,8 @@ type perfRecord struct {
 	SymmetryRuns     []symmetryRun `json:"symmetry_runs,omitempty"`
 	EncodeWorkload   string        `json:"encode_workload,omitempty"`
 	EncodeRuns       []encodeRun   `json:"encode_runs,omitempty"`
+	FaultWorkload    string        `json:"fault_workload,omitempty"`
+	FaultRuns        []faultRun    `json:"fault_runs,omitempty"`
 }
 
 type perfRun struct {
@@ -311,6 +315,29 @@ type encodeRun struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+// faultRun is one faults-off/faults-on measurement pair on the shared
+// FaultWorkload: the same group searched to completion without the
+// persistent fault model and with it under the given budget. The
+// recorded artifact is self-checking twice over: with the budget the
+// off-run digests are byte-identical to faults-off (the MaxFaults=0
+// gate), and FaultOnlyViolations counts violations reachable only
+// through an injected outage or drop — zero here means the fault layer
+// stopped finding anything the fault-free model misses.
+type faultRun struct {
+	Strategy            string  `json:"strategy"`
+	POR                 bool    `json:"por"`
+	Symmetry            bool    `json:"symmetry"`
+	MaxFaults           int     `json:"max_faults"`
+	StatesOff           int     `json:"states_off"`
+	StatesOn            int     `json:"states_on"`
+	ViolationsOff       int     `json:"violations_off"`
+	ViolationsOn        int     `json:"violations_on"`
+	FaultOnlyViolations int     `json:"fault_only_violations"`
+	FaultTransitions    int     `json:"fault_transitions"`
+	SecondsOff          float64 `json:"seconds_off"`
+	SecondsOn           float64 `json:"seconds_on"`
+}
+
 // runPerf measures checker throughput on the shared
 // BenchmarkParallelCheck workload (largest market group, full property
 // set, 20k-state cap) and optionally writes the record to
@@ -367,6 +394,9 @@ func runPerf(writeJSON bool) error {
 		return err
 	}
 	if err := runEncodePerf(&rec); err != nil {
+		return err
+	}
+	if err := runFaultPerf(&rec); err != nil {
 		return err
 	}
 
@@ -512,6 +542,34 @@ func runEncodePerf(rec *perfRecord) error {
 	rec.EncodeWorkload = desc
 	fmt.Printf("\nincremental encode+digest (%s; symmetry rows on the interchangeable-device group):\n", desc)
 
+	// Paired best-of-N: the symmetry rows complete in tens of
+	// milliseconds, where wall clocks on a shared runner swing ±40%
+	// between samples and would record noise as a speedup or
+	// regression. Each repetition runs the full-encode and incremental
+	// searches back to back so both sides sample the same machine
+	// conditions; short searches repeat (up to 40×) until a second of
+	// samples accumulates, the ~1s market-group rows stay at 3
+	// repetitions, and each side keeps its fastest run.
+	measurePair := func(fullSys, incSys checker.System, o checker.Options) (fr, ri *checker.Result, secFull, secInc float64) {
+		total := 0.0
+		for i := 0; i < 40 && (i < 3 || total < 1.0); i++ {
+			start := time.Now()
+			rf := checker.Run(fullSys, o)
+			sf := time.Since(start).Seconds()
+			start = time.Now()
+			rc := checker.Run(incSys, o)
+			si := time.Since(start).Seconds()
+			total += sf + si
+			if i == 0 || sf < secFull {
+				fr, secFull = rf, sf
+			}
+			if i == 0 || si < secInc {
+				ri, secInc = rc, si
+			}
+		}
+		return fr, ri, secFull, secInc
+	}
+
 	rows := []struct {
 		strategy checker.StrategyKind
 		por, sym bool
@@ -532,12 +590,7 @@ func runEncodePerf(rec *perfRecord) error {
 		o.Workers = 2
 		o.POR = row.por
 		o.Symmetry = row.sym
-		start := time.Now()
-		fr := checker.Run(fullM.System(), o)
-		secFull := time.Since(start).Seconds()
-		start = time.Now()
-		ri := checker.Run(incM.System(), o)
-		secInc := time.Since(start).Seconds()
+		fr, ri, secFull, secInc := measurePair(fullM.System(), incM.System(), o)
 		r := encodeRun{
 			Strategy:         row.strategy.String(),
 			POR:              row.por,
@@ -562,6 +615,87 @@ func runEncodePerf(rec *perfRecord) error {
 		if !row.sym && fr.StatesExplored != ri.StatesExplored {
 			fmt.Printf("WARNING: %s: incremental digest changed the explored state count (%d -> %d)\n",
 				tag, fr.StatesExplored, ri.StatesExplored)
+		}
+	}
+	return nil
+}
+
+// runFaultPerf measures the persistent fault-injection layer on the
+// shared FaultWorkload: each row searches the climate group to
+// completion faults-off and faults-on (MaxFaults=2 — one outage plus
+// one drop, the cheapest budget that reaches the silent-drop
+// robustness violations) and records how many violations only the
+// fault model reaches.
+func runFaultPerf(rec *perfRecord) error {
+	const maxFaults = 2
+	mOff, coptsOff, _, err := experiments.FaultWorkload(false, 0)
+	if err != nil {
+		return err
+	}
+	mOn, coptsOn, desc, err := experiments.FaultWorkload(true, maxFaults)
+	if err != nil {
+		return err
+	}
+	rec.FaultWorkload = desc
+	fmt.Printf("\nfault injection (%s):\n", desc)
+
+	rows := []struct {
+		strategy checker.StrategyKind
+		por, sym bool
+	}{
+		{checker.StrategyDFS, false, false},
+		{checker.StrategySteal, true, false},
+		{checker.StrategySteal, true, true},
+	}
+	for _, row := range rows {
+		off, on := coptsOff, coptsOn
+		off.Strategy, on.Strategy = row.strategy, row.strategy
+		off.Workers, on.Workers = 2, 2
+		off.POR, on.POR = row.por, row.por
+		off.Symmetry, on.Symmetry = row.sym, row.sym
+		start := time.Now()
+		fr := checker.Run(mOff.System(), off)
+		secOff := time.Since(start).Seconds()
+		start = time.Now()
+		or := checker.Run(mOn.System(), on)
+		secOn := time.Since(start).Seconds()
+		seen := map[string]bool{}
+		for _, v := range fr.Violations {
+			seen[v.Property+"\x00"+v.Detail] = true
+		}
+		faultOnly := 0
+		for _, v := range or.Violations {
+			if !seen[v.Property+"\x00"+v.Detail] {
+				faultOnly++
+			}
+		}
+		r := faultRun{
+			Strategy:            row.strategy.String(),
+			POR:                 row.por,
+			Symmetry:            row.sym,
+			MaxFaults:           maxFaults,
+			StatesOff:           fr.StatesExplored,
+			StatesOn:            or.StatesExplored,
+			ViolationsOff:       len(fr.Violations),
+			ViolationsOn:        len(or.Violations),
+			FaultOnlyViolations: faultOnly,
+			FaultTransitions:    or.FaultTransitionsExplored,
+			SecondsOff:          secOff,
+			SecondsOn:           secOn,
+		}
+		rec.FaultRuns = append(rec.FaultRuns, r)
+		tag := r.Strategy
+		if r.POR {
+			tag += "+por"
+		}
+		if r.Symmetry {
+			tag += "+sym"
+		}
+		fmt.Printf("%-13s states %7d -> %-7d violations %d -> %-3d (fault-only %d, fault transitions %d)  %6.3fs -> %6.3fs\n",
+			tag, r.StatesOff, r.StatesOn, r.ViolationsOff, r.ViolationsOn,
+			r.FaultOnlyViolations, r.FaultTransitions, r.SecondsOff, r.SecondsOn)
+		if r.FaultOnlyViolations == 0 {
+			fmt.Printf("WARNING: %s: the fault model found no violations beyond the fault-free search — the injection layer is inert on this workload\n", tag)
 		}
 	}
 	return nil

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	iotsan -config system.json -apps ./apps [-events 3] [-failures] [-design concurrent]
+//	iotsan -config system.json -apps ./apps [-events 3] [-failures] [-faults -max-faults 2] [-design concurrent]
 //
 // Apps are looked up as <apps-dir>/<app name>.groovy; app names from the
 // built-in corpus resolve automatically when no directory is given.
@@ -28,7 +28,6 @@ func main() {
 		configPath = flag.String("config", "", "system configuration JSON (required)")
 		appsDir    = flag.String("apps", "", "directory of <name>.groovy sources (default: built-in corpus)")
 		events     = flag.Int("events", 3, "external events to inject")
-		failures   = flag.Bool("failures", false, "enumerate device/communication failures")
 		concurrent = flag.Bool("concurrent", false, "use the concurrent design instead of sequential")
 		trails     = flag.Bool("trails", true, "print counter-example trails")
 		maxViol    = flag.Int("max-violations", 0, "stop after this many distinct violations, cancelling sibling group searches (0 = collect all)")
@@ -58,7 +57,8 @@ func main() {
 		}
 	}
 
-	opts := iotsan.Options{MaxEvents: *events, Failures: *failures,
+	opts := iotsan.Options{MaxEvents: *events, Failures: engine.Failures,
+		Faults: engine.Faults, MaxFaults: engine.MaxFaults,
 		Strategy: engine.Strategy, Workers: engine.Workers,
 		GroupParallel: engine.GroupParallel, MaxViolations: *maxViol,
 		POR: engine.POR, Symmetry: engine.Symmetry, Interpreter: *interp,

@@ -64,6 +64,10 @@ type Transition struct {
 	Key        uint64   // opaque replay handle for lazy trails (0 = none)
 	Next       State
 	Violations []Violation // violations raised while taking the transition
+	// Fault marks an environment fault transition (device outage,
+	// delayed/dropped command) injected by a fault-aware system; the
+	// engine counts explored fault transitions separately in the result.
+	Fault bool
 }
 
 // Replayer is optionally implemented by Systems whose transitions are
@@ -365,6 +369,10 @@ type Result struct {
 	PORChoicePoints      int
 	PORPrunedTransitions int
 	PORFallbacks         int
+
+	// FaultTransitionsExplored counts explored transitions flagged as
+	// environment faults (Transition.Fault) — zero on fault-free models.
+	FaultTransitionsExplored int
 }
 
 // HasViolation reports whether a property with the given id was violated.

@@ -71,6 +71,7 @@ type engine struct {
 	porChoices  atomic.Int64
 	porPruned   atomic.Int64
 	porFallback atomic.Int64
+	faultTrs    atomic.Int64
 
 	mu       sync.Mutex // guards violations + distinct
 	distinct map[string]bool
@@ -279,10 +280,12 @@ func (e *engine) limitHit() bool {
 func (e *engine) expand(state State, buf []byte, count bool) ([]Transition, []byte) {
 	trs := e.sys.Expand(state)
 	if e.reducer == nil || len(trs) < 2 {
+		e.noteFaults(trs, count)
 		return trs, buf
 	}
 	sel := e.reducer.Reduce(state, trs)
 	if len(sel) == 0 || len(sel) >= len(trs) {
+		e.noteFaults(trs, count)
 		return trs, buf
 	}
 	if !e.certified {
@@ -297,6 +300,7 @@ func (e *engine) expand(state State, buf []byte, count bool) ([]Transition, []by
 		}
 		if !fresh {
 			e.porFallback.Add(1)
+			e.noteFaults(trs, count)
 			return trs, buf
 		}
 	}
@@ -324,7 +328,27 @@ func (e *engine) expand(state State, buf []byte, count bool) ([]Transition, []by
 			e.trec.RecycleTransitions(trs)
 		}
 	}
+	e.noteFaults(out, count)
 	return out, buf
+}
+
+// noteFaults adds the fault-flagged transitions in the final successor
+// slice of a counted expansion to the run's fault-transition tally
+// (re-expansions with count=false replay a counted expansion and must
+// not double-count).
+func (e *engine) noteFaults(trs []Transition, count bool) {
+	if !count {
+		return
+	}
+	n := 0
+	for i := range trs {
+		if trs[i].Fault {
+			n++
+		}
+	}
+	if n > 0 {
+		e.faultTrs.Add(int64(n))
+	}
 }
 
 // noteDepth raises MaxDepthReached to d.
@@ -367,5 +391,7 @@ func (e *engine) finish() *Result {
 		PORChoicePoints:      int(e.porChoices.Load()),
 		PORPrunedTransitions: int(e.porPruned.Load()),
 		PORFallbacks:         int(e.porFallback.Load()),
+
+		FaultTransitionsExplored: int(e.faultTrs.Load()),
 	}
 }

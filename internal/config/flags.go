@@ -20,6 +20,9 @@ type Engine struct {
 	POR           bool
 	Symmetry      bool
 	Incremental   bool
+	Failures      bool
+	Faults        bool
+	MaxFaults     int
 }
 
 // EngineFlags holds the registered (unparsed) engine flags; call
@@ -31,6 +34,9 @@ type EngineFlags struct {
 	por           *bool
 	symmetry      *bool
 	incremental   *bool
+	failures      *bool
+	faults        *bool
+	maxFaults     *int
 }
 
 // RegisterEngineFlags declares the shared engine flags on a flag set
@@ -49,6 +55,12 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 			"symmetry reduction: fold states related by permutations of interchangeable devices"),
 		incremental: fs.Bool("incremental", true,
 			"incremental state digests: hash only the state-vector blocks each transition dirtied (set to false for the flat encode-and-hash path)"),
+		failures: fs.Bool("failures", false,
+			"enumerate transient device/communication failure modes per command"),
+		faults: fs.Bool("faults", false,
+			"persistent fault injection: device outages, delayed/dropped commands, stale reads"),
+		maxFaults: fs.Int("max-faults", 1,
+			"budget of fault transitions per path with -faults (outages and drops each cost one; 0 keeps the fault layer inert)"),
 	}
 }
 
@@ -65,5 +77,8 @@ func (f *EngineFlags) Engine() (Engine, error) {
 		POR:           *f.por,
 		Symmetry:      *f.symmetry,
 		Incremental:   *f.incremental,
+		Failures:      *f.failures,
+		Faults:        *f.faults,
+		MaxFaults:     *f.maxFaults,
 	}, nil
 }

@@ -1,0 +1,92 @@
+package corpus
+
+// The fault-injection group: apps whose safety depends on commands
+// actually reaching their devices. The persistent fault-injection
+// layer's gates run on this group: with faults off every app keeps its
+// invariants (mutually exclusive actuators are switched within one
+// handler run, off before on), while a single device outage lets an
+// in-flight command be delayed past the opposing command or silently
+// dropped — producing violations that are unreachable in the fault-free
+// model. The group also exercises stale attribute reads (a handler
+// consulting an offline sensor sees its last-reported value) and the
+// notified/unnotified split of the robustness property (an app that
+// pushes a notification alongside its command is not a silent-drop
+// victim).
+
+// TagFaults marks the fault-injection corpus group.
+const TagFaults Tag = "faults"
+
+// FaultGroup returns the fault-injection app group, sorted by name.
+func FaultGroup() []Source {
+	return WithTag(TagFaults)
+}
+
+func faultApp(name, groovy string) {
+	register(Source{Name: name, Groovy: groovy, Tags: []Tag{TagExtra, TagFaults}})
+}
+
+func init() {
+	// Mutually exclusive climate actuators switched inside one handler
+	// run, always off-before-on: without faults "heater on AND ac on" is
+	// unreachable (the therm.ac-and-heater-both-on invariant holds), but
+	// a heater outage holds heater.off() in flight while ac.on() applies
+	// — the fault-only violation the reachability gate requires.
+	faultApp("Climate Keeper", `
+definition(name: "Climate Keeper", namespace: "iotsan.corpus", author: "Community",
+    description: "Switch between a space heater and a window AC around a setpoint.", category: "Green Living")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement", title: "Sensor" }
+    section("Heater") { input "heater", "capability.switch", title: "Heater" }
+    section("AC") { input "ac", "capability.switch", title: "AC" }
+    section("Setpoint") { input "setpoint", "decimal", title: "Set Temp" }
+}
+def installed() { subscribe(sensor, "temperature", temperatureHandler) }
+def updated() { unsubscribe(); subscribe(sensor, "temperature", temperatureHandler) }
+def temperatureHandler(evt) {
+    if (evt.numericValue > setpoint) {
+        heater.off()
+        ac.on()
+    } else if (evt.numericValue < setpoint) {
+        ac.off()
+        heater.on()
+    }
+}
+`)
+
+	// Reads the temperature sensor's current attribute from a motion
+	// handler: while the sensor is offline the read returns the
+	// last-reported (stale) value, exercising the platform-view
+	// indirection without issuing commands.
+	faultApp("Comfort Monitor", `
+definition(name: "Comfort Monitor", namespace: "iotsan.corpus", author: "Community",
+    description: "Record the temperature seen at each movement.", category: "Convenience")
+preferences {
+    section("Sensor") { input "sensor", "capability.temperatureMeasurement", title: "Sensor" }
+    section("Motion") { input "motion", "capability.motionSensor", title: "Motion" }
+}
+def installed() { subscribe(motion, "motion.active", motionHandler) }
+def updated() { unsubscribe(); subscribe(motion, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    state.lastSeenTemp = sensor.currentTemperature
+}
+`)
+
+	// Commands the heater and pushes a notification in the same handler
+	// run: if the command is swallowed by an outage and later dropped,
+	// the user was still notified — the robustness property's negative
+	// case (silent-drop violations require an unnotified app).
+	faultApp("Heater Push Guard", `
+definition(name: "Heater Push Guard", namespace: "iotsan.corpus", author: "Community",
+    description: "Switch the heater off when the room empties and say so.", category: "Green Living")
+preferences {
+    section("Heater") { input "heater", "capability.switch", title: "Heater" }
+    section("Motion") { input "motion", "capability.motionSensor", title: "Motion" }
+}
+def installed() { subscribe(motion, "motion.inactive", idleHandler) }
+def updated() { unsubscribe(); subscribe(motion, "motion.inactive", idleHandler) }
+def idleHandler(evt) {
+    heater.off()
+    sendPush("Heater switched off while the room is empty")
+}
+`)
+}

@@ -201,6 +201,83 @@ func SymmetryWorkload() (*model.Model, checker.Options, string, error) {
 	return m, copts, desc, nil
 }
 
+// FaultSystem builds the climate deployment the fault-injection gates
+// and benchmarks share: the corpus fault group installed over a
+// temperature sensor, a space-heater outlet (association "heater"), a
+// window-AC outlet (association "ac"), and a motion sensor. The
+// heater/AC pair is switched off-before-on inside single handler runs,
+// so the mutual-exclusion invariant over their associations only
+// becomes violable once an outage can hold one of the commands in
+// flight.
+func FaultSystem(name string) (*config.System, map[string]*ir.App, error) {
+	sources := corpus.FaultGroup()
+	apps, err := TranslateAll(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := &config.System{
+		Name:  name,
+		Modes: []string{"Home", "Away", "Night"},
+		Mode:  "Home",
+		Devices: []config.Device{
+			{ID: "tempSensor", Label: "Room Temperature", Model: "Temperature Sensor"},
+			{ID: "heaterOutlet", Label: "Space Heater", Model: "Space Heater", Association: props.RoleHeater},
+			{ID: "acOutlet", Label: "Window AC", Model: "Window AC", Association: props.RoleAC},
+			{ID: "hallMotion", Label: "Hall Motion", Model: "Motion Sensor"},
+		},
+		Phones: []string{"15551230000"},
+	}
+	for _, s := range sources {
+		inst := config.AppInstance{App: s.Name, Bindings: map[string]config.Binding{}}
+		for _, in := range apps[s.Name].Inputs {
+			switch in.Name {
+			case "sensor":
+				inst.Bindings[in.Name] = config.Binding{DeviceIDs: []string{"tempSensor"}}
+			case "heater":
+				inst.Bindings[in.Name] = config.Binding{DeviceIDs: []string{"heaterOutlet"}}
+			case "ac":
+				inst.Bindings[in.Name] = config.Binding{DeviceIDs: []string{"acOutlet"}}
+			case "motion":
+				inst.Bindings[in.Name] = config.Binding{DeviceIDs: []string{"hallMotion"}}
+			case "setpoint":
+				inst.Bindings[in.Name] = config.Binding{Value: 75}
+			}
+		}
+		sys.Apps = append(sys.Apps, inst)
+	}
+	return sys, apps, nil
+}
+
+// FaultWorkload builds the canonical fault-injection workload: the
+// climate deployment at MaxEvents=2 with the full invariant catalog and
+// the persistent fault layer configured with the given budget — fully
+// explorable, so faults-off and faults-on state counts compare complete
+// searches. The fault-only-violation reachability gate, the MaxFaults=0
+// equivalence gate, and `iotsan-bench -table perf` (the fault_runs
+// record in BENCH_<date>.json) share this workload.
+func FaultWorkload(faults bool, maxFaults int) (*model.Model, checker.Options, string, error) {
+	sys, apps, err := FaultSystem("fault-bench")
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: 2, CheckConflicts: true, CheckRobustness: faults, Invariants: invs,
+		Faults: faults, MaxFaults: maxFaults,
+		Incremental: engineIncremental,
+	})
+	if err != nil {
+		return nil, checker.Options{}, "", err
+	}
+	copts := checker.Options{MaxDepth: 100 + 8*maxFaults}
+	desc := fmt.Sprintf("fault group (%d apps, heater/AC exclusion), MaxEvents=2, full invariants, MaxFaults=%d",
+		len(sys.Apps), maxFaults)
+	return m, copts, desc, nil
+}
+
 // GroupModel builds the verification model for a configured system
 // with the full invariant catalog at MaxEvents=2 — the equal-work
 // benchmark workload (fully explorable, so every checker strategy

@@ -14,6 +14,9 @@ var (
 	enginePOR           bool
 	engineSymmetry      bool
 	engineIncremental   = true
+	engineFailures      bool
+	engineFaults        bool
+	engineMaxFaults     int
 )
 
 // SetEngine selects the checker engine used by the Run* experiments
@@ -39,7 +42,23 @@ func SetSymmetry(on bool) { engineSymmetry = on }
 // mirroring the -incremental flag).
 func SetIncremental(on bool) { engineIncremental = on }
 
+// SetFailures enables transient device/communication failure
+// enumeration for the Run* experiments (additive: experiments that
+// enable failures themselves, like Table 5, are unaffected).
+func SetFailures(on bool) { engineFailures = on }
+
+// SetFaults enables the persistent fault-injection environment model
+// (device outages, delayed/dropped commands, stale reads) with the
+// given per-path fault budget for the Run* experiments.
+func SetFaults(on bool, maxFaults int) {
+	engineFaults = on
+	engineMaxFaults = maxFaults
+}
+
 // engineOptions applies the configured engine to an analysis run.
+// Failure/fault modes are OR-ed in, never cleared, so experiments that
+// hard-enable a mode (RunTable5's Failures) keep it regardless of the
+// CLI configuration.
 func engineOptions(o iotsan.Options) iotsan.Options {
 	o.Strategy = engineStrategy
 	o.Workers = engineWorkers
@@ -47,5 +66,12 @@ func engineOptions(o iotsan.Options) iotsan.Options {
 	o.POR = enginePOR
 	o.Symmetry = engineSymmetry
 	o.NoIncremental = !engineIncremental
+	if engineFailures {
+		o.Failures = true
+	}
+	if engineFaults {
+		o.Faults = true
+		o.MaxFaults = engineMaxFaults
+	}
 	return o
 }

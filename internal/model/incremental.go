@@ -24,11 +24,18 @@ import "math/bits"
 
 // Block indices within a state with nDev devices and nApp apps:
 //
-//	0                  header (Mode, EventsUsed)
-//	1 + d              device d
+//	0                  header (Mode, EventsUsed, FaultsUsed if > 0)
+//	1 + d              device d (+ stale Reported vector + epoch while offline)
 //	1 + nDev + i       app i
 //	1 + nDev + nApp    queue
-//	2 + nDev + nApp    command log
+//	2 + nDev + nApp    command log (+ in-flight buffer when non-empty)
+//
+// Fault-injection state deliberately lives inside existing blocks
+// rather than a block of its own: every extension encodes zero bytes
+// while no fault has occurred, so a faults-enabled model with a zero
+// budget digests byte-identically to a faults-off model (the
+// MaxFaults=0 equivalence gate). Fault mutation sites mark the blocks
+// they touch through the same markHeader/markDevice/markCmds contract.
 func (s *State) nBlocks() int    { return 3 + len(s.Devices) + len(s.Apps) }
 func (s *State) queueBlock() int { return 1 + len(s.Devices) + len(s.Apps) }
 func (s *State) cmdsBlock() int  { return 2 + len(s.Devices) + len(s.Apps) }
@@ -146,13 +153,16 @@ func (x *blockMix) mix(bh uint64) {
 // hashes stay independent (h2 backs the hash-compact/bitstate second
 // key).
 func (x *blockMix) sum() (uint64, uint64) {
-	h2 := x.h2
-	h2 ^= h2 >> 30
-	h2 *= 0xbf58476d1ce4e5b9
-	h2 ^= h2 >> 27
-	h2 *= 0x94d049bb133111eb
-	h2 ^= h2 >> 31
-	return x.h1, h2
+	return x.h1, splitmix64(x.h2)
+}
+
+func splitmix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // refreshBlocks re-encodes every dirty block into a pooled scratch
@@ -193,7 +203,7 @@ func (m *Model) refreshBlocks(s *State) {
 			case b == s.queueBlock():
 				buf = encodeQueue(buf, s.Queue)
 			default:
-				buf = encodeCmds(buf, s.Cmds)
+				buf = encodeCmds(buf, s.Cmds, s.InFlight)
 			}
 			s.blockHash[b] = fnv1a64(buf)
 		}
@@ -211,6 +221,13 @@ func (m *Model) refreshBlocks(s *State) {
 // Exported for the checker (via the IncrementalDigester interface) and
 // for equivalence tests.
 func (m *Model) IncrementalDigest(s *State, canonical bool) (uint64, uint64) {
+	if canonical && m.sym != nil && m.sym.flatCanon {
+		// Flat canonicalization reads only state content — devProfile
+		// delegates to the block encoder on flat-canonical tables — so
+		// the dirty blocks need no refresh first (their cached hashes
+		// stay stale until a raw digest of this state wants them).
+		return m.flatCanonicalDigest(s)
+	}
 	// Refresh before any canonical-view construction: orbit profiles key
 	// on cached device-block hashes, which must reflect content, never
 	// dirtiness (dirty masks are not invariant under the group action).
@@ -223,6 +240,30 @@ func (m *Model) IncrementalDigest(s *State, canonical bool) (uint64, uint64) {
 		return mx.sum()
 	}
 	return m.canonicalFold(s)
+}
+
+// flatCanonicalDigest hashes the flat canonical encoding directly. On
+// tiny-orbit workloads the cached-hash canonical fold costs more than
+// it saves (profile sorting dominates and almost every block re-hashes
+// anyway), so buildSymmetry flags such symmetry tables with flatCanon
+// and the digest takes this path instead — without refreshing the
+// block-hash cache, since on flat-canonical tables the orbit profiles
+// inside CanonicalEncode are content-keyed (devProfile) rather than
+// cached-hash-keyed.
+func (m *Model) flatCanonicalDigest(s *State) (uint64, uint64) {
+	bp := m.encBufs.Get().(*[]byte)
+	buf := m.CanonicalEncode(s, (*bp)[:0])
+	// One fused pass: h1 is fnv1a64(buf); h2 runs the blockMix-style
+	// second accumulator over the same bytes, splitmix-finalised so the
+	// pair stays independent of h1.
+	h1, h2 := uint64(fnvOffset64), uint64(mixSeed)
+	for _, c := range buf {
+		h1 = (h1 ^ uint64(c)) * fnvPrime64
+		h2 = (h2 ^ uint64(c)) * mixMult
+	}
+	*bp = buf
+	m.encBufs.Put(bp)
+	return h1, splitmix64(h2)
 }
 
 // canonicalFold combines cached block hashes through the canonical
@@ -278,7 +319,7 @@ func (m *Model) canonicalFold(s *State) (uint64, uint64) {
 			bp = m.encBufs.Get().(*[]byte)
 			buf = *bp
 		}
-		buf = encodeCmds(buf[:0], cv.cmds)
+		buf = encodeCmds(buf[:0], cv.cmds, cv.inFlight)
 		mx.mix(fnv1a64(buf))
 	}
 	if bp != nil {

@@ -99,6 +99,18 @@ type Options struct {
 	// (incremental.go). Off by default for direct Model users; the CLI
 	// layer enables it unless -incremental=false.
 	Incremental bool
+	// Faults enables the persistent fault-injection layer: devices can
+	// go offline (suppressing their sensed events, swallowing their
+	// commands into the in-flight buffer, and serving stale attribute
+	// reads to handlers) and later recover; held commands are delivered
+	// late or silently dropped. Orthogonal to Failures, which models
+	// instantaneous per-transition losses.
+	Faults bool
+	// MaxFaults bounds the budgeted fault transitions per execution
+	// (going offline and dropping a command each cost one; recovery and
+	// delivery are free). With MaxFaults 0 the fault machinery is inert
+	// and the state space is byte-identical to Faults off.
+	MaxFaults int
 }
 
 func (o *Options) maxCascade() int {
@@ -239,6 +251,10 @@ type Model struct {
 	timerLabels [][][4]string
 	dispPre     []string
 	dispPost    []string
+	// faultLabels[d] are the offline/online fault-transition labels per
+	// device (deliver/drop labels depend on the held command and are
+	// concatenated at emit time — fault transitions are rare).
+	faultLabels [][2]string
 
 	// slotTotal is the summed static state-slot count across apps.
 	slotTotal int
@@ -505,6 +521,13 @@ func (m *Model) buildLabels() {
 	for si, sub := range m.subs {
 		m.dispPre[si] = "dispatch " + sub.Attr + "/"
 		m.dispPost[si] = " to " + m.Apps[sub.AppIdx].App.Name + "." + sub.Handler
+	}
+	if m.Opts.Faults {
+		m.faultLabels = make([][2]string, len(m.Devices))
+		for d, di := range m.Devices {
+			m.faultLabels[d][0] = "fault: " + di.Label + " goes offline"
+			m.faultLabels[d][1] = "fault: " + di.Label + " back online"
+		}
 	}
 }
 

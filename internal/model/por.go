@@ -66,6 +66,17 @@ type porData struct {
 	dep      []porBits // dep[c]: classes dependent with c (symmetric, self-inclusive)
 	spawnClo []porBits // transitive closure of the spawn relation
 	words    int
+
+	// Fault-injection refinements (built only under Options.Faults).
+	// readFree[c] marks classes that read no device attributes: fault
+	// transitions flip devices between ground-truth and stale reads and
+	// delivery writes device attributes, so only read-free classes
+	// commute with them. trigClo[attr] is the set of classes an event on
+	// attr can transitively enqueue (trigger classes plus their spawn
+	// closure) — the classes a delivery of a held command on attr
+	// threatens to enable.
+	readFree []bool
+	trigClo  map[string]porBits
 }
 
 // porBits is a fixed-width bitset over class ids.
@@ -196,6 +207,33 @@ func (m *Model) buildPOR() {
 	}
 	p.spawnClo = spawn
 
+	if m.Opts.Faults {
+		p.readFree = make([]bool, p.nclass)
+		for i := range p.classes {
+			p.readFree[i] = !eff[i].Unknown && len(eff[i].ReadAttrs) == 0
+		}
+		trig := map[string]porBits{}
+		for si, sub := range m.subs {
+			b := trig[sub.Attr]
+			if b == nil {
+				b = p.newBits()
+				trig[sub.Attr] = b
+			}
+			b.set(p.subClass[si])
+		}
+		p.trigClo = make(map[string]porBits, len(trig))
+		for a, b := range trig {
+			clo := p.newBits()
+			copy(clo, b)
+			for j := 0; j < p.nclass; j++ {
+				if b.has(int32(j)) {
+					clo.orInto(spawn[j])
+				}
+			}
+			p.trigClo[a] = clo
+		}
+	}
+
 	// Dependence matrix.
 	p.dep = make([]porBits, p.nclass)
 	for i := range p.dep {
@@ -296,8 +334,26 @@ func (m *Model) Reduce(s *State, trs []checker.Transition) []int {
 	if p == nil || p.nclass == 0 || m.Opts.Design != Concurrent {
 		return nil
 	}
-	if s.EventsUsed < m.Opts.MaxEvents || len(s.Queue) < 2 || len(trs) != len(s.Queue) {
+	// In the drain phase Expand emits the pending dispatches in queue
+	// order followed by exactly the fault transitions (zero whenever
+	// fault injection is inert, so the faults-off shape is unchanged).
+	nf := m.countFaultTransitions(s)
+	if s.EventsUsed < m.Opts.MaxEvents || len(s.Queue) < 2 || len(trs) != len(s.Queue)+nf {
 		return nil
+	}
+	// Fault transitions stay outside every persistent set: they remain
+	// enabled (pure dispatches cannot command a device or change its
+	// online status) and the set must commute with them. A delivery can
+	// enqueue the subscribers of the held command's attribute, so those
+	// classes threaten the set exactly like spawn chains do.
+	var faultThreat porBits
+	if nf > 0 {
+		faultThreat = p.newBits()
+		for i := range s.InFlight {
+			if b := p.trigClo[s.InFlight[i].Attr]; b != nil {
+				faultThreat.orInto(b)
+			}
+		}
 	}
 
 	qc := make([]int32, len(s.Queue))
@@ -315,10 +371,16 @@ func (m *Model) Reduce(s *State, trs []checker.Transition) []int {
 		if tried.has(ck) || !p.pure[ck] {
 			continue
 		}
+		if nf > 0 && !p.readFree[ck] {
+			continue // outages/deliveries can change what the class reads
+		}
 		tried.set(ck)
-		set, ok := p.closeSet(ck, qc, present)
+		set, depOfSet, ok := p.closeSet(ck, qc, present, nf > 0)
 		if !ok {
 			continue
+		}
+		if nf > 0 && faultThreat.intersects(depOfSet) {
+			continue // a delivery could enable a dispatch dependent on the set
 		}
 		n, first := 0, -1
 		for i, c := range qc {
@@ -351,9 +413,11 @@ func (m *Model) Reduce(s *State, trs []checker.Transition) []int {
 // closeSet grows {seed} to a dependence-closed set of pure classes over
 // the classes present in the queue, then verifies the persistence side
 // conditions. It reports ok=false when the closure pulls in an impure
-// class or when a class spawnable by the remaining dispatches is
-// dependent on the set.
-func (p *porData) closeSet(seed int32, qc []int32, present porBits) (porBits, bool) {
+// (or, under active fault injection, device-reading) class or when a
+// class spawnable by the remaining dispatches is dependent on the set.
+// The returned depOfSet lets the caller check further threats (fault
+// deliveries) against the closed set.
+func (p *porData) closeSet(seed int32, qc []int32, present porBits, faultsActive bool) (porBits, porBits, bool) {
 	set := p.newBits()
 	set.set(seed)
 	depOfSet := p.newBits()
@@ -365,7 +429,10 @@ func (p *porData) closeSet(seed int32, qc []int32, present porBits) (porBits, bo
 				continue
 			}
 			if !p.pure[c] {
-				return nil, false // a dependent pending dispatch is visible/impure
+				return nil, nil, false // a dependent pending dispatch is visible/impure
+			}
+			if faultsActive && !p.readFree[c] {
+				return nil, nil, false
 			}
 			set.set(c)
 			depOfSet.orInto(p.dep[c])
@@ -381,8 +448,8 @@ func (p *porData) closeSet(seed int32, qc []int32, present porBits) (porBits, bo
 			continue
 		}
 		if p.spawnClo[c].intersects(depOfSet) {
-			return nil, false
+			return nil, nil, false
 		}
 	}
-	return set, true
+	return set, depOfSet, true
 }

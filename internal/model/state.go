@@ -11,9 +11,34 @@ import (
 // DevState is the dynamic state of one device instance. Attrs is a
 // subslice of the state's flat attribute backing array, so cloning all
 // device attributes is one allocation and one copy.
+//
+// Under fault injection (Options.Faults) each device additionally
+// carries the platform's view of its attributes: Attrs is ground truth
+// (the physical device), Reported is the last value the hub received.
+// The two are kept identical while the device is online; while it is
+// offline Reported freezes and handlers read the stale copy (see
+// executor.DeviceAttr), while safety invariants keep reading ground
+// truth. Reported is nil when fault injection is off.
 type DevState struct {
 	Online bool
-	Attrs  []int16 // enum value index or numeric value, per attribute
+	Attrs  []int16 // ground truth: enum value index or numeric value, per attribute
+	// Reported is the hub's (possibly stale) copy of Attrs, a subslice
+	// of the state's flat reported backing array. Nil unless
+	// Options.Faults.
+	Reported []int16
+	// LastReport is the external-event epoch (EventsUsed) of the last
+	// successful report before the device went offline. Zero while
+	// online.
+	LastReport int
+}
+
+// report mirrors attribute i's ground-truth value into the
+// platform-visible Reported copy. Callers invoke it after every online
+// attribute write; it is a no-op when fault injection is off.
+func (d *DevState) report(i int) {
+	if d.Reported != nil {
+		d.Reported[i] = d.Attrs[i]
+	}
 }
 
 // Timer is a pending scheduled callback of an app.
@@ -53,6 +78,16 @@ type CmdRec struct {
 	Value string // target attribute value ("" for argument commands)
 }
 
+// InFlightCmd is a command issued to an offline device, held in the
+// state's in-flight buffer until a fault transition delivers or drops
+// it (Options.Faults). Notified records whether the issuing app has
+// notified the user since the command was swallowed — a silently
+// dropped command with Notified false is a robustness violation.
+type InFlightCmd struct {
+	CmdRec
+	Notified bool
+}
+
 // State is the full system state. It is a value in the model-checking
 // sense: cloned on branch, encoded for hashing. Once a state has been
 // returned from Initial or inside a Transition it is never mutated
@@ -75,6 +110,18 @@ type State struct {
 	// Cmds is the per-cascade command log (concurrent design carries it
 	// across transitions until the next external injection).
 	Cmds []CmdRec
+
+	// Fault-injection state (Options.Faults). FaultsUsed counts the
+	// budgeted fault transitions taken (device outage, command drop);
+	// InFlight holds commands swallowed by offline devices awaiting
+	// delivery or drop; reported is the flat backing array the
+	// per-device Reported subslices point into (nil when faults off).
+	// All three stay at their zero values while MaxFaults is 0, which
+	// the encoders below exploit to keep the encoding byte-identical to
+	// a faults-off model.
+	FaultsUsed int
+	InFlight   []InFlightCmd
+	reported   []int16
 
 	// Incremental-digest cache (nil unless Options.Incremental). The
 	// three slices share one backing array so Clone pays one allocation:
@@ -112,12 +159,19 @@ func (m *Model) Initial() *State {
 		total += len(d.Attrs)
 	}
 	s.attrs = make([]int16, total)
+	if m.Opts.Faults {
+		s.reported = make([]int16, total)
+	}
 	off := 0
 	for i, d := range m.Devices {
 		n := len(d.Attrs)
 		ds := DevState{Online: true, Attrs: s.attrs[off : off+n : off+n]}
+		if s.reported != nil {
+			ds.Reported = s.reported[off : off+n : off+n]
+		}
 		off += n
 		m.initialAttrs(i, ds.Attrs)
+		copy(ds.Reported, ds.Attrs)
 		s.Devices[i] = ds
 	}
 
@@ -212,15 +266,23 @@ func (s *State) Clone() *State {
 // trusted from n's previous life.
 func (s *State) cloneInto(n *State) *State {
 	if len(n.Devices) != len(s.Devices) || len(n.Apps) != len(s.Apps) ||
-		len(n.attrs) != len(s.attrs) || len(n.slots) != len(s.slots) {
+		len(n.attrs) != len(s.attrs) || len(n.slots) != len(s.slots) ||
+		len(n.reported) != len(s.reported) {
 		return s.cloneFresh()
 	}
 	n.Time, n.Mode, n.EventsUsed = s.Time, s.Mode, s.EventsUsed
+	n.FaultsUsed = s.FaultsUsed
 	copy(n.attrs, s.attrs)
+	copy(n.reported, s.reported)
 	off := 0
 	for i := range s.Devices {
-		k := len(s.Devices[i].Attrs)
-		n.Devices[i] = DevState{Online: s.Devices[i].Online, Attrs: n.attrs[off : off+k : off+k]}
+		sd := &s.Devices[i]
+		k := len(sd.Attrs)
+		nd := DevState{Online: sd.Online, LastReport: sd.LastReport, Attrs: n.attrs[off : off+k : off+k]}
+		if n.reported != nil {
+			nd.Reported = n.reported[off : off+k : off+k]
+		}
+		n.Devices[i] = nd
 		off += k
 	}
 	for i := range s.slots {
@@ -252,6 +314,7 @@ func (s *State) cloneInto(n *State) *State {
 	}
 	n.Queue = append(n.Queue[:0], s.Queue...)
 	n.Cmds = append(n.Cmds[:0], s.Cmds...)
+	n.InFlight = append(n.InFlight[:0], s.InFlight...)
 	switch {
 	case s.blockHash == nil:
 		n.blockHash, n.dirtyMask, n.devRefMask = nil, nil, nil
@@ -269,17 +332,26 @@ func (s *State) cloneInto(n *State) *State {
 func (s *State) cloneFresh() *State {
 	n := &State{
 		Time: s.Time, Mode: s.Mode, EventsUsed: s.EventsUsed,
-		Devices: make([]DevState, len(s.Devices)),
-		Apps:    make([]AppState, len(s.Apps)),
+		FaultsUsed: s.FaultsUsed,
+		Devices:    make([]DevState, len(s.Devices)),
+		Apps:       make([]AppState, len(s.Apps)),
 	}
 	if len(s.attrs) > 0 {
 		n.attrs = make([]int16, len(s.attrs))
 		copy(n.attrs, s.attrs)
 	}
+	if len(s.reported) > 0 {
+		n.reported = make([]int16, len(s.reported))
+		copy(n.reported, s.reported)
+	}
 	off := 0
 	for i, d := range s.Devices {
 		k := len(d.Attrs)
-		n.Devices[i] = DevState{Online: d.Online, Attrs: n.attrs[off : off+k : off+k]}
+		nd := DevState{Online: d.Online, LastReport: d.LastReport, Attrs: n.attrs[off : off+k : off+k]}
+		if n.reported != nil {
+			nd.Reported = n.reported[off : off+k : off+k]
+		}
+		n.Devices[i] = nd
 		off += k
 	}
 	if len(s.slots) > 0 {
@@ -311,6 +383,9 @@ func (s *State) cloneFresh() *State {
 	}
 	if len(s.Cmds) > 0 {
 		n.Cmds = append([]CmdRec(nil), s.Cmds...)
+	}
+	if len(s.InFlight) > 0 {
+		n.InFlight = append([]InFlightCmd(nil), s.InFlight...)
 	}
 	if s.blockHash != nil {
 		n.cloneCacheFrom(s)
@@ -354,12 +429,13 @@ func (s *State) Encode(buf []byte) []byte {
 // encoding. The view references a state-specific renaming, so it is
 // consumed by exactly one encode call.
 type canonView struct {
-	order  []int32   // encode position → device index (blocks permuted within orbits)
-	devMap []int32   // device index → canonical index (inverse of order)
-	queue  []Pending // renamed queue, orbit-sourced entries normalised
-	cmds   []CmdRec  // renamed command log, orbit-target entries normalised
-	// queueAliased/cmdsAliased report that queue/cmds alias the state's
-	// own slices unmodified (no orbit-sourced entries), so the
+	order    []int32       // encode position → device index (blocks permuted within orbits)
+	devMap   []int32       // device index → canonical index (inverse of order)
+	queue    []Pending     // renamed queue, orbit-sourced entries normalised
+	cmds     []CmdRec      // renamed command log, orbit-target entries normalised
+	inFlight []InFlightCmd // renamed in-flight buffer, orbit-target entries normalised
+	// queueAliased/cmdsAliased report that queue/cmds+inFlight alias the
+	// state's own slices unmodified (no orbit-sourced entries), so the
 	// incremental canonical fold may reuse the cached raw block hashes.
 	queueAliased bool
 	cmdsAliased  bool
@@ -375,10 +451,10 @@ type canonView struct {
 // encoding by construction.
 func (s *State) encode(buf []byte, cv *canonView) []byte {
 	var devMap []int32
-	queue, cmds := s.Queue, s.Cmds
+	queue, cmds, inFlight := s.Queue, s.Cmds, s.InFlight
 	if cv != nil {
 		devMap = cv.devMap
-		queue, cmds = cv.queue, cv.cmds
+		queue, cmds, inFlight = cv.queue, cv.cmds, cv.inFlight
 	}
 	buf = s.encodeHeader(buf)
 	for p := range s.Devices {
@@ -392,21 +468,32 @@ func (s *State) encode(buf []byte, cv *canonView) []byte {
 		buf, _ = encodeApp(buf, &s.Apps[i], devMap)
 	}
 	buf = encodeQueue(buf, queue)
-	buf = encodeCmds(buf, cmds)
+	buf = encodeCmds(buf, cmds, inFlight)
 	return buf
 }
 
 // encodeHeader appends the header block: mode plus the external-event
 // budget counter. EventsUsed is a varint — a single byte historically,
 // which aliased counts 256 apart. Time is derived from EventsUsed and
-// deliberately not encoded.
+// deliberately not encoded. The fault budget counter is appended only
+// when non-zero: uvarints are prefix-free against the fixed block
+// layout that follows, and the omission keeps a faults-enabled model
+// with MaxFaults=0 byte-identical to a faults-off model.
 func (s *State) encodeHeader(buf []byte) []byte {
 	buf = append(buf, s.Mode)
-	return binary.AppendUvarint(buf, uint64(s.EventsUsed))
+	buf = binary.AppendUvarint(buf, uint64(s.EventsUsed))
+	if s.FaultsUsed > 0 {
+		buf = binary.AppendUvarint(buf, uint64(s.FaultsUsed))
+	}
+	return buf
 }
 
 // encodeDevice appends one device block: online flag plus the fixed
-// little-endian attribute vector.
+// little-endian ground-truth attribute vector. An offline device (only
+// possible under fault injection) additionally encodes the hub's stale
+// Reported vector and the epoch of its last report — two offline states
+// differing only in what the hub last saw must not collide. Online
+// devices encode exactly as before faults existed.
 func encodeDevice(buf []byte, d *DevState) []byte {
 	if d.Online {
 		buf = append(buf, 1)
@@ -415,6 +502,12 @@ func encodeDevice(buf []byte, d *DevState) []byte {
 	}
 	for _, a := range d.Attrs {
 		buf = append(buf, byte(a), byte(a>>8))
+	}
+	if !d.Online {
+		for _, a := range d.Reported {
+			buf = append(buf, byte(a), byte(a>>8))
+		}
+		buf = binary.AppendUvarint(buf, uint64(d.LastReport))
 	}
 	return buf
 }
@@ -472,15 +565,34 @@ func encodeQueue(buf []byte, queue []Pending) []byte {
 	return append(buf, 0xFD)
 }
 
-// encodeCmds appends the command-log block. Dev and App were single
-// bytes historically, aliasing device/app indices 256 apart; both are
-// now uvarints.
-func encodeCmds(buf []byte, cmds []CmdRec) []byte {
+// encodeCmds appends the command-log block, followed — only when fault
+// injection has commands in flight — by a 0xFC-separated in-flight
+// section. 0xFC cannot begin a CmdRec entry (device indices are small
+// uvarints and the separator would require a config with >2^41
+// devices), so the section is unambiguous, and its omission when empty
+// keeps the block byte-identical to a faults-off model. Dev and App
+// were single bytes historically, aliasing device/app indices 256
+// apart; both are now uvarints.
+func encodeCmds(buf []byte, cmds []CmdRec, inFlight []InFlightCmd) []byte {
 	for _, c := range cmds {
 		buf = binary.AppendUvarint(buf, uint64(c.Dev))
 		buf = binary.AppendUvarint(buf, uint64(c.App))
 		buf = append(buf, c.Cmd...)
 		buf = append(buf, 0, byte(c.Arg), byte(c.Arg>>8))
+	}
+	if len(inFlight) > 0 {
+		buf = append(buf, 0xFC)
+		for _, c := range inFlight {
+			buf = binary.AppendUvarint(buf, uint64(c.Dev))
+			buf = binary.AppendUvarint(buf, uint64(c.App))
+			buf = append(buf, c.Cmd...)
+			buf = append(buf, 0, byte(c.Arg), byte(c.Arg>>8))
+			if c.Notified {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
 	}
 	return buf
 }
@@ -495,6 +607,31 @@ func (m *Model) AttrValue(s *State, dev int, attr string) (ir.Value, bool) {
 	}
 	a := d.Attrs[i]
 	raw := s.Devices[dev].Attrs[i]
+	if a.Numeric {
+		return ir.IntV(int64(raw)), true
+	}
+	if int(raw) < len(a.Values) {
+		return ir.StrV(a.Values[raw]), true
+	}
+	return ir.NullV(), false
+}
+
+// reportedValue decodes a device attribute from the hub's stale
+// Reported copy — what a handler sees while the device is offline
+// under fault injection. Falls back to ground truth when the device
+// carries no Reported vector.
+func (m *Model) reportedValue(s *State, dev int, attr string) (ir.Value, bool) {
+	ds := &s.Devices[dev]
+	if ds.Reported == nil {
+		return m.AttrValue(s, dev, attr)
+	}
+	d := m.Devices[dev]
+	i := d.AttrIndex(attr)
+	if i < 0 {
+		return ir.NullV(), false
+	}
+	a := d.Attrs[i]
+	raw := ds.Reported[i]
 	if a.Numeric {
 		return ir.IntV(int64(raw)), true
 	}

@@ -81,8 +81,25 @@ type symData struct {
 	roleOf    []int32   // subscription index → role among its device's subs (-1 otherwise)
 	subByRole [][]int32 // device index → role → subscription index (orbit devices only)
 
+	// flatCanon routes the incremental canonical digest through the flat
+	// CanonicalEncode instead of the cached-hash canonical fold. On
+	// tiny-orbit inventories the fold's profile bookkeeping costs more
+	// than the re-hash it avoids, so buildSymmetry sets this when every
+	// orbit is at most flatCanonMaxOrbit devices.
+	flatCanon bool
+
 	scratch sync.Pool // *canonScratch
 }
+
+// flatCanonMaxOrbit is the orbit-size threshold below which the
+// cached-hash canonical fold stops paying for itself. Paired
+// full-vs-incremental measurements (the `encode_runs` dfs+sym row) put
+// the crossover below orbit size 3: already at 3-device orbits the
+// fold's cache reuse beats a flat re-encode (~1.1x), so only degenerate
+// pair orbits — where building the canonical view and sorting profiles
+// cannot amortise over a two-element sort — route through the flat
+// encoder.
+const flatCanonMaxOrbit = 2
 
 // SymmetryStats summarises the computed orbits.
 type SymmetryStats struct {
@@ -284,6 +301,14 @@ func (m *Model) buildSymmetry() {
 		}
 	}
 
+	largest := 0
+	for _, o := range p.orbits {
+		if len(o) > largest {
+			largest = len(o)
+		}
+	}
+	p.flatCanon = largest <= flatCanonMaxOrbit
+
 	p.scratch.New = func() any {
 		return &canonScratch{
 			view: canonView{
@@ -328,13 +353,16 @@ type canonScratch struct {
 	qpos       []int32
 	ctmp       []CmdRec
 	qtmp       []Pending
-	// queueBuf/cmdsBuf own the storage behind cv.queue/cv.cmds when a
-	// rename pass actually runs; when nothing renames, the view aliases
-	// the state's own (read-only) slices instead, and these buffers
-	// must NOT be re-derived from the view — appending into an aliased
-	// slice would scribble over an immutable shared state.
-	queueBuf []Pending
-	cmdsBuf  []CmdRec
+	// queueBuf/cmdsBuf/inFlightBuf own the storage behind
+	// cv.queue/cv.cmds/cv.inFlight when a rename pass actually runs;
+	// when nothing renames, the view aliases the state's own
+	// (read-only) slices instead, and these buffers must NOT be
+	// re-derived from the view — appending into an aliased slice would
+	// scribble over an immutable shared state.
+	queueBuf    []Pending
+	cmdsBuf     []CmdRec
+	inFlightBuf []InFlightCmd
+	iftmp       []InFlightCmd
 	// refHdr holds the current reference-item header while walking app
 	// values (kept out of arena: arena may reallocate mid-walk).
 	refHdr []byte
@@ -386,8 +414,13 @@ func (m *Model) Canonicalize(s *State) *State {
 	cv := m.buildCanonView(s, cs)
 	for p := range n.Devices {
 		src := s.Devices[cv.order[p]]
-		n.Devices[p].Online = src.Online
-		copy(n.Devices[p].Attrs, src.Attrs)
+		dst := &n.Devices[p]
+		dst.Online = src.Online
+		copy(dst.Attrs, src.Attrs)
+		if dst.Reported != nil {
+			copy(dst.Reported, src.Reported)
+		}
+		dst.LastReport = src.LastReport
 	}
 	for i := range n.Apps {
 		a := &n.Apps[i]
@@ -400,6 +433,7 @@ func (m *Model) Canonicalize(s *State) *State {
 	}
 	n.Queue = append(n.Queue[:0], cv.queue...)
 	n.Cmds = append(n.Cmds[:0], cv.cmds...)
+	n.InFlight = append(n.InFlight[:0], cv.inFlight...)
 	m.sym.scratch.Put(cs)
 	// The in-place rewrite above invalidates every block hash n
 	// inherited from s's cache.
@@ -445,6 +479,10 @@ func (m *Model) ApplyDevicePermutation(s *State, perm []int) (*State, bool) {
 		dst := &n.Devices[perm[d]]
 		dst.Online = src.Online
 		copy(dst.Attrs, src.Attrs)
+		if dst.Reported != nil {
+			copy(dst.Reported, src.Reported)
+		}
+		dst.LastReport = src.LastReport
 	}
 	for i := range n.Apps {
 		a := &n.Apps[i]
@@ -467,6 +505,12 @@ func (m *Model) ApplyDevicePermutation(s *State, perm []int) (*State, bool) {
 	}
 	for i := range n.Cmds {
 		c := &n.Cmds[i]
+		if p.orbitOf[c.Dev] >= 0 {
+			c.Dev = int(devMap[c.Dev])
+		}
+	}
+	for i := range n.InFlight {
+		c := &n.InFlight[i]
 		if p.orbitOf[c.Dev] >= 0 {
 			c.Dev = int(devMap[c.Dev])
 		}
@@ -538,7 +582,7 @@ func (m *Model) buildCanonView(s *State, cs *canonScratch) *canonView {
 	if !hasOrbitEntries {
 		cv.queue = s.Queue
 		cv.queueAliased = true
-		cv.cmds = canonCmds(p, cv, cs, s)
+		canonCmds(p, cv, cs, s)
 		return cv
 	}
 	cs.queueBuf = append(cs.queueBuf[:0], s.Queue...)
@@ -578,19 +622,22 @@ func (m *Model) buildCanonView(s *State, cs *canonScratch) *canonView {
 		}
 	}
 
-	cv.cmds = canonCmds(p, cv, cs, s)
+	canonCmds(p, cv, cs, s)
 	return cv
 }
 
-// canonCmds renames orbit targets in the command log and sorts them
-// among their own positions (violation detection over the log is
-// membership-based, so within-log order of distinct entries is not
+// canonCmds renames orbit targets in the command log and the in-flight
+// buffer and sorts them among their own positions (violation detection
+// over the log is membership-based, and the in-flight buffer is
+// semantically a multiset — delivery/drop transitions enumerate every
+// index — so within-section order of distinct entries is not
 // observable). Under the current command-free-schema orbit gate no
 // command record can target an orbit device — the gate makes the
-// rename a provably empty pass and the state's own log is aliased —
-// but the path is kept live so a future relaxation of the gate cannot
-// silently desynchronise encoder and orbits.
-func canonCmds(p *symData, cv *canonView, cs *canonScratch, s *State) []CmdRec {
+// rename a provably empty pass and the state's own slices are aliased
+// — but the path is kept live so a future relaxation of the gate
+// cannot silently desynchronise encoder and orbits. Both sections
+// share one block, so cmdsAliased covers them jointly.
+func canonCmds(p *symData, cv *canonView, cs *canonScratch, s *State) {
 	hasOrbitCmds := false
 	for i := range s.Cmds {
 		if p.orbitOf[s.Cmds[i].Dev] >= 0 {
@@ -598,49 +645,89 @@ func canonCmds(p *symData, cv *canonView, cs *canonScratch, s *State) []CmdRec {
 			break
 		}
 	}
-	if !hasOrbitCmds {
+	hasOrbitInFlight := false
+	for i := range s.InFlight {
+		if p.orbitOf[s.InFlight[i].Dev] >= 0 {
+			hasOrbitInFlight = true
+			break
+		}
+	}
+	if !hasOrbitCmds && !hasOrbitInFlight {
 		cv.cmdsAliased = true
-		return s.Cmds
+		cv.cmds, cv.inFlight = s.Cmds, s.InFlight
+		return
+	}
+	cmdLess := func(x, y CmdRec) bool {
+		if x.Dev != y.Dev {
+			return x.Dev < y.Dev
+		}
+		if x.Cmd != y.Cmd {
+			return x.Cmd < y.Cmd
+		}
+		if x.Arg != y.Arg {
+			return x.Arg < y.Arg
+		}
+		if x.App != y.App {
+			return x.App < y.App
+		}
+		if x.Attr != y.Attr {
+			return x.Attr < y.Attr
+		}
+		return x.Value < y.Value
 	}
 	cs.cmdsBuf = append(cs.cmdsBuf[:0], s.Cmds...)
 	cmds := cs.cmdsBuf
-	cs.qpos = cs.qpos[:0]
-	for i := range cmds {
-		c := &cmds[i]
-		if p.orbitOf[c.Dev] >= 0 {
-			c.Dev = int(cv.devMap[c.Dev])
-			cs.qpos = append(cs.qpos, int32(i))
+	if hasOrbitCmds {
+		cs.qpos = cs.qpos[:0]
+		for i := range cmds {
+			c := &cmds[i]
+			if p.orbitOf[c.Dev] >= 0 {
+				c.Dev = int(cv.devMap[c.Dev])
+				cs.qpos = append(cs.qpos, int32(i))
+			}
+		}
+		if len(cs.qpos) > 1 {
+			cs.ctmp = cs.ctmp[:0]
+			for _, i := range cs.qpos {
+				cs.ctmp = append(cs.ctmp, cmds[i])
+			}
+			sort.SliceStable(cs.ctmp, func(a, b int) bool {
+				return cmdLess(cs.ctmp[a], cs.ctmp[b])
+			})
+			for k, i := range cs.qpos {
+				cmds[i] = cs.ctmp[k]
+			}
 		}
 	}
-	if len(cs.qpos) > 1 {
-		cs.ctmp = cs.ctmp[:0]
-		for _, i := range cs.qpos {
-			cs.ctmp = append(cs.ctmp, cmds[i])
+	cs.inFlightBuf = append(cs.inFlightBuf[:0], s.InFlight...)
+	ifl := cs.inFlightBuf
+	if hasOrbitInFlight {
+		cs.qpos = cs.qpos[:0]
+		for i := range ifl {
+			c := &ifl[i]
+			if p.orbitOf[c.Dev] >= 0 {
+				c.Dev = int(cv.devMap[c.Dev])
+				cs.qpos = append(cs.qpos, int32(i))
+			}
 		}
-		sort.SliceStable(cs.ctmp, func(a, b int) bool {
-			x, y := cs.ctmp[a], cs.ctmp[b]
-			if x.Dev != y.Dev {
-				return x.Dev < y.Dev
+		if len(cs.qpos) > 1 {
+			cs.iftmp = cs.iftmp[:0]
+			for _, i := range cs.qpos {
+				cs.iftmp = append(cs.iftmp, ifl[i])
 			}
-			if x.Cmd != y.Cmd {
-				return x.Cmd < y.Cmd
+			sort.SliceStable(cs.iftmp, func(a, b int) bool {
+				x, y := cs.iftmp[a], cs.iftmp[b]
+				if x.Notified != y.Notified {
+					return !x.Notified
+				}
+				return cmdLess(x.CmdRec, y.CmdRec)
+			})
+			for k, i := range cs.qpos {
+				ifl[i] = cs.iftmp[k]
 			}
-			if x.Arg != y.Arg {
-				return x.Arg < y.Arg
-			}
-			if x.App != y.App {
-				return x.App < y.App
-			}
-			if x.Attr != y.Attr {
-				return x.Attr < y.Attr
-			}
-			return x.Value < y.Value
-		})
-		for k, i := range cs.qpos {
-			cmds[i] = cs.ctmp[k]
 		}
 	}
-	return cmds
+	cv.cmds, cv.inFlight = cmds, ifl
 }
 
 // bucketProfileItems makes one pass over the state's queue, command
@@ -680,6 +767,23 @@ func (m *Model) bucketProfileItems(s *State, cs *canonScratch) {
 			cs.arena = append(cs.arena, c.Attr...)
 			cs.arena = append(cs.arena, 0)
 			cs.arena = append(cs.arena, c.Value...)
+			cs.addItem(c.Dev, start)
+		}
+	}
+	for _, c := range s.InFlight {
+		if p.orbitOf[c.Dev] >= 0 {
+			// In-flight commands held at an orbit device (unreachable
+			// under the command-free-schema orbit gate, kept live like
+			// canonCmds' rename pass).
+			start := len(cs.arena)
+			cs.arena = append(cs.arena, 4) // in-flight tag
+			cs.arena = append(cs.arena, c.Cmd...)
+			cs.arena = append(cs.arena, 0, byte(c.Arg), byte(c.Arg>>8), byte(c.App), byte(c.App>>8))
+			if c.Notified {
+				cs.arena = append(cs.arena, 1)
+			} else {
+				cs.arena = append(cs.arena, 0)
+			}
 			cs.addItem(c.Dev, start)
 		}
 	}
@@ -761,21 +865,23 @@ func (m *Model) bucketValueRefs(v *ir.Value, cs *canonScratch) {
 // collisions, which can only make the canonical choice fold less,
 // never unsoundly).
 func (m *Model) devProfile(s *State, d int, buf []byte, cs *canonScratch) []byte {
-	if s.blockHash != nil {
+	// Flat-canonical tables profile from state content even when a hash
+	// cache exists: flatCanonicalDigest skips the dirty-block refresh, so
+	// cached hashes may be stale there, and content-keyed profiles keep
+	// the canonical representative identical to the cache-less model's.
+	if s.blockHash != nil && !m.sym.flatCanon {
 		h := s.blockHash[1+d]
 		buf = append(buf,
 			byte(h), byte(h>>8), byte(h>>16), byte(h>>24),
 			byte(h>>32), byte(h>>40), byte(h>>48), byte(h>>56))
 	} else {
-		ds := &s.Devices[d]
-		if ds.Online {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
-		}
-		for _, a := range ds.Attrs {
-			buf = append(buf, byte(a), byte(a>>8))
-		}
+		// Delegate to the block encoder so every component of the local
+		// block — including the stale Reported vector and report epoch an
+		// offline device carries under fault injection — feeds the
+		// profile. A profile that ignored offline content would fold
+		// states the encoder distinguishes, splitting one orbit image
+		// across two store keys.
+		buf = encodeDevice(buf, &s.Devices[d])
 	}
 	items := cs.itemsByDev[d]
 	sort.Slice(items, func(a, b int) bool {

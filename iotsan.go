@@ -89,6 +89,19 @@ type Options struct {
 	Design Design
 	// Failures enumerates device/communication failures.
 	Failures bool
+	// Faults enables the persistent fault-injection environment model:
+	// devices can go offline and come back, commands issued to offline
+	// devices are held in flight and later delivered or silently
+	// dropped, and handlers read last-reported (stale) attribute values
+	// while the source device is offline. Orthogonal to Failures (which
+	// models transient per-cascade actuator failure modes).
+	Faults bool
+	// MaxFaults bounds the number of budgeted fault transitions (device
+	// outages and command drops; recovery and delivery are free) per
+	// execution path. 0 with Faults set keeps the fault machinery
+	// installed but inert — the state space, digests, and violations
+	// are identical to a faults-off run (a CI-enforced gate).
+	MaxFaults int
 	// Properties selects property ids to verify (nil = the full
 	// 45-property catalog).
 	Properties []string
@@ -429,9 +442,11 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 		Design:          opts.Design,
 		MaxEvents:       opts.MaxEvents,
 		Failures:        opts.Failures,
+		Faults:          opts.Faults,
+		MaxFaults:       opts.MaxFaults,
 		CheckConflicts:  sel[model.PropConflicting] || sel[model.PropRepeated],
 		CheckLeakage:    sel[model.PropLeakNetwork],
-		CheckRobustness: opts.Failures && sel[model.PropRobustness],
+		CheckRobustness: (opts.Failures || opts.Faults) && sel[model.PropRobustness],
 		Invariants:      invs,
 		RelevantAttrs:   relevantAttrs(sub, apps),
 		Interpreter:     opts.Interpreter,
@@ -449,8 +464,11 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 	// search on violations that never reach the report. The cap is
 	// enforced at commit time instead, and propagates here through the
 	// shared stop flag.
+	// Fault transitions extend paths beyond the event budget (an
+	// outage/recovery/delivery chain can interleave between events), so
+	// the depth bound grows with the fault budget.
 	copts := checker.Options{
-		MaxDepth:  opts.MaxEvents + 64,
+		MaxDepth:  opts.MaxEvents + 64 + 8*opts.MaxFaults,
 		MaxStates: opts.MaxStatesPerSet,
 		Deadline:  opts.Deadline,
 		Strategy:  opts.Strategy,
