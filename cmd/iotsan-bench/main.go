@@ -59,6 +59,7 @@ func realMain() int {
 	experiments.SetPOR(engine.POR)
 	experiments.SetSymmetry(engine.Symmetry)
 	experiments.SetIncremental(engine.Incremental)
+	experiments.SetEpochReclaim(engine.EpochReclaim)
 	experiments.SetFailures(engine.Failures)
 	experiments.SetFaults(engine.Faults, engine.MaxFaults)
 
@@ -230,6 +231,7 @@ type perfRecord struct {
 	CPUs             int           `json:"cpus"`
 	Workload         string        `json:"workload"`
 	Runs             []perfRun     `json:"runs"`
+	ParityRuns       []parityRun   `json:"parity_runs,omitempty"`
 	GroupWorkload    string        `json:"group_workload,omitempty"`
 	GroupRuns        []groupRun    `json:"group_runs,omitempty"`
 	PORWorkload      string        `json:"por_workload,omitempty"`
@@ -248,6 +250,26 @@ type perfRun struct {
 	States       int     `json:"states"`
 	Seconds      float64 `json:"seconds"`
 	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// parityRun is one per-worker-parity measurement on the shared perf
+// workload: sequential DFS versus one parallel strategy at workers=1 on
+// equal work, with frontier recycling (epoch reclamation) on and off.
+// Each repetition runs the three searches back to back so all sides
+// sample the same machine conditions, and each side keeps its fastest
+// run. ParityVsDFS is the recycling-on throughput as a fraction of the
+// paired DFS throughput — 1.0 means the strategy's fixed per-state
+// overhead has vanished and speedup comes purely from added workers.
+type parityRun struct {
+	Strategy              string  `json:"strategy"`
+	Workers               int     `json:"workers"`
+	DFSStates             int     `json:"dfs_states"`
+	States                int     `json:"states"`
+	StatesNoRecycle       int     `json:"states_no_recycle"`
+	DFSStatesPerSec       float64 `json:"dfs_states_per_sec"`
+	RecycleStatesPerSec   float64 `json:"recycle_states_per_sec"`
+	NoRecycleStatesPerSec float64 `json:"no_recycle_states_per_sec"`
+	ParityVsDFS           float64 `json:"parity_vs_dfs"`
 }
 
 // groupRun is one multi-group Analyze wall-clock measurement: the same
@@ -384,6 +406,9 @@ func runPerf(writeJSON bool) error {
 			r.Strategy, r.Workers, r.States, r.Seconds, r.StatesPerSec)
 	}
 
+	if err := runParityPerf(&rec); err != nil {
+		return err
+	}
 	if err := runGroupPerf(&rec); err != nil {
 		return err
 	}
@@ -410,6 +435,70 @@ func runPerf(writeJSON bool) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// runParityPerf measures per-worker parity on the shared perf
+// workload: for each parallel strategy at workers=1, paired best-of-N
+// against sequential DFS on equal work, with epoch reclamation on and
+// off. DFS is re-measured inside each strategy's pairing (rather than
+// once globally) so every ratio compares runs that interleaved on the
+// same machine conditions.
+func runParityPerf(rec *perfRecord) error {
+	m, copts, desc, err := experiments.ParallelCheckWorkload()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-worker parity (%s):\n", desc)
+
+	for _, strat := range []checker.StrategyKind{checker.StrategySteal, checker.StrategyParallel} {
+		base := copts
+		base.Workers = 1
+		var dfsRes, onRes, offRes *checker.Result
+		var secDFS, secOn, secOff float64
+		for i := 0; i < 5; i++ {
+			o := base
+			o.Strategy = checker.StrategyDFS
+			start := time.Now()
+			rd := checker.Run(m.System(), o)
+			sd := time.Since(start).Seconds()
+			o.Strategy = strat
+			start = time.Now()
+			ron := checker.Run(m.System(), o)
+			son := time.Since(start).Seconds()
+			o.NoEpochReclaim = true
+			start = time.Now()
+			roff := checker.Run(m.System(), o)
+			soff := time.Since(start).Seconds()
+			if i == 0 || sd < secDFS {
+				dfsRes, secDFS = rd, sd
+			}
+			if i == 0 || son < secOn {
+				onRes, secOn = ron, son
+			}
+			if i == 0 || soff < secOff {
+				offRes, secOff = roff, soff
+			}
+		}
+		r := parityRun{
+			Strategy:              strat.String(),
+			Workers:               1,
+			DFSStates:             dfsRes.StatesExplored,
+			States:                onRes.StatesExplored,
+			StatesNoRecycle:       offRes.StatesExplored,
+			DFSStatesPerSec:       float64(dfsRes.StatesExplored) / secDFS,
+			RecycleStatesPerSec:   float64(onRes.StatesExplored) / secOn,
+			NoRecycleStatesPerSec: float64(offRes.StatesExplored) / secOff,
+		}
+		r.ParityVsDFS = r.RecycleStatesPerSec / r.DFSStatesPerSec
+		rec.ParityRuns = append(rec.ParityRuns, r)
+		fmt.Printf("%-9s workers=1 dfs %9.0f states/s  recycle %9.0f states/s  no-recycle %9.0f states/s  parity=%.2fx\n",
+			r.Strategy, r.DFSStatesPerSec, r.RecycleStatesPerSec, r.NoRecycleStatesPerSec, r.ParityVsDFS)
+		if onRes.StatesExplored != offRes.StatesExplored {
+			fmt.Printf("WARNING: %s: recycling changed the explored state count (%d -> %d) — the equivalence gates forbid this\n",
+				r.Strategy, offRes.StatesExplored, onRes.StatesExplored)
+		}
 	}
 	return nil
 }

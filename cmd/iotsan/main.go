@@ -62,7 +62,7 @@ func main() {
 		Strategy: engine.Strategy, Workers: engine.Workers,
 		GroupParallel: engine.GroupParallel, MaxViolations: *maxViol,
 		POR: engine.POR, Symmetry: engine.Symmetry, Interpreter: *interp,
-		NoIncremental: !engine.Incremental}
+		NoIncremental: !engine.Incremental, NoEpochReclaim: !engine.EpochReclaim}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

@@ -321,6 +321,17 @@ type Options struct {
 	// reduction composes with POR (canonical keys also serve the
 	// visited-state proviso).
 	Symmetry bool
+	// NoEpochReclaim disables state recycling on the frontier strategies
+	// (StrategyParallel and StrategySteal). The zero value keeps it ON:
+	// dead duplicate children are recycled where they are produced, and
+	// consumed, fully expanded frontier states are retired through a
+	// per-worker epoch-based reclamation layer (see reclaim.go) before
+	// re-entering the system's free-lists. The flag is an A/B escape
+	// hatch mirroring the -epoch-reclaim CLI default; it does not affect
+	// the sequential DFS free-lists, which predate it, nor the recycling
+	// of partial-order-pruned successors, which never escape their
+	// expansion on any strategy.
+	NoEpochReclaim bool
 }
 
 // TrailStep is one step of a counter-example trail. From/Key carry the

@@ -15,6 +15,16 @@ import "sync/atomic"
 // version. Slots hold pointers and the ring is only ever copied on
 // growth — never recycled — so the ABA hazards of the in-place variant
 // do not arise.
+//
+// Entry objects, by contrast, ARE recycled (per-worker free-lists in
+// strategy_steal.go), which is sound because consumption is
+// exactly-once: steal loads the slot pointer before its CAS but
+// dereferences it only after winning, and the CAS fails for every slot
+// a consumer has advanced top past — so a stale pointer to a recycled
+// (even re-pushed) entry is only ever compared, never read through.
+// The owner's field writes on reuse are ordered before the re-push's
+// atomic slot store, which any successful thief's loads synchronise
+// with.
 type wsDeque struct {
 	bottom atomic.Int64 // next slot the owner pushes to; owner-written
 	top    atomic.Int64 // next slot thieves steal from; CAS-advanced

@@ -54,6 +54,18 @@ type engine struct {
 	// fully consumed succs slice on pop.
 	trec TransitionRecycler
 
+	// frontierRecycle is set when the frontier strategies (parallel,
+	// steal) may recycle dead states and consumed successor slices:
+	// rec non-nil and Options.NoEpochReclaim unset. The sequential DFS
+	// free-lists are independent of it.
+	frontierRecycle bool
+
+	// depthByScan is set by the work-stealing strategy, whose
+	// MaxDepthReached comes from the final parent-table depth scan (the
+	// order-independent fixpoint); per-expansion noteDepth calls would
+	// be overwritten by it, so expandShared skips them.
+	depthByScan bool
+
 	// needH2 is set when the store derives probes from the second hash
 	// (bitstate); the exhaustive stores key on h1 alone, so the second
 	// hashing pass is skipped on their per-state hot path.
@@ -114,10 +126,13 @@ func newEngine(sys System, opts Options) *engine {
 		inc:       inc,
 		rec:       rec,
 		trec:      trec,
-		opts:      opts,
-		st:        newStore(opts, opts.Strategy != StrategyDFS),
-		start:     time.Now(),
-		needH2:    opts.Store == Bitstate && !opts.NoDedup,
+
+		frontierRecycle: rec != nil && !opts.NoEpochReclaim,
+
+		opts:   opts,
+		st:     newStore(opts, opts.Strategy != StrategyDFS),
+		start:  time.Now(),
+		needH2: opts.Store == Bitstate && !opts.NoDedup,
 		bufs: sync.Pool{New: func() any {
 			b := make([]byte, 0, 512)
 			return &b
@@ -163,9 +178,26 @@ func (e *engine) putBuf(b *[]byte) { e.bufs.Put(b) }
 // reporting whether it was recorded. The trail is copied. The
 // MaxViolations cap is enforced here, under the lock, so concurrent
 // workers can never overshoot it between their own limit checks.
+//
+// Callers that must pay to construct the trail (the frontier
+// strategies rebuild it from parent links per violation) should call
+// reserve first and build the trail only for accepted violations —
+// on violation-dense state spaces almost every hit is a duplicate, and
+// constructing trails for them is pure allocation churn.
 func (e *engine) record(v Violation, trail []TrailStep, depth int) bool {
+	if !e.reserve(v) {
+		return false
+	}
+	copied := append([]TrailStep(nil), trail...)
+	e.commit(v, copied, depth)
+	return true
+}
+
+// reserve is phase 1 of recording: dedup + reserve a slot against the
+// MaxViolations cap, under the lock. A true return obliges the caller
+// to commit the violation.
+func (e *engine) reserve(v Violation) bool {
 	key := v.Property + "\x00" + v.Detail
-	// Phase 1 under the lock: dedup + reserve a slot against the cap.
 	e.mu.Lock()
 	if e.distinct[key] ||
 		(e.opts.MaxViolations > 0 && e.reserved >= e.opts.MaxViolations) {
@@ -176,21 +208,22 @@ func (e *engine) record(v Violation, trail []TrailStep, depth int) bool {
 	e.reserved++
 	e.mu.Unlock()
 	e.violCount.Add(1)
+	return true
+}
 
-	// Phase 2 outside the lock: materialize the trail (forward replay —
-	// potentially a full re-execution per step) without serializing
-	// other workers behind it.
-	copied := append([]TrailStep(nil), trail...)
-	e.materialize(copied)
-
+// commit is phase 2: materialize the trail (forward replay —
+// potentially a full re-execution per step) outside the lock, without
+// serializing other workers behind it, then append the result. commit
+// takes ownership of trail.
+func (e *engine) commit(v Violation, trail []TrailStep, depth int) {
+	e.materialize(trail)
 	e.mu.Lock()
 	e.found = append(e.found, Found{
 		Violation: v,
-		Trail:     copied,
+		Trail:     trail,
 		Depth:     depth,
 	})
 	e.mu.Unlock()
-	return true
 }
 
 // materialize resolves lazy trail steps in place by replaying forward:
@@ -308,28 +341,69 @@ func (e *engine) expand(state State, buf []byte, count bool) ([]Transition, []by
 		e.porChoices.Add(1)
 		e.porPruned.Add(int64(len(trs) - len(sel)))
 	}
-	out := make([]Transition, len(sel))
-	for j, i := range sel {
-		out[j] = trs[i]
-		trs[i].Next = nil // kept; cleared so the recycle sweep skips it
-	}
+	// Compact the selected transitions to the front of trs in place (sel
+	// is ascending, so every move is leftward) instead of allocating a
+	// fresh slice: the caller's strategy recycles the one backing array
+	// when it has consumed the subset, exactly as for an unreduced
+	// expansion. Pruned transitions never leave this expansion on any
+	// strategy, so their freshly cloned states go straight back to the
+	// free-list.
 	if e.rec != nil {
-		// Pruned transitions never leave this expansion on any strategy —
-		// their freshly cloned states are dead.
+		j := 0
 		for i := range trs {
-			if trs[i].Next != nil {
-				e.rec.Recycle(trs[i].Next)
-				trs[i].Next = nil
+			if j < len(sel) && sel[j] == i {
+				j++
+				continue
 			}
-		}
-		if e.trec != nil {
-			// Every entry was copied to out or recycled above; the
-			// backing array itself is dead too.
-			e.trec.RecycleTransitions(trs)
+			e.rec.Recycle(trs[i].Next)
+			trs[i].Next = nil
 		}
 	}
+	for j, i := range sel {
+		trs[j] = trs[i]
+	}
+	out := trs[:len(sel)]
 	e.noteFaults(out, count)
 	return out, buf
+}
+
+// statCell batches one worker's explored/matched counts off the shared
+// atomics. Each worker goroutine keeps its own cell (stack-local — no
+// sharing, no padding needed) and folds it into the engine totals at
+// termination plus periodically, so the per-state counter cost on the
+// frontier hot paths is two local increments instead of contended
+// read-modify-writes. With MaxStates set, explored folds on every bump
+// so limitHit sees the exact global count — truncation semantics are
+// unchanged from the per-state atomics.
+type statCell struct {
+	explored int64
+	matched  int64
+}
+
+// statFlushEvery bounds how many explored states a worker accumulates
+// locally on unbounded searches before folding into the shared counter.
+const statFlushEvery = 32
+
+func (sc *statCell) bumpExplored(e *engine) {
+	sc.explored++
+	if e.opts.MaxStates > 0 || sc.explored >= statFlushEvery {
+		e.explored.Add(sc.explored)
+		sc.explored = 0
+	}
+}
+
+// flush folds the residues into the engine totals. Workers flush on
+// exit (before the strategy's WaitGroup releases the main goroutine),
+// so Result totals are exact.
+func (sc *statCell) flush(e *engine) {
+	if sc.explored != 0 {
+		e.explored.Add(sc.explored)
+		sc.explored = 0
+	}
+	if sc.matched != 0 {
+		e.matched.Add(sc.matched)
+		sc.matched = 0
+	}
 }
 
 // noteFaults adds the fault-flagged transitions in the final successor

@@ -248,6 +248,11 @@ func (s *parallelBFS) search(e *engine) {
 	parents := newParentStore(d0.h1, init)
 
 	frontier := []frontierEntry{{state: init, d: d0}}
+	// Per-worker next-frontier parts are allocated once and reused
+	// across every merge barrier: workers append into a local slice and
+	// write the header back on exit, so the shared array sees one store
+	// per worker per level instead of false-shared header updates.
+	next := make([][]frontierEntry, workers)
 	for depth := 1; len(frontier) > 0; depth++ {
 		if depth > e.opts.MaxDepth {
 			// States at MaxDepth exist but may not be expanded — the
@@ -255,7 +260,6 @@ func (s *parallelBFS) search(e *engine) {
 			e.truncated.Store(true)
 			break
 		}
-		next := make([][]frontierEntry, workers)
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -266,6 +270,15 @@ func (s *parallelBFS) search(e *engine) {
 				defer e.putBuf(bufp)
 				buf := *bufp
 				defer func() { *bufp = buf }()
+				part := next[w][:0]
+				defer func() { next[w] = part }()
+				var sc statCell
+				defer sc.flush(e)
+				// One enqueue closure per worker per level, not per
+				// expansion — the hot path must not allocate.
+				enq := func(st State, d digest) {
+					part = append(part, frontierEntry{state: st, d: d})
+				}
 				for {
 					i := int(cursor.Add(1)) - 1
 					if i >= len(frontier) {
@@ -276,7 +289,17 @@ func (s *parallelBFS) search(e *engine) {
 						return
 					}
 					ent := frontier[i]
-					buf = s.expand(e, parents, ent, depth, &next[w], buf)
+					var ok bool
+					buf, ok = expandShared(e, parents, ent.state, ent.d.h1, depth, buf, true, &sc, enq, nil)
+					// The cursor claim is exclusive and the merge below
+					// overwrites the slot, so a fully expanded frontier
+					// state is dead here — each level barrier is a
+					// natural reclamation epoch. The root survives for
+					// trail replay; a truncated expansion skips (its
+					// unconsumed successors keep the state conservative).
+					if ok && e.frontierRecycle && ent.state != init {
+						e.rec.Recycle(ent.state)
+					}
 				}
 			}(w)
 		}
@@ -285,20 +308,10 @@ func (s *parallelBFS) search(e *engine) {
 			break
 		}
 		frontier = frontier[:0]
-		for _, part := range next {
-			frontier = append(frontier, part...)
+		for w := range next {
+			frontier = append(frontier, next[w]...)
 		}
 	}
-}
-
-// expand processes one frontier state through the shared expansion
-// path, appending newly stored successors to the worker's
-// next-frontier slice.
-func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry, depth int, out *[]frontierEntry, buf []byte) []byte {
-	buf, _ = expandShared(e, parents, ent.state, ent.d.h1, depth, buf, true, func(st State, d digest) {
-		*out = append(*out, frontierEntry{state: st, d: d})
-	}, nil)
-	return buf
 }
 
 // expandShared is the expansion path common to the frontier strategies
@@ -313,27 +326,47 @@ func (s *parallelBFS) expand(e *engine, parents *parentStore, ent frontierEntry,
 // count suppresses the matched counter when false: the work-stealing
 // strategy re-expands states whose depth improved (relaxation passes),
 // and those must not perturb the deterministic exploration statistics.
+// sc is the calling worker's (goroutine-local) counter cell; explored
+// and matched accumulate there and fold into the engine totals.
 // onDup, when non-nil, receives every successor that was already in the
-// visited store (the relaxation hook). It returns the (possibly grown)
+// visited store (the relaxation hook) and reports whether it kept the
+// state (re-enqueued it); unkept duplicate children were produced by
+// this expansion, shared with nobody, and are recycled on the spot —
+// on diamond-heavy state spaces they are the bulk of the clones, the
+// same place the DFS free-list pays. It returns the (possibly grown)
 // encode buffer and false when a limit was hit (truncated is already
-// set; the caller must stop).
-func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth int, buf []byte, count bool, enqueue func(State, digest), onDup func(State, digest)) ([]byte, bool) {
+// set; the caller must stop, and must not recycle the expanded state
+// or its successor slice — unconsumed entries keep them conservative).
+func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth int, buf []byte, count bool, sc *statCell, enqueue func(State, digest), onDup func(State, digest) bool) ([]byte, bool) {
 	var prefix []TrailStep // parent trail, reconstructed lazily
 	havePrefix := false
-	record := func(v Violation, tr Transition) bool {
+	record := func(v Violation, tr *Transition) bool {
+		// Reserve before constructing anything: on violation-dense
+		// state spaces nearly every hit is a duplicate, and the trail
+		// walk + copy for a rejected violation is wasted allocation.
+		if !e.reserve(v) {
+			return false
+		}
 		if !havePrefix {
 			prefix = parents.trailTo(h1, e.opts.MaxDepth)
 			havePrefix = true
 		}
 		trail := append(append([]TrailStep(nil), prefix...),
 			TrailStep{Label: tr.Label, Steps: tr.Steps, From: state, Key: tr.Key})
-		return e.record(v, trail, depth)
+		e.commit(v, trail, depth)
+		return true
 	}
 
 	var trs []Transition
 	trs, buf = e.expand(state, buf, count)
-	for _, tr := range trs {
+	if len(trs) > 0 && !e.depthByScan {
+		// One depth note per generating expansion: every transition of
+		// this batch sits at the same depth, and the steal strategy's
+		// depth comes from the final parent-table scan instead.
 		e.noteDepth(depth)
+	}
+	for i := range trs {
+		tr := &trs[i]
 		for _, v := range tr.Violations {
 			if record(v, tr) && e.limitHit() {
 				e.truncated.Store(true)
@@ -351,20 +384,32 @@ func expandShared(e *engine, parents *parentStore, state State, h1 uint64, depth
 		d, buf = e.digest(tr.Next, buf)
 		if e.st.seen(d) {
 			if count {
-				e.matched.Add(1)
+				sc.matched++
 			}
-			if onDup != nil {
-				onDup(tr.Next, d)
+			kept := onDup != nil && onDup(tr.Next, d)
+			if !kept && e.frontierRecycle {
+				// A duplicate child that was not re-enqueued never
+				// entered a deque, the parent table, or a recorded
+				// trail (record materializes eagerly): nobody but this
+				// worker has ever seen the clone.
+				e.rec.Recycle(tr.Next)
+				tr.Next = nil
 			}
 			continue
 		}
 		parents.put(d.h1, parentEdge{parent: h1, label: tr.Label, steps: tr.Steps, key: tr.Key, depth: int32(depth)})
-		e.explored.Add(1)
+		sc.bumpExplored(e)
 		enqueue(tr.Next, d)
 		if e.limitHit() {
 			e.truncated.Store(true)
 			return buf, false
 		}
+	}
+	if e.frontierRecycle && e.trec != nil {
+		// Every entry was enqueued (its state copied into a frontier
+		// structure), recycled above, or pruned inside engine.expand —
+		// the backing array itself is reusable, as on the DFS pop path.
+		e.trec.RecycleTransitions(trs)
 	}
 	return buf, true
 }

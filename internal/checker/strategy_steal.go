@@ -15,14 +15,22 @@ import (
 // a worker whose deque runs dry steals the oldest entry FIFO from a
 // victim. No worker ever waits at a barrier; the only global
 // synchronisation is the sharded visited store (shared with
-// StrategyParallel) and a pending-state counter used for termination
-// detection.
+// StrategyParallel) and per-worker sent/done counters used for
+// termination detection.
 //
-// Termination: pending counts states that have been pushed to some
-// deque but not yet fully expanded. A worker that finds every deque
-// empty re-checks pending — zero means no entry exists anywhere and no
-// expansion is in flight that could produce one, so the search is
-// complete and all workers exit.
+// Termination: each worker keeps two monotone, padded counters — sent
+// (states it pushed to its deque, root included) and done (expansions
+// it completed). done can never exceed sent globally: an entry is
+// counted sent strictly before its push becomes visible, and whoever
+// consumes it counts done only after the expansion. A worker that
+// finds every deque empty sums all done counters, then all sent
+// counters; monotonicity makes equality of the two sums prove that at
+// the instant the done-scan finished every pushed state had been fully
+// expanded — no entry exists anywhere and no expansion is in flight
+// that could produce one — so the search is complete and all workers
+// exit. (The scan order matters: summing sent first could observe a
+// sent increment without its eventual done and miss termination, but
+// never falsely detect it; summing done first can do neither.)
 //
 // Like StrategyParallel, trails are reconstructed through the shared
 // parent-link table. Each stored state's depth starts as the length of
@@ -49,6 +57,15 @@ import (
 // sibling group could admit on — and every claimed token is released
 // by the time the search ends, so budget freed by one finished group
 // flows to groups that still have work.
+//
+// With a recycling system (StateRecycler), the steal hot path is
+// allocation-free in steady state: deque entries come from per-worker
+// free-lists, consumed successor slices return through
+// TransitionRecycler, duplicate children are recycled where they are
+// produced, and consumed, fully expanded states are retired through
+// the epoch-based reclamation layer (reclaim.go) so a reference
+// briefly held by a concurrent steal attempt can never observe
+// recycled backing storage.
 type workSteal struct {
 	workers int
 }
@@ -56,10 +73,33 @@ type workSteal struct {
 // stealEntry is one state awaiting expansion; its digest keys the
 // parent-link table, which also carries the state's (minimal known)
 // depth — entries deliberately do not cache the depth, so a pop always
-// expands at the freshest distance.
+// expands at the freshest distance. Entry objects are pooled per
+// worker: the Chase–Lev top-CAS guarantees exactly-once consumption,
+// so the consumer owns the entry outright and recycles it into its own
+// free-list (a thief that loaded a stale entry pointer loses the CAS
+// and never dereferences it).
 type stealEntry struct {
 	state State
 	d     digest
+}
+
+// wsCounters is one worker slot's termination-detection pair. Written
+// (plain atomic stores — the owner is the only writer) by the slot's
+// worker, scanned by any worker checking quiescence; padded so
+// neighbouring slots never false-share. Ownership follows the deque
+// index through retire/respawn handoff, and the counters survive it:
+// they are monotone for the slot, not the goroutine.
+type wsCounters struct {
+	sent atomic.Int64 // states pushed to this slot's deque (root included)
+	done atomic.Int64 // expansions completed by this slot's owner
+	_    [48]byte
+}
+
+// wsEntryPool is one worker slot's stealEntry free-list, owner-only;
+// padded so the slice headers of neighbouring slots never false-share.
+type wsEntryPool struct {
+	free []*stealEntry
+	_    [40]byte
 }
 
 // stealRun is the shared state of one work-stealing search.
@@ -67,16 +107,23 @@ type stealRun struct {
 	e       *engine
 	parents *parentStore
 	deques  []*wsDeque
-	pending atomic.Int64 // states pushed but not yet fully expanded
-	live    atomic.Int32 // workers currently running (crew-size check)
-	nextIdx atomic.Int32 // monotonic worker-index allocator
-	max     int
-	wg      sync.WaitGroup
+	cnts    []wsCounters
+	pools   []wsEntryPool
+	// reclaim is the epoch-based reclamation layer, nil when the system
+	// does not recycle or Options.NoEpochReclaim is set.
+	reclaim *reclaimer
+	// relaxOff disables depth relaxation (uncertified POR or symmetry
+	// folding; see expand).
+	relaxOff bool
+	live     atomic.Int32 // workers currently running (crew-size check)
+	nextIdx  atomic.Int32 // monotonic worker-index allocator
+	max      int
+	wg       sync.WaitGroup
 
 	// freeMu guards freeIdx, the deque indices of retired workers. A
 	// retiring worker publishes its index here strictly after its last
-	// deque operation, so a replacement spawned under the same index
-	// never shares ownership with it.
+	// deque operation and its reclaim offline, so a replacement spawned
+	// under the same index never shares ownership with it.
 	freeMu  sync.Mutex
 	freeIdx []int
 }
@@ -93,16 +140,26 @@ func (s *workSteal) search(e *engine) {
 		return
 	}
 
+	// MaxDepthReached comes from the final depth-table scan below;
+	// per-expansion notes would only be overwritten.
+	e.depthByScan = true
+
 	r := &stealRun{
-		e:       e,
-		parents: newParentStore(d0.h1, init),
-		deques:  make([]*wsDeque, max),
-		max:     max,
+		e:        e,
+		parents:  newParentStore(d0.h1, init),
+		deques:   make([]*wsDeque, max),
+		cnts:     make([]wsCounters, max),
+		pools:    make([]wsEntryPool, max),
+		relaxOff: (e.reducer != nil && !e.certified) || e.canon != nil,
+		max:      max,
 	}
 	for i := range r.deques {
 		r.deques[i] = newWSDeque()
 	}
-	r.pending.Store(1)
+	if e.frontierRecycle {
+		r.reclaim = newReclaimer(e.rec, max)
+	}
+	r.cnts[0].sent.Store(1)
 	r.deques[0].push(&stealEntry{state: init, d: d0})
 
 	if e.opts.Budget == nil {
@@ -120,6 +177,11 @@ func (s *workSteal) search(e *engine) {
 		r.spawn(0, false)
 	}
 	r.wg.Wait()
+	if r.reclaim != nil {
+		// No worker holds any frontier reference anymore: whatever the
+		// grace periods kept in limbo goes back to the free-lists now.
+		r.reclaim.drainAll()
+	}
 	// Clipping and the reported depth come from the final depth table —
 	// the shortest-distance fixpoint — not from per-path bookkeeping, so
 	// depth-clipped searches are deterministic across runs and worker
@@ -144,6 +206,34 @@ func (r *stealRun) spawn(w int, ownsToken bool) {
 	}()
 }
 
+// quiescent reports whether every pushed state has been fully expanded.
+// The done counters are summed strictly before the sent counters: both
+// are monotone and done can never lead sent, so done-sum == sent-sum
+// proves global quiescence at the instant the done-scan finished
+// (a sent-first order could only delay detection, a done-first order
+// can neither miss nor falsely detect it).
+func (r *stealRun) quiescent() bool {
+	var done int64
+	for i := range r.cnts {
+		done += r.cnts[i].done.Load()
+	}
+	var sent int64
+	for i := range r.cnts {
+		sent += r.cnts[i].sent.Load()
+	}
+	return sent == done
+}
+
+// approxPending is a racy estimate of states pushed but not yet
+// expanded, for the grow heuristic only.
+func (r *stealRun) approxPending() int64 {
+	var n int64
+	for i := range r.cnts {
+		n += r.cnts[i].sent.Load() - r.cnts[i].done.Load()
+	}
+	return n
+}
+
 // maybeGrow claims one spare budget token and spawns an extra worker
 // when queued work exceeds the crew that could be expanding it.
 func (r *stealRun) maybeGrow() {
@@ -152,7 +242,7 @@ func (r *stealRun) maybeGrow() {
 	}
 	for {
 		l := r.live.Load()
-		if int(l) >= r.max || r.pending.Load() <= int64(l)+1 {
+		if int(l) >= r.max || r.approxPending() <= int64(l)+1 {
 			return
 		}
 		if !r.e.opts.Budget.TryAcquire() {
@@ -197,6 +287,72 @@ func (r *stealRun) maybeGrow() {
 // of spin-holding capacity a sibling group's admission could use.
 const retireAfter = 128
 
+// Futile-scavenge backoff: a worker that cannot retire (fixed crew or
+// admission worker) sleeps between scavenge passes once the futile
+// streak passes retireAfter, starting short — the tail is often one
+// in-flight expansion away from ending — and doubling up to a cap so a
+// long convergence tail neither burns a core nor oversleeps the wakeup.
+const (
+	scavengeSleepBase = 2 * time.Microsecond
+	scavengeSleepMax  = 256 * time.Microsecond
+)
+
+// getEntry draws a deque entry from worker w's free-list. Owner-only.
+func (r *stealRun) getEntry(w int, st State, d digest) *stealEntry {
+	p := &r.pools[w]
+	if n := len(p.free); n > 0 {
+		ent := p.free[n-1]
+		p.free = p.free[:n-1]
+		ent.state, ent.d = st, d
+		return ent
+	}
+	return &stealEntry{state: st, d: d}
+}
+
+// putEntry recycles a consumed entry into worker w's free-list. Safe
+// immediately after consumption: the top-CAS arbitration guarantees no
+// other worker will ever dereference this entry object again (a stale
+// pointer to it can still be loaded from a ring slot, but its holder's
+// CAS is doomed). Owner-only.
+func (r *stealRun) putEntry(w int, ent *stealEntry) {
+	ent.state = nil
+	r.pools[w].free = append(r.pools[w].free, ent)
+}
+
+// wsCtx is one worker's expansion context. The enqueue/duplicate hooks
+// are bound once per worker (not per expansion — the hot path must not
+// allocate closures) and read the per-expansion fields from here.
+type wsCtx struct {
+	r          *stealRun
+	w          int
+	sc         *statCell
+	sent       int64 // running mirror of cnts[w].sent
+	childDepth int
+	epoch      uint64 // epoch pinned before the current entry was consumed
+	enq        func(State, digest)
+	dup        func(State, digest) bool
+}
+
+// pushState counts and enqueues one newly stored state. The sent store
+// strictly precedes the push becoming stealable, which is what keeps
+// the done-sum ≤ sent-sum termination invariant.
+func (c *wsCtx) pushState(st State, d digest) {
+	c.sent++
+	c.r.cnts[c.w].sent.Store(c.sent)
+	c.r.deques[c.w].push(c.r.getEntry(c.w, st, d))
+}
+
+// relaxDup is the duplicate hook when depth relaxation is on: a
+// re-encountered successor whose depth improves is re-enqueued so the
+// shorter distance propagates; the entry is then live (kept).
+func (c *wsCtx) relaxDup(st State, d digest) bool {
+	if c.r.parents.relax(d.h1, int32(c.childDepth)) {
+		c.pushState(st, d)
+		return true
+	}
+	return false
+}
+
 // work is one worker's main loop: drain the own deque LIFO, steal FIFO
 // when dry, exit on global termination or a hit limit. ownsToken
 // workers additionally retire when persistently idle.
@@ -207,30 +363,72 @@ func (r *stealRun) work(w int, ownsToken bool) {
 	buf := *bufp
 	defer func() { *bufp = buf }()
 
+	var sc statCell
+	defer sc.flush(e)
+
+	c := &wsCtx{r: r, w: w, sc: &sc, sent: r.cnts[w].sent.Load()}
+	c.enq = c.pushState
+	c.dup = c.relaxDup
+	if r.relaxOff {
+		// Depth relaxation re-expands states, which must replay exactly
+		// the transitions the counted expansion explored. With an
+		// uncertified POR reducer the engine's visited-state proviso
+		// makes expansion store-dependent — a replay could diverge from
+		// the counted graph — so relaxation is disabled there (clipping
+		// then keeps the first-path semantics for that combination
+		// only). Certified reducers are pure functions of the state and
+		// replay identically. Symmetry reduction disables relaxation
+		// for the same reason in a different guise: a duplicate hit is
+		// then only *isomorphic* to the stored representative, not
+		// byte-identical, so re-expanding the duplicate raw state would
+		// record parent edges and trail steps whose replay keys do not
+		// stitch onto the representative's chain — counter-examples
+		// would stop being concrete executions.
+		c.dup = nil
+	}
+	done := r.cnts[w].done.Load()
+	if r.reclaim != nil {
+		r.reclaim.online(w)
+	}
+	offline := func() {
+		if r.reclaim != nil {
+			r.reclaim.offline(w)
+		}
+	}
+
 	// Victim scan order: a per-worker xorshift sequence so idle workers
 	// spread their steal attempts instead of convoying on worker 0.
 	rng := uint64(w)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 
 	idle := 0
+	sleep := scavengeSleepBase
 	for {
 		if e.truncated.Load() {
+			offline()
 			return // another worker hit a limit; abandon the search
+		}
+		if r.reclaim != nil {
+			// Quiescent point: no frontier references are held here.
+			c.epoch = r.reclaim.pin(w)
+			r.reclaim.tryAdvance()
 		}
 		ent := r.deques[w].pop()
 		if ent == nil {
 			ent = r.stealFrom(w, &rng)
 		}
 		if ent == nil {
-			if r.pending.Load() == 0 {
-				return // every deque empty and no expansion in flight
+			if r.quiescent() {
+				offline()
+				return // every pushed state fully expanded: search done
 			}
 			idle++
 			if idle >= retireAfter {
 				if ownsToken {
-					// Retire: publish the deque index (after the last
-					// deque touch above) so a future grow can reuse it,
-					// then leave the crew; the spawn wrapper releases
-					// the token.
+					// Retire: go offline first, then publish the deque
+					// index (after the last deque touch above) so a
+					// future grow can reuse the slot without sharing it;
+					// the spawn wrapper releases the token.
+					offline()
 					r.freeMu.Lock()
 					r.freeIdx = append(r.freeIdx, w)
 					r.freeMu.Unlock()
@@ -240,25 +438,30 @@ func (r *stealRun) work(w int, ownsToken bool) {
 				// Fixed-crew and admission workers cannot retire (the
 				// search needs at least one worker alive), but a long
 				// futile streak means the tail is one in-flight
-				// expansion elsewhere — sleep instead of burning a core
-				// on Gosched spins.
-				time.Sleep(20 * time.Microsecond)
+				// expansion elsewhere — back off with doubling sleeps
+				// instead of burning a core on Gosched spins.
+				time.Sleep(sleep)
+				if sleep < scavengeSleepMax {
+					sleep *= 2
+				}
 				continue
 			}
 			runtime.Gosched()
 			continue
 		}
-		idle = 0
+		idle, sleep = 0, scavengeSleepBase
 		// Consult the limits before every expansion (the engine contract:
 		// after every explored state, not once per violation) — Stop
 		// cancellation and Deadline must interrupt even a convergence
 		// tail where expansions store nothing new.
 		if e.limitHit() {
 			e.truncated.Store(true)
+			offline()
 			return
 		}
-		buf = r.expand(ent, w, buf)
-		r.pending.Add(-1)
+		buf = r.expand(ent, c, buf)
+		done++
+		r.cnts[w].done.Store(done)
 		r.maybeGrow()
 	}
 }
@@ -295,13 +498,26 @@ func (r *stealRun) stealFrom(w int, rng *uint64) *stealEntry {
 	return nil
 }
 
+// retireState hands a consumed, fully expanded state to the
+// reclamation layer (the root is exempt: trail replay starts from it).
+func (r *stealRun) retireState(w int, epoch uint64, st State) {
+	if r.reclaim == nil || st == r.parents.rootState {
+		return
+	}
+	r.reclaim.retire(w, epoch, st)
+}
+
 // expand processes one entry through the shared expansion path,
 // pushing newly stored successors onto the worker's own deque. A
 // re-encountered successor whose depth improves is re-enqueued so the
 // shorter distance propagates; the parent store's expanded claim
 // arbitrates so exactly one expansion of each state contributes to the
-// counters, and the propagation passes run count-suppressed.
-func (r *stealRun) expand(ent *stealEntry, w int, buf []byte) []byte {
+// counters, and the propagation passes run count-suppressed. The
+// consumed entry object returns to the worker's free-list, and the
+// consumed state is retired under the worker's pinned epoch unless a
+// limit truncated the expansion (unconsumed successors then keep it
+// conservative).
+func (r *stealRun) expand(ent *stealEntry, c *wsCtx, buf []byte) []byte {
 	e := r.e
 	depth, count := r.parents.claimExpansion(ent.d.h1, int32(e.opts.MaxDepth))
 	if int(depth) >= e.opts.MaxDepth {
@@ -311,37 +527,19 @@ func (r *stealRun) expand(ent *stealEntry, w int, buf []byte) []byte {
 		// still queued elsewhere continue to be expanded, and the final
 		// depth scan marks the result truncated once the search drains
 		// (unless a shorter path later relaxes this state below the
-		// bound and re-enqueues it).
+		// bound and re-enqueues it — via the duplicate clone the onDup
+		// hook is handed, never this one, so this clone has left every
+		// live structure and can retire).
+		st := ent.state
+		r.putEntry(c.w, ent)
+		r.retireState(c.w, c.epoch, st)
 		return buf
 	}
-	childDepth := int(depth) + 1
-	// Depth relaxation re-expands states, which must replay exactly the
-	// transitions the counted expansion explored. With an uncertified
-	// POR reducer the engine's visited-state proviso makes expansion
-	// store-dependent — a replay could diverge from the counted graph —
-	// so relaxation is disabled there (clipping then keeps the
-	// first-path semantics for that combination only). Certified
-	// reducers are pure functions of the state and replay identically.
-	// Symmetry reduction disables relaxation for the same reason in a
-	// different guise: a duplicate hit is then only *isomorphic* to the
-	// stored representative, not byte-identical, so re-expanding the
-	// duplicate raw state would record parent edges and trail steps
-	// whose replay keys do not stitch onto the representative's chain —
-	// counter-examples would stop being concrete executions.
-	onDup := func(st State, d digest) {
-		if r.parents.relax(d.h1, int32(childDepth)) {
-			r.pending.Add(1)
-			r.deques[w].push(&stealEntry{state: st, d: d})
-		}
+	c.childDepth = int(depth) + 1
+	buf, ok := expandShared(e, r.parents, ent.state, ent.d.h1, c.childDepth, buf, count, c.sc, c.enq, c.dup)
+	if ok {
+		r.retireState(c.w, c.epoch, ent.state)
 	}
-	if (e.reducer != nil && !e.certified) || e.canon != nil {
-		onDup = nil
-	}
-	buf, _ = expandShared(e, r.parents, ent.state, ent.d.h1, childDepth, buf, count,
-		func(st State, d digest) {
-			r.pending.Add(1)
-			r.deques[w].push(&stealEntry{state: st, d: d})
-		},
-		onDup)
+	r.putEntry(c.w, ent)
 	return buf
 }

@@ -20,6 +20,7 @@ type Engine struct {
 	POR           bool
 	Symmetry      bool
 	Incremental   bool
+	EpochReclaim  bool
 	Failures      bool
 	Faults        bool
 	MaxFaults     int
@@ -34,6 +35,7 @@ type EngineFlags struct {
 	por           *bool
 	symmetry      *bool
 	incremental   *bool
+	epochReclaim  *bool
 	failures      *bool
 	faults        *bool
 	maxFaults     *int
@@ -55,6 +57,8 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 			"symmetry reduction: fold states related by permutations of interchangeable devices"),
 		incremental: fs.Bool("incremental", true,
 			"incremental state digests: hash only the state-vector blocks each transition dirtied (set to false for the flat encode-and-hash path)"),
+		epochReclaim: fs.Bool("epoch-reclaim", true,
+			"recycle parallel/steal frontier states through epoch-based reclamation (set to false for the allocate-per-state path)"),
 		failures: fs.Bool("failures", false,
 			"enumerate transient device/communication failure modes per command"),
 		faults: fs.Bool("faults", false,
@@ -77,6 +81,7 @@ func (f *EngineFlags) Engine() (Engine, error) {
 		POR:           *f.por,
 		Symmetry:      *f.symmetry,
 		Incremental:   *f.incremental,
+		EpochReclaim:  *f.epochReclaim,
 		Failures:      *f.failures,
 		Faults:        *f.faults,
 		MaxFaults:     *f.maxFaults,

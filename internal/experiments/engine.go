@@ -14,6 +14,7 @@ var (
 	enginePOR           bool
 	engineSymmetry      bool
 	engineIncremental   = true
+	engineEpochReclaim  = true
 	engineFailures      bool
 	engineFaults        bool
 	engineMaxFaults     int
@@ -42,6 +43,12 @@ func SetSymmetry(on bool) { engineSymmetry = on }
 // mirroring the -incremental flag).
 func SetIncremental(on bool) { engineIncremental = on }
 
+// SetEpochReclaim toggles frontier-state recycling (epoch-based
+// reclamation on the parallel strategies) for the Run* experiments and
+// the benchmark workloads (default on, mirroring the -epoch-reclaim
+// flag).
+func SetEpochReclaim(on bool) { engineEpochReclaim = on }
+
 // SetFailures enables transient device/communication failure
 // enumeration for the Run* experiments (additive: experiments that
 // enable failures themselves, like Table 5, are unaffected).
@@ -66,6 +73,7 @@ func engineOptions(o iotsan.Options) iotsan.Options {
 	o.POR = enginePOR
 	o.Symmetry = engineSymmetry
 	o.NoIncremental = !engineIncremental
+	o.NoEpochReclaim = !engineEpochReclaim
 	if engineFailures {
 		o.Failures = true
 	}

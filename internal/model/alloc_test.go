@@ -3,6 +3,7 @@ package model
 import (
 	"testing"
 
+	"iotsan/internal/checker"
 	"iotsan/internal/config"
 	"iotsan/internal/ir"
 	"iotsan/internal/smartapp"
@@ -136,6 +137,47 @@ func TestCloneAllocBudget(t *testing.T) {
 	})
 	if allocs > 6 {
 		t.Errorf("State.Clone with incremental cache allocates %.1f times, want <= 6", allocs)
+	}
+}
+
+// TestStealSteadyStateAllocParity is the CI allocation gate for the
+// parallel expansion hot path: a complete work-stealing search at
+// workers=1 (epoch reclamation on, so dead frontier states and
+// consumed successor arrays recycle through the model's pools) must
+// stay within 2× of sequential DFS in allocations per explored state.
+// Before PR 8 the ratio was ~5× — every steal frontier state was a
+// fresh clone; the gate pins the recycled steady state.
+func TestStealSteadyStateAllocParity(t *testing.T) {
+	// Fixed per-search setup (deque ring, reclaimer slots, visited
+	// store, goroutine spawn) dwarfs the per-state cost on a model this
+	// small, so the gate measures the MARGINAL allocations per state
+	// between two workload sizes — the setup cancels and what remains
+	// is the expansion hot path.
+	small := cascadeModelOpts(t, Options{MaxEvents: 3, Incremental: true})
+	big := cascadeModelOpts(t, Options{MaxEvents: 7, Incremental: true})
+	marginal := func(strat checker.StrategyKind) float64 {
+		o := checker.Options{MaxDepth: 100, Strategy: strat, Workers: 1}
+		measure := func(m *Model) (float64, int) {
+			res := checker.Run(m.System(), o) // warm the model's pools; capture the state count
+			if res.Truncated || res.StatesExplored == 0 {
+				t.Fatalf("%v: truncated=%v states=%d", strat, res.Truncated, res.StatesExplored)
+			}
+			return testing.AllocsPerRun(5, func() {
+				checker.Run(m.System(), o)
+			}), res.StatesExplored
+		}
+		aS, nS := measure(small)
+		aB, nB := measure(big)
+		if nB <= nS {
+			t.Fatalf("%v: workloads not ordered (%d vs %d states)", strat, nS, nB)
+		}
+		return (aB - aS) / float64(nB-nS)
+	}
+	dfs := marginal(checker.StrategyDFS)
+	steal := marginal(checker.StrategySteal)
+	t.Logf("marginal allocs/state: dfs %.2f, steal(workers=1) %.2f (ratio %.2fx)", dfs, steal, steal/dfs)
+	if steal > 2*dfs {
+		t.Errorf("steal allocates %.2f/state vs dfs %.2f/state (%.2fx, want <= 2x)", steal, dfs, steal/dfs)
 	}
 }
 

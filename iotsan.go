@@ -173,6 +173,14 @@ type Options struct {
 	// value keeps incremental digests ON — the flag is an escape hatch,
 	// mirroring the -incremental CLI default.
 	NoIncremental bool
+	// NoEpochReclaim disables state recycling on the parallel checker
+	// strategies (dead duplicate children recycled in place; consumed,
+	// fully expanded frontier states retired through the per-worker
+	// epoch-based reclamation layer). The zero value keeps reclamation
+	// ON — the flag is an A/B escape hatch, mirroring the
+	// -epoch-reclaim CLI default. Sequential DFS free-lists are
+	// unaffected.
+	NoEpochReclaim bool
 }
 
 func (o Options) withDefaults() Options {
@@ -477,6 +485,8 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 		Budget:    budget,
 		POR:       opts.POR,
 		Symmetry:  opts.Symmetry,
+
+		NoEpochReclaim: opts.NoEpochReclaim,
 	}
 	if opts.Bitstate {
 		copts.Store = checker.Bitstate

@@ -95,6 +95,139 @@ func TestStealEquivalenceCorpus(t *testing.T) {
 	}
 }
 
+// recycleGroupModel builds a corpus-group model shaped like the POR
+// equivalence configs, with symmetry tables and the incremental cache
+// on so the reduction matrix below can toggle POR/symmetry per run.
+func recycleGroupModel(t *testing.T, group, napps, maxEvents int) *model.Model {
+	t.Helper()
+	sources := corpus.Group(group)
+	if napps > 0 && napps < len(sources) {
+		sources = sources[:napps]
+	}
+	apps, err := experiments.TranslateAll(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := experiments.ExpertConfig(fmt.Sprintf("recycle-group-%d", group), sources, apps)
+	invs, err := props.CompileInvariants(sys, nil, props.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(sys, apps, model.Options{
+		MaxEvents: maxEvents, CheckConflicts: true, Invariants: invs,
+		Design: model.Concurrent, Symmetry: true, Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStealRecycleEquivalenceCorpus: frontier recycling (epoch-based
+// reclamation) is invisible to the search. On every corpus group, both
+// parallel strategies with recycling on and off explore exactly the
+// DFS state space — identical explored/matched/stored counts — and
+// report the identical distinct-violation set, across the full
+// reduction matrix {plain, POR, symmetry, POR+symmetry}. A divergence
+// between the on/off pairs would mean a state was reused while the
+// search still depended on it.
+func TestStealRecycleEquivalenceCorpus(t *testing.T) {
+	strategies := []checker.StrategyKind{checker.StrategyParallel, checker.StrategySteal}
+	groups := []int{1, 2, 3, 4, 5, 6}
+	if raceEnabled {
+		// ~10× slower per run under the race detector — the full corpus
+		// would blow the package test timeout on small runners. Keep the
+		// cheapest group's complete matrix so reclamation still runs
+		// race-instrumented through every reduction mode; the racy
+		// interleavings themselves are hammered by the poisoned-recycler
+		// churn tests in internal/checker's -race CI step, and the full
+		// corpus matrix runs in its own non-race CI step.
+		groups = []int{3}
+	}
+	for _, g := range groups {
+		g := g
+		t.Run(fmt.Sprintf("group%d", g), func(t *testing.T) {
+			t.Parallel()
+			cfg := porCorpusConfigs[g-1]
+			m := recycleGroupModel(t, g, cfg.napps, cfg.events)
+			for _, mode := range []struct {
+				por, sym bool
+			}{{false, false}, {true, false}, {false, true}, {true, true}} {
+				base := checker.Options{MaxDepth: 100, POR: mode.por, Symmetry: mode.sym}
+				dfs := checker.Run(m.System(), base)
+				if dfs.Truncated {
+					t.Fatalf("por=%v sym=%v: DFS run truncated; equivalence requires full exploration",
+						mode.por, mode.sym)
+				}
+				for _, strat := range strategies {
+					for _, noReclaim := range []bool{false, true} {
+						o := base
+						o.Strategy = strat
+						o.Workers = 4
+						o.NoEpochReclaim = noReclaim
+						res := checker.Run(m.System(), o)
+						name := fmt.Sprintf("%v por=%v sym=%v reclaim=%v", strat, mode.por, mode.sym, !noReclaim)
+						if res.Truncated {
+							t.Fatalf("%s: truncated", name)
+						}
+						if res.StatesExplored != dfs.StatesExplored || res.StatesMatched != dfs.StatesMatched ||
+							res.StatesStored != dfs.StatesStored {
+							t.Errorf("%s: state space diverges: explored=%d matched=%d stored=%d / dfs %d/%d/%d",
+								name, res.StatesExplored, res.StatesMatched, res.StatesStored,
+								dfs.StatesExplored, dfs.StatesMatched, dfs.StatesStored)
+						}
+						if !equalStringSlices(violationSet(res), violationSet(dfs)) {
+							t.Errorf("%s: violation sets differ:\n%v: %v\ndfs: %v",
+								name, strat, violationSet(res), violationSet(dfs))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStealRecycleFaultEquivalence extends the recycling gate to the
+// fault-injection layer on the shared FaultWorkload (live MaxFaults=2
+// budget): outage/drop transitions retire states through the same
+// limbo lists, and the fault-transition tally must survive recycling.
+func TestStealRecycleFaultEquivalence(t *testing.T) {
+	m, copts, _, err := experiments.FaultWorkload(true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs := checker.Run(m.System(), copts)
+	if dfs.Truncated {
+		t.Fatal("DFS run truncated; equivalence requires full exploration")
+	}
+	for _, strat := range []checker.StrategyKind{checker.StrategyParallel, checker.StrategySteal} {
+		for _, noReclaim := range []bool{false, true} {
+			o := copts
+			o.Strategy = strat
+			o.Workers = 4
+			o.NoEpochReclaim = noReclaim
+			res := checker.Run(m.System(), o)
+			name := fmt.Sprintf("%v reclaim=%v", strat, !noReclaim)
+			if res.Truncated {
+				t.Fatalf("%s: truncated", name)
+			}
+			if res.StatesExplored != dfs.StatesExplored || res.StatesMatched != dfs.StatesMatched ||
+				res.StatesStored != dfs.StatesStored {
+				t.Errorf("%s: state space diverges: explored=%d matched=%d stored=%d / dfs %d/%d/%d",
+					name, res.StatesExplored, res.StatesMatched, res.StatesStored,
+					dfs.StatesExplored, dfs.StatesMatched, dfs.StatesStored)
+			}
+			if res.FaultTransitionsExplored != dfs.FaultTransitionsExplored {
+				t.Errorf("%s: fault transitions %d, dfs %d",
+					name, res.FaultTransitionsExplored, dfs.FaultTransitionsExplored)
+			}
+			if !equalStringSlices(violationSet(res), violationSet(dfs)) {
+				t.Errorf("%s: violation sets differ:\n%v\ndfs: %v", name, violationSet(res), violationSet(dfs))
+			}
+		}
+	}
+}
+
 // TestStealTrailReplaysOnModel: every trail the steal strategy reports
 // on a real model replays from the initial state through genuine
 // transitions (matched by label) to a state or transition exhibiting
