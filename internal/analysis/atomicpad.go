@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicPadAnalyzer guards the PR 8 padded-counter layouts. Structs
+// annotated `//iotsan:padded` (on the type declaration, or on a field
+// whose — possibly array/slice — element type is the padded struct)
+// must stay cacheline-quantized: their size must be a multiple of 64
+// bytes so adjacent elements never share a line, and every 64-bit
+// atomic field (sync/atomic value types or plain (u)int64 touched via
+// sync/atomic calls) must sit at an 8-byte-aligned offset.
+//
+// Independently, any plain field accessed through a sync/atomic
+// function anywhere in the package must never be read or written
+// non-atomically outside functions named New*/init — mixed access is
+// a data race the race detector only catches when the schedule
+// cooperates.
+var AtomicPadAnalyzer = &Analyzer{
+	Name: "atomicpad",
+	Doc:  "padded atomic structs must keep alignment, quantization, and atomic-only access",
+	Run:  runAtomicPad,
+}
+
+func runAtomicPad(pass *Pass) error {
+	checkPaddedStruct := func(name string, st *types.Struct, pos ast.Node) {
+		size := pass.Sizes.Sizeof(st)
+		if size%64 != 0 {
+			pass.Reportf(pos.Pos(),
+				"padded struct %s is %d bytes; //iotsan:padded structs must be a multiple of the 64-byte cacheline (add or fix the _ [N]byte pad)",
+				name, size)
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := pass.Sizes.Offsetsof(fields)
+		for i, f := range fields {
+			if !isAtomic64Type(f.Type()) {
+				continue
+			}
+			if offsets[i]%8 != 0 {
+				pass.Reportf(pos.Pos(),
+					"atomic field %s.%s sits at offset %d; 64-bit atomic fields must be 8-byte aligned",
+					name, f.Name(), offsets[i])
+			}
+		}
+	}
+
+	// structOf unwraps pointers, arrays, and slices down to a struct.
+	var structOf func(t types.Type) (*types.Struct, bool)
+	structOf = func(t types.Type) (*types.Struct, bool) {
+		switch t := t.Underlying().(type) {
+		case *types.Struct:
+			return t, true
+		case *types.Pointer:
+			return structOf(t.Elem())
+		case *types.Array:
+			return structOf(t.Elem())
+		case *types.Slice:
+			return structOf(t.Elem())
+		}
+		return nil, false
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, dir := range nodeDirectives(gd.Doc, ts.Doc, ts.Comment) {
+					if dir.kind != "padded" {
+						continue
+					}
+					tn, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+					if tn == nil {
+						continue
+					}
+					if st, ok := structOf(tn.Type()); ok {
+						checkPaddedStruct(tn.Name(), st, ts)
+					} else {
+						pass.Reportf(ts.Pos(), "//iotsan:padded on %s, which is not a struct type", tn.Name())
+					}
+				}
+				// Field-level annotation: the field's element type is padded.
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					for _, f := range st.Fields.List {
+						for _, dir := range nodeDirectives(f.Doc, f.Comment) {
+							if dir.kind != "padded" {
+								continue
+							}
+							ft := pass.Info.TypeOf(f.Type)
+							if ft == nil {
+								continue
+							}
+							fieldName := "_"
+							if len(f.Names) > 0 {
+								fieldName = f.Names[0].Name
+							}
+							if est, ok := structOf(ft); ok {
+								checkPaddedStruct(ts.Name.Name+"."+fieldName, est, f)
+							} else {
+								pass.Reportf(f.Pos(), "//iotsan:padded on field %s.%s, which is not struct-backed", ts.Name.Name, fieldName)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	return checkMixedAtomicAccess(pass)
+}
+
+// isAtomic64Type reports whether t is a 64-bit atomic value type or a
+// plain 64-bit integer (candidate for sync/atomic function access).
+func isAtomic64Type(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			switch obj.Name() {
+			case "Int64", "Uint64", "Pointer":
+				return true
+			}
+		}
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int64, types.Uint64, types.Uintptr:
+			return true
+		}
+	}
+	return false
+}
+
+// checkMixedAtomicAccess flags plain reads/writes of fields that are
+// elsewhere accessed via sync/atomic functions.
+func checkMixedAtomicAccess(pass *Pass) error {
+	// Pass 1: fields passed by address to sync/atomic functions, and
+	// the selector expressions sanctioned by that usage.
+	atomicFields := make(map[types.Object]bool)
+	sanctioned := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s := pass.Info.Selections[sel]; s != nil {
+					if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+						atomicFields[v] = true
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// mixed access, unless it sits in a constructor/init function.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isInitLike(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				s := pass.Info.Selections[sel]
+				if s == nil {
+					return true
+				}
+				if v, ok := s.Obj().(*types.Var); ok && atomicFields[v] {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; non-atomic access outside New*/init functions races with it",
+						v.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isInitLike(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DigestFunnelAnalyzer enforces the single-funnel property the ROADMAP
+// scaling items (out-of-core store, distributed sharding) depend on:
+// every digest of state-encode bytes must flow through engine.digest
+// or one of the sanctioned implementations behind it. Outside
+// functions annotated `//iotsan:digest-funnel`, it reports
+//
+//   - any call to a raw hash primitive annotated `//iotsan:hash-sink`
+//     (fnv1a, hash2, fnv1a64, newBlockMix, ...),
+//   - any use of hash/maphash, or a Write/Sum call on a hash.Hash
+//     (e.g. a hash/fnv hasher), and
+//   - any call to a state-encoding method (annotated
+//     `//iotsan:state-encode`, or named Encode/CanonicalEncode on a
+//     type from internal/model) whose result is then hashed.
+//
+// The encode→hash flow check is intraprocedural and over-approximate:
+// once a variable holds encode output, hashing it anywhere in the
+// function is reported.
+var DigestFunnelAnalyzer = &Analyzer{
+	Name: "digestfunnel",
+	Doc:  "state-encode bytes may only be hashed inside the sanctioned digest funnel",
+	Run:  runDigestFunnel,
+}
+
+// encodeMethodNames is the name-based fallback for cross-package
+// enforcement: the annotations on State.Encode/Model.CanonicalEncode
+// live in internal/model and are invisible when analyzing another
+// package, so encode calls are also recognized by method name and
+// defining package.
+var encodeMethodNames = map[string]bool{
+	"Encode":          true,
+	"CanonicalEncode": true,
+}
+
+func runDigestFunnel(pass *Pass) error {
+	hashSinks := make(map[*types.Func]bool)
+	encodeFns := make(map[*types.Func]bool)
+	funnels := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			for _, dir := range parseDirectives(fn.Doc) {
+				switch dir.kind {
+				case "hash-sink":
+					hashSinks[obj] = true
+				case "state-encode":
+					encodeFns[obj] = true
+				case "digest-funnel":
+					funnels[obj] = true
+				}
+			}
+		}
+	}
+
+	isEncodeCall := func(call *ast.CallExpr) bool {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return false
+		}
+		if encodeFns[fn] {
+			return true
+		}
+		if encodeMethodNames[fn.Name()] && fn.Pkg() != nil &&
+			strings.HasSuffix(fn.Pkg().Path(), "internal/model") {
+			return true
+		}
+		return false
+	}
+	// isHashCall reports hash sinks: annotated primitives, anything
+	// from hash/maphash, and Write/Sum methods on a hash.Hash.
+	isHashCall := func(call *ast.CallExpr) (string, bool) {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return "", false
+		}
+		if hashSinks[fn] {
+			return fn.Name(), true
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "hash/maphash":
+				return "maphash." + fn.Name(), true
+			case "hash":
+				switch fn.Name() {
+				case "Write", "Sum", "Sum32", "Sum64":
+					return "hash.Hash." + fn.Name(), true
+				}
+			}
+		}
+		return "", false
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, _ := pass.Info.Defs[fn.Name].(*types.Func); obj != nil && funnels[obj] {
+				continue // sanctioned digest implementation
+			}
+			// encodeTainted holds variables carrying state-encode output.
+			encodeTainted := make(map[types.Object]bool)
+			holdsEncode := func(e ast.Expr) bool {
+				switch e := ast.Unparen(e).(type) {
+				case *ast.CallExpr:
+					return isEncodeCall(e)
+				case *ast.Ident:
+					return encodeTainted[pass.Info.Uses[e]]
+				case *ast.SliceExpr:
+					if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+						return encodeTainted[pass.Info.Uses[id]]
+					}
+				}
+				return false
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if !holdsEncode(rhs) || i >= len(n.Lhs) {
+							continue
+						}
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := identObj(pass.Info, id); obj != nil {
+								encodeTainted[obj] = true
+							}
+						}
+					}
+				case *ast.CallExpr:
+					name, hash := isHashCall(n)
+					if !hash {
+						return true
+					}
+					for _, arg := range n.Args {
+						if holdsEncode(arg) {
+							pass.Reportf(n.Pos(),
+								"state-encode bytes are hashed via %s outside the digest funnel; route this through engine.digest", name)
+							return true
+						}
+					}
+					pass.Reportf(n.Pos(),
+						"call to hash primitive %s outside the digest funnel; route this through engine.digest", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// identObj resolves an identifier in either definition or use position.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,464 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RecycleLiveAnalyzer is the static complement of the PR 8 poisoning
+// tests: once a value flows into a retire/recycle sink (a function or
+// interface method annotated `//iotsan:retires <param>`), any later
+// read of that value — or write into the object it names — in the same
+// function is reported. Reassigning the variable (typically `x = nil`)
+// clears the taint, which is exactly the engine's sanctioned idiom:
+//
+//	e.rec.Recycle(trs[i].Next)
+//	trs[i].Next = nil
+//
+// The analysis is intraprocedural and flow-ordered: if/else and switch
+// branches are scanned independently from the same entry state and
+// merged by union, loop bodies are scanned once (taints do not
+// propagate around back-edges), and access paths are compared
+// syntactically with indexes normalized per index expression. Passing
+// an already-retired value to a second sink is reported as a
+// double-retire.
+var RecycleLiveAnalyzer = &Analyzer{
+	Name: "recyclelive",
+	Doc:  "values must not be used after flowing into a recycle/retire sink",
+	Run:  runRecycleLive,
+}
+
+func runRecycleLive(pass *Pass) error {
+	sinks := collectRetireSinks(pass)
+	if len(sinks) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sc := &retireScanner{pass: pass, sinks: sinks}
+			sc.stmt(fn.Body, taintSet{})
+		}
+	}
+	return nil
+}
+
+// collectRetireSinks maps each annotated function or interface method
+// to the index of the parameter it retires.
+func collectRetireSinks(pass *Pass) map[*types.Func]int {
+	sinks := make(map[*types.Func]int)
+	record := func(obj types.Object, param string) {
+		fn, ok := obj.(*types.Func)
+		if !ok || param == "" {
+			return
+		}
+		sig := fn.Signature()
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i).Name() == param {
+				sinks[fn] = i
+				return
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				for _, dir := range parseDirectives(d.Doc) {
+					if dir.kind == "retires" {
+						record(pass.Info.Defs[d.Name], dir.args)
+					}
+				}
+			case *ast.InterfaceType:
+				for _, m := range d.Methods.List {
+					if len(m.Names) != 1 {
+						continue
+					}
+					for _, dir := range nodeDirectives(m.Doc, m.Comment) {
+						if dir.kind == "retires" {
+							record(pass.Info.Defs[m.Names[0]], dir.args)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sinks
+}
+
+// taintSet maps a canonical access path to the position where the
+// value it names was retired.
+type taintSet map[string]token.Pos
+
+func (t taintSet) clone() taintSet {
+	c := make(taintSet, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions other into t (conservative join after branches).
+func (t taintSet) merge(other taintSet) {
+	for k, v := range other {
+		if _, ok := t[k]; !ok {
+			t[k] = v
+		}
+	}
+}
+
+// setTo replaces t's contents with out.
+func (t taintSet) setTo(out taintSet) {
+	clear(t)
+	for k, v := range out {
+		t[k] = v
+	}
+}
+
+// hit reports the retire position if some tainted path is a prefix of
+// path (reading a retired value or one of its sub-objects).
+func (t taintSet) hit(path string) (token.Pos, bool) {
+	for k, pos := range t {
+		if path == k || strings.HasPrefix(path, k+".") || strings.HasPrefix(path, k+"[") {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// extends reports whether path writes strictly inside a retired
+// object (tainted path is a strict prefix of path).
+func (t taintSet) extends(path string) (token.Pos, bool) {
+	for k, pos := range t {
+		if strings.HasPrefix(path, k+".") || strings.HasPrefix(path, k+"[") {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// untaint clears path and everything under or over it: assigning to a
+// variable kills its taint, and replacing a container kills taints on
+// its elements.
+func (t taintSet) untaint(path string) {
+	for k := range t {
+		if k == path ||
+			strings.HasPrefix(k, path+".") || strings.HasPrefix(k, path+"[") ||
+			strings.HasPrefix(path, k+".") || strings.HasPrefix(path, k+"[") {
+			delete(t, k)
+		}
+	}
+}
+
+type retireScanner struct {
+	pass  *Pass
+	sinks map[*types.Func]int
+}
+
+func (sc *retireScanner) reportUse(pos token.Pos, path string, retired token.Pos) {
+	sc.pass.Reportf(pos, "use of %s after it was passed to a recycle/retire sink at line %d",
+		path, sc.pass.Fset.Position(retired).Line)
+}
+
+// stmt scans one statement, mutating t in place.
+func (sc *retireScanner) stmt(s ast.Stmt, t taintSet) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			sc.stmt(sub, t)
+		}
+	case *ast.ExprStmt:
+		sc.expr(s.X, t)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			sc.expr(rhs, t)
+		}
+		for _, lhs := range s.Lhs {
+			sc.assignTo(lhs, t)
+		}
+	case *ast.IncDecStmt:
+		sc.expr(s.X, t)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						sc.expr(v, t)
+					}
+					for _, name := range vs.Names {
+						t.untaint(name.Name)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		sc.stmt(s.Init, t)
+		sc.expr(s.Cond, t)
+		base := t.clone()
+		thenT := base.clone()
+		sc.stmt(s.Body, thenT)
+		elseT := base
+		if s.Else != nil {
+			elseT = base.clone()
+			sc.stmt(s.Else, elseT)
+		}
+		// A branch that cannot fall through (return/continue/break/...)
+		// contributes nothing to the taint state after the if.
+		thenLive := !terminates(s.Body, true)
+		elseLive := s.Else == nil || !terminates(s.Else, true)
+		var out taintSet
+		switch {
+		case thenLive && elseLive:
+			out = thenT
+			out.merge(elseT)
+		case thenLive:
+			out = thenT
+		case elseLive:
+			out = elseT
+		default:
+			out = base // code after the if is unreachable
+		}
+		t.setTo(out)
+	case *ast.ForStmt:
+		sc.stmt(s.Init, t)
+		sc.expr(s.Cond, t)
+		base := t.clone()
+		sc.stmt(s.Post, t)
+		sc.stmt(s.Body, t)
+		t.merge(base)
+	case *ast.RangeStmt:
+		sc.expr(s.X, t)
+		base := t.clone()
+		if s.Key != nil {
+			sc.assignTo(s.Key, t)
+		}
+		if s.Value != nil {
+			sc.assignTo(s.Value, t)
+		}
+		sc.stmt(s.Body, t)
+		t.merge(base)
+	case *ast.SwitchStmt:
+		sc.stmt(s.Init, t)
+		sc.expr(s.Tag, t)
+		sc.caseClauses(s.Body, t)
+	case *ast.TypeSwitchStmt:
+		sc.stmt(s.Init, t)
+		sc.stmt(s.Assign, t)
+		sc.caseClauses(s.Body, t)
+	case *ast.SelectStmt:
+		base := t.clone()
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			branch := base.clone()
+			sc.stmt(cc.Comm, branch)
+			for _, sub := range cc.Body {
+				sc.stmt(sub, branch)
+			}
+			t.merge(branch)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			sc.expr(r, t)
+		}
+	case *ast.SendStmt:
+		sc.expr(s.Chan, t)
+		sc.expr(s.Value, t)
+	case *ast.DeferStmt:
+		sc.expr(s.Call, t)
+	case *ast.GoStmt:
+		sc.expr(s.Call, t)
+	case *ast.LabeledStmt:
+		sc.stmt(s.Stmt, t)
+	}
+}
+
+func (sc *retireScanner) caseClauses(body *ast.BlockStmt, t taintSet) {
+	base := t.clone()
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := base.clone()
+		for _, e := range cc.List {
+			sc.expr(e, branch)
+		}
+		live := true
+		for _, sub := range cc.Body {
+			sc.stmt(sub, branch)
+		}
+		if n := len(cc.Body); n > 0 {
+			// A bare break just exits the switch, so its taints still
+			// reach the code after it; return/continue/goto do not.
+			live = !terminates(cc.Body[n-1], false)
+		}
+		if live {
+			t.merge(branch)
+		}
+	}
+}
+
+// terminates reports whether control cannot fall out of s into the
+// statement that follows it. breakEnds selects whether a break counts:
+// it does for statements inside a loop body (the code right after is
+// skipped), but not for switch case bodies (flow resumes after the
+// switch, taints intact).
+func terminates(s ast.Stmt, breakEnds bool) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			return breakEnds
+		case token.CONTINUE, token.GOTO:
+			return true
+		}
+		return false
+	case *ast.BlockStmt:
+		if len(s.List) == 0 {
+			return false
+		}
+		return terminates(s.List[len(s.List)-1], breakEnds)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt, breakEnds)
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body, breakEnds) && terminates(s.Else, breakEnds)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assignTo handles an assignment target: writing into a retired
+// object is reported; replacing a binding (or a whole container)
+// clears the taint.
+func (sc *retireScanner) assignTo(lhs ast.Expr, t taintSet) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	path := pathString(lhs)
+	if path == "" {
+		sc.expr(lhs, t)
+		return
+	}
+	if pos, ok := t.extends(path); ok {
+		sc.reportUse(lhs.Pos(), path, pos)
+		return
+	}
+	t.untaint(path)
+	// Index expressions in the target still read their index operands.
+	sc.indexOperands(lhs, t)
+}
+
+func (sc *retireScanner) indexOperands(e ast.Expr, t taintSet) {
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		sc.expr(e.Index, t)
+		sc.indexOperands(e.X, t)
+	case *ast.SelectorExpr:
+		sc.indexOperands(e.X, t)
+	case *ast.StarExpr:
+		sc.indexOperands(e.X, t)
+	case *ast.ParenExpr:
+		sc.indexOperands(e.X, t)
+	}
+}
+
+// expr scans an expression for reads of tainted paths and applies sink
+// calls in evaluation order.
+func (sc *retireScanner) expr(e ast.Expr, t taintSet) {
+	if e == nil {
+		return
+	}
+	if path := pathString(e); path != "" {
+		if pos, ok := t.hit(path); ok {
+			sc.reportUse(e.Pos(), path, pos)
+			return
+		}
+		// The path itself is clean; only its index operands can
+		// still carry reads worth scanning.
+		sc.indexOperands(e, t)
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sc.call(e, t)
+	case *ast.BinaryExpr:
+		sc.expr(e.X, t)
+		sc.expr(e.Y, t)
+	case *ast.UnaryExpr:
+		sc.expr(e.X, t)
+	case *ast.StarExpr:
+		sc.expr(e.X, t)
+	case *ast.ParenExpr:
+		sc.expr(e.X, t)
+	case *ast.SelectorExpr:
+		sc.expr(e.X, t)
+	case *ast.IndexExpr:
+		sc.expr(e.X, t)
+		sc.expr(e.Index, t)
+	case *ast.SliceExpr:
+		sc.expr(e.X, t)
+		sc.expr(e.Low, t)
+		sc.expr(e.High, t)
+		sc.expr(e.Max, t)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			sc.expr(el, t)
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(e.Key, t)
+		sc.expr(e.Value, t)
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, t)
+	case *ast.FuncLit:
+		// A closure body sees the enclosing taints but its own
+		// control flow is scanned linearly like any block.
+		sc.stmt(e.Body, t.clone())
+	}
+}
+
+// call scans a call's operands and, when the callee is an annotated
+// sink, reports double-retires and taints the retired argument.
+func (sc *retireScanner) call(call *ast.CallExpr, t taintSet) {
+	callee := calleeFunc(sc.pass.Info, call)
+	retireIdx := -1
+	if callee != nil {
+		if idx, ok := sc.sinks[callee]; ok {
+			retireIdx = idx
+		}
+	}
+	// The function operand itself (e.g. a receiver) is read.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		sc.expr(sel.X, t)
+	} else {
+		sc.expr(call.Fun, t)
+	}
+	for i, arg := range call.Args {
+		if i == retireIdx {
+			path := pathString(arg)
+			if path != "" {
+				if pos, ok := t.hit(path); ok {
+					sc.pass.Reportf(arg.Pos(),
+						"%s is retired twice: already passed to a recycle/retire sink at line %d",
+						path, sc.pass.Fset.Position(pos).Line)
+				}
+				t[path] = call.Pos()
+				continue
+			}
+		}
+		sc.expr(arg, t)
+	}
+}

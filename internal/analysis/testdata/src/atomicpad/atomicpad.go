@@ -1,0 +1,90 @@
+// Package atomicpad is the golden fixture for the atomicpad analyzer:
+// cacheline quantization of //iotsan:padded structs (type-level and
+// field-level), mixed atomic/plain field access, and the suppression
+// paths.
+package atomicpad
+
+import "sync/atomic"
+
+// goodCounters is cacheline-quantized: 2×8 bytes of counters plus the
+// 48-byte pad is exactly one 64-byte line.
+//
+//iotsan:padded
+type goodCounters struct {
+	hits  atomic.Uint64
+	drops atomic.Uint64
+	_     [48]byte
+}
+
+//iotsan:padded
+type badCounters struct { // want `must be a multiple of the 64-byte cacheline`
+	hits atomic.Uint64
+	n    int64
+}
+
+//iotsan:padded
+type badKind int // want `not a struct type`
+
+// shardSet pads per-shard counters via a field-level annotation: the
+// array element struct is the padded unit.
+type shardSet struct {
+	//iotsan:padded
+	shards [4]struct {
+		count atomic.Int64
+		_     [56]byte
+	}
+}
+
+type badShardSet struct {
+	//iotsan:padded
+	shards []struct { // want `must be a multiple of the 64-byte cacheline`
+		count atomic.Int64
+		busy  int32
+	}
+}
+
+type racy struct {
+	counter int64
+	name    string
+}
+
+// NewRacy may touch counter plainly: nothing else can see the struct
+// yet, so constructor writes are exempt.
+func NewRacy(name string) *racy {
+	r := &racy{name: name}
+	r.counter = 0
+	return r
+}
+
+func bump(r *racy) {
+	atomic.AddInt64(&r.counter, 1)
+}
+
+func goodAtomicRead(r *racy) int64 {
+	return atomic.LoadInt64(&r.counter)
+}
+
+func goodOtherField(r *racy) string {
+	return r.name
+}
+
+func badPlainRead(r *racy) int64 {
+	return r.counter // want `accessed with sync/atomic elsewhere`
+}
+
+func badPlainWrite(r *racy) {
+	r.counter = 0 // want `accessed with sync/atomic elsewhere`
+}
+
+// allowedPlainRead carries a justified suppression.
+func allowedPlainRead(r *racy) int64 {
+	//iotsan:allow atomicpad -- fixture: read under a stop-the-world lock, all writers are quiesced
+	return r.counter
+}
+
+// bareAllowPlainRead's suppression lacks the justification: it is
+// reported and the mixed access still fires.
+func bareAllowPlainRead(r *racy) int64 {
+	//iotsan:allow atomicpad want `requires a justification`
+	return r.counter // want `accessed with sync/atomic elsewhere`
+}

@@ -1,0 +1,90 @@
+// Package digestfunnel is the golden fixture for the digestfunnel
+// analyzer: an annotated encode/hash/funnel trio, direct hash-primitive
+// calls, encode-then-hash flows through stdlib hashers, and the
+// suppression paths.
+package digestfunnel
+
+import (
+	"hash/fnv"
+	"hash/maphash"
+)
+
+type State struct{ n int }
+
+//iotsan:state-encode
+func (s *State) Encode(buf []byte) []byte {
+	return append(buf, byte(s.n))
+}
+
+//iotsan:hash-sink
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// digest is the sanctioned funnel: hashing encode output here is the
+// whole point.
+//
+//iotsan:digest-funnel
+func digest(s *State, buf []byte) (uint64, []byte) {
+	buf = s.Encode(buf[:0])
+	return fnv1a(buf), buf
+}
+
+// goodFunnelUse reaches the hash only through the funnel.
+func goodFunnelUse(s *State) uint64 {
+	d, _ := digest(s, nil)
+	return d
+}
+
+// goodEncodeOnly encodes without hashing (e.g. persistence); that is
+// not the funnel's business.
+func goodEncodeOnly(s *State, buf []byte) []byte {
+	return s.Encode(buf[:0])
+}
+
+func badDirect(data []byte) uint64 {
+	return fnv1a(data) // want `call to hash primitive fnv1a`
+}
+
+func badEncodeFlow(s *State) uint64 {
+	b := s.Encode(nil)
+	return fnv1a(b) // want `state-encode bytes are hashed via fnv1a`
+}
+
+func badResliceFlow(s *State) uint64 {
+	b := s.Encode(nil)
+	return fnv1a(b[1:]) // want `state-encode bytes are hashed via fnv1a`
+}
+
+func badMaphash(seed maphash.Seed, data []byte) uint64 {
+	return maphash.Bytes(seed, data) // want `call to hash primitive maphash\.Bytes`
+}
+
+func badFnvSum(s *State) []byte {
+	h := fnv.New32a()
+	b := s.Encode(nil)
+	return h.Sum(b) // want `state-encode bytes are hashed via hash\.Hash\.Sum`
+}
+
+func badFnvSum32(data []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(data)
+	return h.Sum32() // want `call to hash primitive hash\.Hash\.Sum32`
+}
+
+// allowedDirect carries a justified suppression.
+func allowedDirect(data []byte) uint64 {
+	//iotsan:allow digestfunnel -- fixture: checksum of a log record, not state-encode bytes
+	return fnv1a(data)
+}
+
+// bareAllowDirect's suppression lacks the justification: it is
+// reported and the primitive call still fires.
+func bareAllowDirect(data []byte) uint64 {
+	//iotsan:allow digestfunnel want `requires a justification`
+	return fnv1a(data) // want `call to hash primitive fnv1a`
+}

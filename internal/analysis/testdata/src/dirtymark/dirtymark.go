@@ -1,0 +1,110 @@
+// Package dirtymark is the golden fixture for the dirtymark analyzer:
+// a miniature State with mark helpers, block-annotated storage, paired
+// and unpaired writes, writing helpers, and the suppression paths.
+package dirtymark
+
+// Dev mirrors model.DevState: type-level annotation puts every field
+// in the device block, covering writes through aliased pointers.
+//
+//iotsan:block device
+type Dev struct {
+	Online bool
+	Attrs  []int16
+}
+
+// State mirrors model.State's annotated storage layout.
+type State struct {
+	Mode    uint8 //iotsan:block header
+	Devices []Dev //iotsan:block device
+	dirty   uint64
+}
+
+//iotsan:marks header
+func (s *State) markHeader() { s.dirty |= 1 }
+
+//iotsan:marks device
+func (s *State) markDevice(d int) { s.dirty |= 2 << uint(d) }
+
+//iotsan:marks all
+func (s *State) MarkAllDirty() { s.dirty = ^uint64(0) }
+
+// goodHeader pairs the header write with its mark.
+func goodHeader(s *State) {
+	s.Mode = 1
+	s.markHeader()
+}
+
+// goodAlias writes through a *Dev alias; the type-level annotation
+// resolves it to the device block, and the mark is present.
+func goodAlias(s *State, i int) {
+	d := &s.Devices[i]
+	d.Online = false
+	s.markDevice(i)
+}
+
+// goodAll relies on the marks-all wildcard for both blocks.
+func goodAll(s *State) {
+	s.Mode = 2
+	s.Devices[0].Online = true
+	s.MarkAllDirty()
+}
+
+// goodRebind only rebinds a pointer variable — not a state write.
+func goodRebind(s *State) *Dev {
+	d := &s.Devices[0]
+	d = &s.Devices[1]
+	return d
+}
+
+func badHeader(s *State) {
+	s.Mode = 3 // want `write to header-block state`
+}
+
+func badAlias(s *State, i int) {
+	d := &s.Devices[i]
+	d.Attrs[0] = 7 // want `write to device-block state`
+}
+
+func badAppend(s *State, d Dev) {
+	s.Devices = append(s.Devices, d) // want `write to device-block state`
+}
+
+// setOnline mutates device storage on behalf of its callers; the
+// //iotsan:writes annotation exempts its body and moves the mark
+// obligation to every call site.
+//
+//iotsan:writes device
+func setOnline(d *Dev, online bool) {
+	d.Online = online
+}
+
+func goodHelperCall(s *State, i int) {
+	setOnline(&s.Devices[i], true)
+	s.markDevice(i)
+}
+
+func badHelperCall(s *State, i int) {
+	setOnline(&s.Devices[i], false) // want `write to device-block state`
+}
+
+// allowedWrite carries a justified suppression, so the missing mark is
+// not reported.
+func allowedWrite(s *State) {
+	s.Mode = 4 //iotsan:allow dirtymark -- fixture: construction-time write, state is hashed from scratch afterwards
+}
+
+// allowedFunc carries a function-scope justified suppression.
+//
+//iotsan:allow dirtymark -- fixture: clone replicates already-hashed content
+func allowedFunc(s *State) {
+	s.Mode = 5
+	s.Devices[0].Online = true
+}
+
+// bareAllow's suppression lacks the mandatory justification: it is
+// itself reported and suppresses nothing.
+func bareAllow(s *State) {
+	s.Devices[1].Online = false // want `write to device-block state`
+	//iotsan:allow dirtymark want `requires a justification`
+	s.dirty = 0
+}

@@ -1,0 +1,119 @@
+// Package recyclelive is the golden fixture for the recyclelive
+// analyzer: annotated retire sinks (function, method, and interface
+// method), the sanctioned nil-reset idiom, branch-sensitive flows, and
+// the suppression paths.
+package recyclelive
+
+type State struct {
+	n     int
+	attrs []int16
+}
+
+type Transition struct {
+	Next *State
+}
+
+type pool struct{ free []*State }
+
+//iotsan:retires s
+func (p *pool) recycle(s *State) { p.free = append(p.free, s) }
+
+//iotsan:retires trs
+func retireTransitions(trs []Transition) {}
+
+type recycler interface {
+	//iotsan:retires s
+	Recycle(s *State)
+}
+
+// goodReadBefore reads the value before retiring it.
+func goodReadBefore(p *pool, s *State) int {
+	v := s.n
+	p.recycle(s)
+	return v
+}
+
+// goodNilReset is the engine's sanctioned idiom: retire the element,
+// nil the slot, and the container stays usable.
+func goodNilReset(p *pool, trs []Transition, i int) Transition {
+	p.recycle(trs[i].Next)
+	trs[i].Next = nil
+	return trs[i]
+}
+
+// goodBranchReturn retires on a branch that cannot fall through, so
+// the read below is only reachable with a live state.
+func goodBranchReturn(p *pool, s *State, dup bool) int {
+	if dup {
+		p.recycle(s)
+		return 0
+	}
+	return s.n
+}
+
+// goodLoopContinue mirrors the DFS duplicate-pruning loop: the retire
+// arm continues, the expansion arm below stays clean.
+func goodLoopContinue(p *pool, trs []Transition, dup []bool) int {
+	total := 0
+	for i := range trs {
+		if dup[i] {
+			p.recycle(trs[i].Next)
+			trs[i].Next = nil
+			continue
+		}
+		total += trs[i].Next.n
+	}
+	return total
+}
+
+func badRead(p *pool, s *State) int {
+	p.recycle(s)
+	return s.n // want `use of s\.n after`
+}
+
+func badFieldRead(p *pool, s *State) int16 {
+	p.recycle(s)
+	return s.attrs[0] // want `use of s\.attrs`
+}
+
+func badWriteInto(p *pool, s *State) {
+	p.recycle(s)
+	s.n = 1 // want `use of s\.n after`
+}
+
+func badDoubleRetire(p *pool, s *State) {
+	p.recycle(s)
+	p.recycle(s) // want `retired twice`
+}
+
+func badIfaceSink(r recycler, s *State) int {
+	r.Recycle(s)
+	return s.n // want `use of s\.n after`
+}
+
+func badSliceSink(trs []Transition) *State {
+	retireTransitions(trs)
+	return trs[0].Next // want `use of trs`
+}
+
+func badMergedBranch(p *pool, s *State, dup bool) int {
+	if dup {
+		p.recycle(s)
+	}
+	return s.n // want `use of s\.n after`
+}
+
+// allowedUse carries a justified suppression.
+func allowedUse(p *pool, s *State) int {
+	p.recycle(s)
+	//iotsan:allow recyclelive -- fixture: single-threaded test hook inspects the free-list entry it just pushed
+	return s.n
+}
+
+// bareAllowUse's suppression lacks the justification: it is reported
+// and the use-after-retire still fires.
+func bareAllowUse(p *pool, s *State) int {
+	p.recycle(s)
+	//iotsan:allow recyclelive want `requires a justification`
+	return s.n // want `use of s\.n after`
+}

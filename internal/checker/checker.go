@@ -161,6 +161,10 @@ type IncrementalDigester interface {
 // again afterwards; recorded trails are materialized eagerly and drop
 // their state references before any of those states can be recycled.
 type StateRecycler interface {
+	// Recycle retires s to the model's free-list. The state must not
+	// be touched afterwards (enforced by the recyclelive analyzer).
+	//
+	//iotsan:retires s
 	Recycle(s State)
 }
 
@@ -171,6 +175,10 @@ type StateRecycler interface {
 // array is reused — Steps and Label values copied out of entries (e.g.
 // into trail steps) remain valid because they own their storage.
 type TransitionRecycler interface {
+	// RecycleTransitions retires the backing array of trs; the slice
+	// must not be read again (enforced by the recyclelive analyzer).
+	//
+	//iotsan:retires trs
 	RecycleTransitions(trs []Transition)
 }
 

@@ -150,6 +150,8 @@ func newEngine(sys System, opts Options) *engine {
 // fingerprint folds the state's cached block hashes instead, skipping
 // the flat re-encode entirely (buf passes through untouched). h2 is
 // only computed when the store probes with it.
+//
+//iotsan:digest-funnel
 func (e *engine) digest(s State, buf []byte) (digest, []byte) {
 	if e.inc != nil {
 		h1, h2 := e.inc.IncrementalDigest(s, e.canon != nil)

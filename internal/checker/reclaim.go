@@ -67,6 +67,8 @@ type limboBucket struct {
 // happens strictly after goOffline, so a replacement under the same
 // index never shares the slot with its predecessor and inherits any
 // limbo states the predecessor could not yet reclaim).
+//
+//iotsan:padded
 type reclaimSlot struct {
 	// local is 0 while the slot has no online worker, else the epoch the
 	// owner last pinned plus one. Written by the owner, scanned by every
@@ -130,6 +132,8 @@ func (rc *reclaimer) pin(w int) uint64 {
 
 // retire places a consumed, fully expanded state in w's limbo, stamped
 // with the epoch w pinned before consuming it. Owner-only.
+//
+//iotsan:retires s
 func (rc *reclaimer) retire(w int, epoch uint64, s State) {
 	b := &rc.slots[w].limbo[epoch%(reclaimEpochLag+1)]
 	if b.epoch != epoch {

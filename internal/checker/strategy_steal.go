@@ -89,6 +89,8 @@ type stealEntry struct {
 // neighbouring slots never false-share. Ownership follows the deque
 // index through retire/respawn handoff, and the counters survive it:
 // they are monotone for the slot, not the goroutine.
+//
+//iotsan:padded
 type wsCounters struct {
 	sent atomic.Int64 // states pushed to this slot's deque (root included)
 	done atomic.Int64 // expansions completed by this slot's owner
@@ -97,6 +99,8 @@ type wsCounters struct {
 
 // wsEntryPool is one worker slot's stealEntry free-list, owner-only;
 // padded so the slice headers of neighbouring slots never false-share.
+//
+//iotsan:padded
 type wsEntryPool struct {
 	free []*stealEntry
 	_    [40]byte
@@ -314,6 +318,8 @@ func (r *stealRun) getEntry(w int, st State, d digest) *stealEntry {
 // other worker will ever dereference this entry object again (a stale
 // pointer to it can still be loaded from a ring slot, but its holder's
 // CAS is doomed). Owner-only.
+//
+//iotsan:retires ent
 func (r *stealRun) putEntry(w int, ent *stealEntry) {
 	ent.state = nil
 	r.pools[w].free = append(r.pools[w].free, ent)
@@ -500,6 +506,8 @@ func (r *stealRun) stealFrom(w int, rng *uint64) *stealEntry {
 
 // retireState hands a consumed, fully expanded state to the
 // reclamation layer (the root is exempt: trail replay starts from it).
+//
+//iotsan:retires st
 func (r *stealRun) retireState(w int, epoch uint64, st State) {
 	if r.reclaim == nil || st == r.parents.rootState {
 		return

@@ -19,6 +19,8 @@ import (
 // offline Reported freezes and handlers read the stale copy (see
 // executor.DeviceAttr), while safety invariants keep reading ground
 // truth. Reported is nil when fault injection is off.
+//
+//iotsan:block device
 type DevState struct {
 	Online bool
 	Attrs  []int16 // ground truth: enum value index or numeric value, per attribute
@@ -34,14 +36,21 @@ type DevState struct {
 
 // report mirrors attribute i's ground-truth value into the
 // platform-visible Reported copy. Callers invoke it after every online
-// attribute write; it is a no-op when fault injection is off.
+// attribute write; it is a no-op when fault injection is off. The
+// //iotsan:writes annotation shifts the markDevice obligation to the
+// call sites, which always follow an attribute write of their own.
+//
+//iotsan:writes device
 func (d *DevState) report(i int) {
 	if d.Reported != nil {
 		d.Reported[i] = d.Attrs[i]
 	}
 }
 
-// Timer is a pending scheduled callback of an app.
+// Timer is a pending scheduled callback of an app. Deliberately not
+// block-annotated: Timer records are also mutated inside
+// canonicalization scratch buffers; the State-rooted Timers field
+// annotation covers the real mutations.
 type Timer struct {
 	Handler string
 	Delay   int64
@@ -51,15 +60,18 @@ type Timer struct {
 // keys are statically known (eval.StateLayout) store their persistent
 // state in Slots — a subslice of the state's flat slot backing — and
 // keep KV nil; dynamic apps fall back to the KV map.
+//
+//iotsan:block app
 type AppState struct {
 	KV           map[string]ir.Value // the persistent `state` map (dynamic apps)
 	Slots        []ir.Value          // slot-based persistent state (static apps)
 	Unsubscribed bool
-	Timers       []Timer
+	Timers       []Timer //iotsan:block app
 }
 
 // Pending is one queued handler invocation (concurrent design): the
 // event payload destined for a specific resolved subscription.
+// Deliberately not block-annotated (see Timer).
 type Pending struct {
 	SubIdx int   // index into Model.subs
 	Source int   // device index or pseudo-source
@@ -69,6 +81,7 @@ type Pending struct {
 
 // CmdRec records an actuator command within the current cascade for the
 // conflicting/repeated command properties (Algorithm 1 line 16).
+// Deliberately not block-annotated (see Timer).
 type CmdRec struct {
 	Dev   int
 	Cmd   string
@@ -83,6 +96,7 @@ type CmdRec struct {
 // it (Options.Faults). Notified records whether the issuing app has
 // notified the user since the command was swallowed — a silently
 // dropped command with Notified false is a robustness violation.
+// Deliberately not block-annotated (see Timer).
 type InFlightCmd struct {
 	CmdRec
 	Notified bool
@@ -94,22 +108,22 @@ type InFlightCmd struct {
 // again — executors write only to the clone of the state they are
 // deriving — so states may be encoded and expanded concurrently.
 type State struct {
-	Time       int64
-	Mode       uint8
-	EventsUsed int
-	Devices    []DevState
-	Apps       []AppState
+	Time       int64      // derived from EventsUsed; never encoded, so no block
+	Mode       uint8      //iotsan:block header
+	EventsUsed int        //iotsan:block header
+	Devices    []DevState //iotsan:block device
+	Apps       []AppState //iotsan:block app
 	// attrs/slots are the flat backing arrays the per-device Attrs and
 	// per-app Slots subslices point into; Clone copies each with a
 	// single allocation.
-	attrs []int16
-	slots []ir.Value
+	attrs []int16    //iotsan:block device
+	slots []ir.Value //iotsan:block app
 	// Queue holds pending handler invocations (concurrent design only;
 	// always empty between transitions in the sequential design).
-	Queue []Pending
+	Queue []Pending //iotsan:block queue
 	// Cmds is the per-cascade command log (concurrent design carries it
 	// across transitions until the next external injection).
-	Cmds []CmdRec
+	Cmds []CmdRec //iotsan:block cmds
 
 	// Fault-injection state (Options.Faults). FaultsUsed counts the
 	// budgeted fault transitions taken (device outage, command drop);
@@ -119,9 +133,9 @@ type State struct {
 	// All three stay at their zero values while MaxFaults is 0, which
 	// the encoders below exploit to keep the encoding byte-identical to
 	// a faults-off model.
-	FaultsUsed int
-	InFlight   []InFlightCmd
-	reported   []int16
+	FaultsUsed int           //iotsan:block header
+	InFlight   []InFlightCmd //iotsan:block cmds
+	reported   []int16       //iotsan:block device
 
 	// Incremental-digest cache (nil unless Options.Incremental). The
 	// three slices share one backing array so Clone pays one allocation:
@@ -143,6 +157,8 @@ type State struct {
 
 // Initial builds the initial state from the configuration: devices at
 // their schema defaults, apps with empty persistent state, all online.
+//
+//iotsan:allow dirtymark -- fresh construction: initCache starts from an all-dirty mask, so every block hashes from scratch
 func (m *Model) Initial() *State {
 	s := &State{
 		Devices: make([]DevState, len(m.Devices)),
@@ -264,6 +280,8 @@ func (s *State) Clone() *State {
 // foreign state degrades to a fresh clone instead of corrupting). The
 // per-device and per-app headers are rebuilt from flat offsets, never
 // trusted from n's previous life.
+//
+//iotsan:allow dirtymark -- clone replicates already-hashed content and copies the source's block cache, dirty mask included
 func (s *State) cloneInto(n *State) *State {
 	if len(n.Devices) != len(s.Devices) || len(n.Apps) != len(s.Apps) ||
 		len(n.attrs) != len(s.attrs) || len(n.slots) != len(s.slots) ||
@@ -329,6 +347,7 @@ func (s *State) cloneInto(n *State) *State {
 	return n
 }
 
+//iotsan:allow dirtymark -- clone replicates already-hashed content and copies the source's block cache, dirty mask included
 func (s *State) cloneFresh() *State {
 	n := &State{
 		Time: s.Time, Mode: s.Mode, EventsUsed: s.EventsUsed,
@@ -419,6 +438,8 @@ func cloneValue(v ir.Value) ir.Value {
 // reduction) routes through the same encode with a canonView that
 // permutes interchangeable-device blocks and normalises the dependent
 // queue/command-log entries; see Model.CanonicalEncode in symmetry.go.
+//
+//iotsan:state-encode
 func (s *State) Encode(buf []byte) []byte {
 	return s.encode(buf, nil)
 }

@@ -387,6 +387,8 @@ type itemSpan struct{ start, end int32 }
 // symmetry table (Options.Symmetry off, or no non-trivial orbits) it is
 // exactly the raw encoding. The checker's visited store keys on this
 // encoding when symmetry reduction is enabled.
+//
+//iotsan:state-encode
 func (m *Model) CanonicalEncode(s *State, buf []byte) []byte {
 	if m.sym == nil {
 		return s.Encode(buf)

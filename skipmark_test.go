@@ -1,0 +1,66 @@
+//go:build iotsan_skipmark
+
+// Negative runtime-oracle test for the dirty-mark contract. The
+// iotsan_skipmark build tag arms a deliberate fault in the executors
+// (internal/model/skipmark_on.go): enqueue appends pending invocations
+// to the queue block without calling markQueue. This test replays the
+// TestIncrementalDigestWalkEquivalence walk on a concurrent-design
+// model and asserts the oracle DIVERGES — incremental digests computed
+// from the stale queue-block hash must differ from the from-scratch
+// digests of the same states.
+//
+// Together with the dirtymark analyzer this closes the loop from both
+// sides: the analyzer proves statically that every queue write in the
+// shipped code is paired with its mark, and this test proves the
+// runtime equivalence oracle is not vacuous — if a mark were ever
+// skipped anyway, the walk would fail the build.
+//
+// Run with: go test -tags iotsan_skipmark -run TestSkipMark .
+package iotsan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotsan/internal/model"
+)
+
+func TestSkipMarkOracleCatchesMissingQueueMark(t *testing.T) {
+	cfg := porCorpusConfigs[0]
+	m := incGroupModel(t, 1, cfg.napps, cfg.events, true)
+	sys := m.System()
+	rng := rand.New(rand.NewSource(7919))
+	states, divergences := 0, 0
+	check := func(st *model.State) {
+		states++
+		for _, canonical := range []bool{false, true} {
+			h1, h2 := m.IncrementalDigest(st, canonical)
+			sc := st.Clone()
+			sc.MarkAllDirty()
+			w1, w2 := m.IncrementalDigest(sc, canonical)
+			if h1 != w1 || h2 != w2 {
+				divergences++
+			}
+		}
+	}
+	for walk := 0; walk < 4; walk++ {
+		cur := sys.Initial()
+		for step := 0; step < 40; step++ {
+			trs := sys.Expand(cur)
+			if len(trs) == 0 {
+				break
+			}
+			for _, tr := range trs {
+				check(tr.Next.(*model.State))
+			}
+			cur = trs[rng.Intn(len(trs))].Next
+		}
+	}
+	if states == 0 {
+		t.Fatal("walk reached no states — the negative oracle is vacuous")
+	}
+	if divergences == 0 {
+		t.Fatalf("markQueue was skipped on every enqueue, yet all %d states digest-matched their from-scratch oracle — the runtime oracle would miss a real missed mark", states)
+	}
+	t.Logf("oracle caught %d digest divergences across %d states with markQueue skipped", divergences, states)
+}
