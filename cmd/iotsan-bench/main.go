@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -232,6 +233,7 @@ type perfRecord struct {
 	Workload         string        `json:"workload"`
 	Runs             []perfRun     `json:"runs"`
 	ParityRuns       []parityRun   `json:"parity_runs,omitempty"`
+	StoreRuns        []storeRun    `json:"store_runs,omitempty"`
 	GroupWorkload    string        `json:"group_workload,omitempty"`
 	GroupRuns        []groupRun    `json:"group_runs,omitempty"`
 	PORWorkload      string        `json:"por_workload,omitempty"`
@@ -270,6 +272,31 @@ type parityRun struct {
 	RecycleStatesPerSec   float64 `json:"recycle_states_per_sec"`
 	NoRecycleStatesPerSec float64 `json:"no_recycle_states_per_sec"`
 	ParityVsDFS           float64 `json:"parity_vs_dfs"`
+}
+
+// storeRun is one in-memory versus out-of-core measurement on the
+// shared perf workload: the same complete search with the default
+// exhaustive store and with the tiered store under a deliberately tiny
+// memory budget, so the hot tier spills through the filter to the disk
+// tier for most of the run. States must match (the tiered store keeps
+// hash-compact membership semantics); the per-tier counters record how
+// hard the spill path actually worked, making the throughput ratio
+// self-checking — a ratio near 1.0 with zero Spilled would mean the
+// budget never engaged and the row measured nothing.
+type storeRun struct {
+	Strategy           string  `json:"strategy"`
+	MemBudgetBytes     int64   `json:"mem_budget_bytes"`
+	States             int     `json:"states"`
+	StatesTiered       int     `json:"states_tiered"`
+	InMemStatesPerSec  float64 `json:"inmem_states_per_sec"`
+	TieredStatesPerSec float64 `json:"tiered_states_per_sec"`
+	TieredVsInMem      float64 `json:"tiered_vs_inmem"`
+	Spilled            int64   `json:"spilled"`
+	PeakResident       int64   `json:"peak_resident"`
+	HotHits            int64   `json:"hot_hits"`
+	DiskHits           int64   `json:"disk_hits"`
+	FilterRejects      int64   `json:"filter_rejects"`
+	H1Collisions       int64   `json:"h1_collisions"`
 }
 
 // groupRun is one multi-group Analyze wall-clock measurement: the same
@@ -409,6 +436,9 @@ func runPerf(writeJSON bool) error {
 	if err := runParityPerf(&rec); err != nil {
 		return err
 	}
+	if err := runStorePerf(&rec); err != nil {
+		return err
+	}
 	if err := runGroupPerf(&rec); err != nil {
 		return err
 	}
@@ -498,6 +528,76 @@ func runParityPerf(rec *perfRecord) error {
 		if onRes.StatesExplored != offRes.StatesExplored {
 			fmt.Printf("WARNING: %s: recycling changed the explored state count (%d -> %d) — the equivalence gates forbid this\n",
 				r.Strategy, offRes.StatesExplored, onRes.StatesExplored)
+		}
+	}
+	return nil
+}
+
+// runStorePerf measures the out-of-core tiered store against the
+// in-memory exhaustive store on the shared perf workload, paired
+// best-of-N like the parity rows. The memory budget is set far below
+// the workload's state count so eviction and the write-behind spiller
+// run for most of the search — the acceptance bar for the out-of-core
+// path is tiered ≥ 0.5× in-memory on the dfs row with spill engaged.
+func runStorePerf(rec *perfRecord) error {
+	m, copts, desc, err := experiments.ParallelCheckWorkload()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nout-of-core store (%s):\n", desc)
+	const memBudget = 1 << 16 // ~1k resident fingerprints vs a 20k-state workload
+	for _, strat := range []checker.StrategyKind{checker.StrategyDFS, checker.StrategySteal} {
+		dir, err := os.MkdirTemp("", "iotsan-store-bench-")
+		if err != nil {
+			return err
+		}
+		var memRes, tierRes *checker.Result
+		var secMem, secTier float64
+		for i := 0; i < 3; i++ {
+			o := copts
+			o.Strategy = strat
+			if strat != checker.StrategyDFS {
+				o.Workers = runtime.GOMAXPROCS(0)
+			}
+			start := time.Now()
+			rm := checker.Run(m.System(), o)
+			sm := time.Since(start).Seconds()
+			o.Store = checker.Tiered
+			o.StoreDir = filepath.Join(dir, fmt.Sprintf("%s-%d", strat, i))
+			o.MemBudget = memBudget
+			start = time.Now()
+			rt := checker.Run(m.System(), o)
+			st := time.Since(start).Seconds()
+			if i == 0 || sm < secMem {
+				memRes, secMem = rm, sm
+			}
+			if i == 0 || st < secTier {
+				tierRes, secTier = rt, st
+			}
+		}
+		os.RemoveAll(dir)
+		r := storeRun{
+			Strategy:           strat.String(),
+			MemBudgetBytes:     memBudget,
+			States:             memRes.StatesExplored,
+			StatesTiered:       tierRes.StatesExplored,
+			InMemStatesPerSec:  float64(memRes.StatesExplored) / secMem,
+			TieredStatesPerSec: float64(tierRes.StatesExplored) / secTier,
+			Spilled:            tierRes.Store.Spilled,
+			PeakResident:       tierRes.Store.PeakResident,
+			HotHits:            tierRes.Store.HotHits,
+			DiskHits:           tierRes.Store.DiskHits,
+			FilterRejects:      tierRes.Store.FilterRejects,
+			H1Collisions:       tierRes.Store.H1Collisions,
+		}
+		r.TieredVsInMem = r.TieredStatesPerSec / r.InMemStatesPerSec
+		rec.StoreRuns = append(rec.StoreRuns, r)
+		fmt.Printf("%-9s inmem %9.0f states/s  tiered %9.0f states/s  ratio=%.2fx  spilled=%d peak=%d disk-hits=%d filter-rejects=%d\n",
+			r.Strategy, r.InMemStatesPerSec, r.TieredStatesPerSec, r.TieredVsInMem,
+			r.Spilled, r.PeakResident, r.DiskHits, r.FilterRejects)
+		if r.States != r.StatesTiered {
+			fmt.Printf("WARNING: %s: tiered store changed the explored state count (%d -> %d) — the equivalence gates forbid this\n",
+				r.Strategy, r.States, r.StatesTiered)
 		}
 	}
 	return nil

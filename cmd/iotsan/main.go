@@ -62,7 +62,9 @@ func main() {
 		Strategy: engine.Strategy, Workers: engine.Workers,
 		GroupParallel: engine.GroupParallel, MaxViolations: *maxViol,
 		POR: engine.POR, Symmetry: engine.Symmetry, Interpreter: *interp,
-		NoIncremental: !engine.Incremental, NoEpochReclaim: !engine.EpochReclaim}
+		NoIncremental: !engine.Incremental, NoEpochReclaim: !engine.EpochReclaim,
+		Store: engine.Store, StoreDir: engine.StoreDir, MemBudget: engine.MemBudget,
+		Checkpoint: engine.Checkpoint, Resume: engine.Resume}
 	if *concurrent {
 		opts.Design = iotsan.Concurrent
 	}

@@ -182,6 +182,20 @@ type TransitionRecycler interface {
 	RecycleTransitions(trs []Transition)
 }
 
+// DeltaCodec is optionally implemented by Systems whose states have the
+// block-structured encoding (internal/model's PR 6 layout): DeltaEncode
+// appends a delta of child's encoding against parent's — a dirty-block
+// mask plus the bytes of only the blocks that differ — and DeltaApply
+// reconstructs child's full flat encoding from parent plus such a
+// delta. The checkpoint writer spills DFS stack states in this form
+// (states on a stack differ from their parent by the few blocks one
+// transition dirtied), and resume uses DeltaApply as the integrity
+// cross-check that the re-expanded stack matches the spilled one.
+type DeltaCodec interface {
+	DeltaEncode(child, parent State, buf []byte) []byte
+	DeltaApply(parent State, delta []byte, buf []byte) ([]byte, error)
+}
+
 // ProgressCertifier is optionally implemented by Reducers that can
 // prove no cycle of the reduced state graph traverses a reduced-subset
 // transition — e.g. because every subset transition strictly decreases
@@ -222,7 +236,38 @@ const (
 	// Bitstate stores k bits per state in a fixed bit array (Spin's
 	// BITSTATE / supertrace mode).
 	Bitstate
+	// Tiered is the out-of-core exhaustive store: a hot in-process
+	// sharded tier bounded by Options.MemBudget, a file-backed bitstate
+	// filter, and an on-disk open-addressed hash tier under
+	// Options.StoreDir. Membership semantics are identical to the
+	// in-memory exhaustive store (hash-compact, keyed on the digest's
+	// first hash); the extra tiers only change where cold fingerprints
+	// live. Requires StoreDir.
+	Tiered
 )
+
+func (k StoreKind) String() string {
+	switch k {
+	case Bitstate:
+		return "bitstate"
+	case Tiered:
+		return "tiered"
+	}
+	return "exhaustive"
+}
+
+// ParseStore maps a command-line store name to its kind.
+func ParseStore(name string) (StoreKind, error) {
+	switch name {
+	case "", "exhaustive", "hash", "hash-compact":
+		return Exhaustive, nil
+	case "bitstate", "supertrace":
+		return Bitstate, nil
+	case "tiered", "out-of-core", "ooc":
+		return Tiered, nil
+	}
+	return Exhaustive, fmt.Errorf("checker: unknown store %q (want exhaustive, bitstate, or tiered)", name)
+}
 
 // StrategyKind selects the search strategy.
 type StrategyKind int
@@ -291,6 +336,35 @@ type Options struct {
 	// the result truncated. The iotsan group scheduler uses it to cancel
 	// sibling related-set searches when a global violation cap is hit.
 	Stop *atomic.Bool
+	// StoreDir is the scratch directory of the Tiered store (its filter
+	// and disk-tier files) and of the write-ahead checkpoint log. The
+	// tier files are recreated per run; only the WAL carries state
+	// across a restart. Required for Tiered and for Checkpoint.
+	StoreDir string
+	// MemBudget approximately bounds the resident bytes of the Tiered
+	// store's hot tier; beyond it, the coldest fingerprints spill
+	// write-behind to the disk tier (0 = a generous default). Digests
+	// retired through epoch reclamation are preferred spill candidates,
+	// so eviction ordering follows epoch order on the frontier
+	// strategies.
+	MemBudget int64
+	// Checkpoint enables write-ahead checkpointing on StrategyDFS:
+	// every CheckpointEvery explored states the engine appends the
+	// visited-set delta and a delta-encoded snapshot of the DFS stack
+	// to StoreDir's WAL, so a killed search can resume. Ignored (with
+	// the WAL left untouched) on the frontier strategies and under an
+	// uncertified partial-order reducer, whose visited-state proviso
+	// makes re-expansion store-dependent and a rebuilt stack unsound.
+	Checkpoint bool
+	// Resume restarts a checkpointed search from StoreDir's last
+	// durable checkpoint instead of from the initial state. A missing,
+	// corrupt, or configuration-mismatched WAL falls back to a fresh
+	// search (the WAL is truncation-tolerant: a kill mid-append resumes
+	// from the previous intact checkpoint).
+	Resume bool
+	// CheckpointEvery is the number of explored states between
+	// checkpoints (default 4096).
+	CheckpointEvery int
 	// BitstateBits is log2 of the bit-array size for Bitstate (default
 	// 26 → 64 Mbit = 8 MB).
 	BitstateBits uint
@@ -392,6 +466,28 @@ type Result struct {
 	// FaultTransitionsExplored counts explored transitions flagged as
 	// environment faults (Transition.Fault) — zero on fault-free models.
 	FaultTransitionsExplored int
+
+	// Store carries the tiered store's per-tier counters (zero-valued
+	// for the in-memory stores).
+	Store StoreStats
+}
+
+// StoreStats is the per-tier observability of a Tiered-store run.
+type StoreStats struct {
+	HotHits       int64 // duplicate hits answered by the in-process tier
+	DiskHits      int64 // duplicate hits answered by the disk tier
+	FilterRejects int64 // disk probes skipped by a filter negative
+	StoredNew     int64 // fingerprints admitted as new
+	Spilled       int64 // fingerprints moved from the hot to the disk tier
+	H1Collisions  int64 // disk hits whose second hash disagreed (hash-compact aliases)
+	PeakResident  int64 // peak hot-tier entries
+	// CheckpointBytes is the total WAL bytes written by this run's
+	// checkpoints (zero with checkpointing off).
+	CheckpointBytes int64
+	// Checkpoints counts durable checkpoints taken; Resumed marks a run
+	// that restarted from one.
+	Checkpoints int64
+	Resumed     bool
 }
 
 // HasViolation reports whether a property with the given id was violated.

@@ -66,10 +66,25 @@ type engine struct {
 	// be overwritten by it, so expandShared skips them.
 	depthByScan bool
 
-	// needH2 is set when the store derives probes from the second hash
-	// (bitstate); the exhaustive stores key on h1 alone, so the second
-	// hashing pass is skipped on their per-state hot path.
+	// needH2 is set when the store consumes the second hash — bitstate
+	// derives probe positions from it, the tiered store records it on
+	// disk as a collision diagnostic; the in-memory exhaustive stores
+	// key on h1 alone, so the second hashing pass is skipped on their
+	// per-state hot path.
 	needH2 bool
+
+	// tiered is the store downcast when Options.Store == Tiered, for
+	// the spill-hint hook and the per-tier stats in Result.
+	tiered *tieredStore
+
+	// delta is non-nil when the system supports block-delta encoding
+	// (DeltaCodec); checkpoint frames then spill as (dirty mask, dirty
+	// block bytes) against their parent instead of full vectors.
+	delta DeltaCodec
+
+	// wal is non-nil when write-ahead checkpointing is armed (DFS with
+	// Options.Checkpoint and a StoreDir, no uncertified reducer).
+	wal *wal
 
 	// bufs pools the state-vector encode buffers; workers check one out
 	// per expansion batch instead of allocating per state.
@@ -117,7 +132,8 @@ func newEngine(sys System, opts Options) *engine {
 	}
 	rec, _ := sys.(StateRecycler)
 	trec, _ := sys.(TransitionRecycler)
-	return &engine{
+	dc, _ := sys.(DeltaCodec)
+	e := &engine{
 		sys:       sys,
 		replayer:  rp,
 		reducer:   rd,
@@ -129,15 +145,51 @@ func newEngine(sys System, opts Options) *engine {
 
 		frontierRecycle: rec != nil && !opts.NoEpochReclaim,
 
+		delta: dc,
+
 		opts:   opts,
 		st:     newStore(opts, opts.Strategy != StrategyDFS),
 		start:  time.Now(),
-		needH2: opts.Store == Bitstate && !opts.NoDedup,
+		needH2: (opts.Store == Bitstate || opts.Store == Tiered) && !opts.NoDedup,
 		bufs: sync.Pool{New: func() any {
 			b := make([]byte, 0, 512)
 			return &b
 		}},
 		distinct: map[string]bool{},
+	}
+	e.tiered, _ = e.st.(*tieredStore)
+	// Checkpointing is DFS-only (the stack-invariant rebuild is its
+	// resume mechanism) and requires deterministic re-expansion: an
+	// uncertified reducer's visited-state proviso makes Reduce
+	// store-dependent, so a rebuilt stack could diverge from the
+	// checkpointed one — the WAL stays unarmed there.
+	if opts.Checkpoint && opts.StoreDir != "" && opts.Strategy == StrategyDFS &&
+		(e.reducer == nil || e.certified) {
+		w, err := newWAL(opts, e.delta != nil)
+		if err != nil {
+			panic(err)
+		}
+		e.wal = w
+	}
+	return e
+}
+
+// spillFn returns the reclamation layer's spill hook: retired states'
+// digests become preferred eviction candidates of the tiered store
+// (eviction ordering follows epoch order under memory pressure). Nil
+// without a tiered store, so the frontier strategies pay nothing.
+func (e *engine) spillFn() func(digest) {
+	if e.tiered == nil {
+		return nil
+	}
+	return e.tiered.spillHint
+}
+
+// logVisit appends a newly stored digest to the WAL's pending visit
+// batch (flushed with the next checkpoint). DFS-only, so unsynchronised.
+func (e *engine) logVisit(d digest) {
+	if e.wal != nil {
+		e.wal.pending = append(e.wal.pending, d)
 	}
 }
 
@@ -445,7 +497,9 @@ func (e *engine) visitInitial() (State, digest) {
 	d, b := e.digest(init, *buf)
 	*buf = b
 	e.putBuf(buf)
-	e.st.seen(d)
+	if !e.st.seen(d) {
+		e.logVisit(d)
+	}
 	e.explored.Add(1)
 	for _, v := range e.sys.Inspect(init) {
 		e.record(v, nil, 0)
@@ -453,13 +507,36 @@ func (e *engine) visitInitial() (State, digest) {
 	return init, d
 }
 
-// finish assembles the Result.
+// finish assembles the Result, closing the out-of-core tiers and the
+// WAL (the search has fully quiesced by the time a strategy returns).
 func (e *engine) finish() *Result {
+	var ss StoreStats
+	storedOverride := -1
+	if e.tiered != nil {
+		// Drain the spiller first: a digest mid-spill has its disk
+		// record written before its hot entry is deleted, so size()
+		// counts it twice until the spiller quiesces. count() and the
+		// resident counter stay readable after close tears the tier
+		// files down.
+		ss = e.tiered.close()
+		storedOverride = e.st.size()
+	}
+	if e.wal != nil {
+		ss.CheckpointBytes = e.wal.bytes
+		ss.Checkpoints = e.wal.checkpoints
+		ss.Resumed = e.wal.resumed
+		e.wal.close()
+	}
+	stored := storedOverride
+	if stored < 0 {
+		stored = e.st.size()
+	}
 	return &Result{
+		Store:           ss,
 		Violations:      e.found,
 		StatesExplored:  int(e.explored.Load()),
 		StatesMatched:   int(e.matched.Load()),
-		StatesStored:    e.st.size(),
+		StatesStored:    stored,
 		MaxDepthReached: int(e.maxDepth.Load()),
 		Truncated:       e.truncated.Load(),
 		Elapsed:         time.Since(e.start),

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package checker
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap reports failure; the
+// tiered store then falls back to a heap-resident table flushed to the
+// file on close (see mappedFile). Semantics are unchanged — only the
+// out-of-core residency is lost.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("mmap unavailable")
+}
+
+func bytesToWords(b []byte) []uint64 { return nil }

@@ -52,13 +52,19 @@ import "sync/atomic"
 // every online worker's fresh pin.
 const reclaimEpochLag = 2
 
-// limboBucket holds states retired at one epoch. Buckets are recycled
-// modulo reclaimEpochLag+1: by the time a bucket's index comes around
-// again the global epoch has necessarily advanced past its fill epoch
-// by at least reclaimEpochLag+1, so refilling it first drains it.
+// limboBucket holds states retired at one epoch, alongside their
+// visited-store digests: a retired state is exactly a proven-cold
+// state, so its digest is the tiered store's preferred spill candidate
+// — drain hands states to the free-list and digests to the spill
+// write-behind in the same pass, which is how eviction ordering falls
+// out of epoch order for free. Buckets are recycled modulo
+// reclaimEpochLag+1: by the time a bucket's index comes around again
+// the global epoch has necessarily advanced past its fill epoch by at
+// least reclaimEpochLag+1, so refilling it first drains it.
 type limboBucket struct {
-	epoch  uint64
-	states []State
+	epoch   uint64
+	states  []State
+	digests []digest
 }
 
 // reclaimSlot is one worker's view of the reclamation protocol. The
@@ -77,18 +83,22 @@ type reclaimSlot struct {
 	local atomic.Uint64
 	_     [56]byte
 	limbo [reclaimEpochLag + 1]limboBucket // owner-only
-	_pad  [32]byte
+	_pad  [24]byte
 }
 
-// reclaimer coordinates epoch-based reclamation for one search.
+// reclaimer coordinates epoch-based reclamation for one search. spill,
+// when non-nil (tiered store), receives each drained state's digest —
+// the write-behind attachment point the out-of-core store evicts
+// through.
 type reclaimer struct {
 	rec    StateRecycler
+	spill  func(digest)
 	global atomic.Uint64
 	slots  []reclaimSlot
 }
 
-func newReclaimer(rec StateRecycler, slots int) *reclaimer {
-	rc := &reclaimer{rec: rec, slots: make([]reclaimSlot, slots)}
+func newReclaimer(rec StateRecycler, slots int, spill func(digest)) *reclaimer {
+	rc := &reclaimer{rec: rec, spill: spill, slots: make([]reclaimSlot, slots)}
 	// Start above zero so an empty bucket's zero fill-epoch can never
 	// alias a live epoch.
 	rc.global.Store(1)
@@ -131,10 +141,12 @@ func (rc *reclaimer) pin(w int) uint64 {
 }
 
 // retire places a consumed, fully expanded state in w's limbo, stamped
-// with the epoch w pinned before consuming it. Owner-only.
+// with the epoch w pinned before consuming it and paired with its
+// visited-store digest (the spill candidate drain forwards to the
+// tiered store). Owner-only.
 //
 //iotsan:retires s
-func (rc *reclaimer) retire(w int, epoch uint64, s State) {
+func (rc *reclaimer) retire(w int, epoch uint64, s State, d digest) {
 	b := &rc.slots[w].limbo[epoch%(reclaimEpochLag+1)]
 	if b.epoch != epoch {
 		// The bucket index wrapped around: its fill epoch trails the
@@ -146,6 +158,7 @@ func (rc *reclaimer) retire(w int, epoch uint64, s State) {
 		b.epoch = epoch
 	}
 	b.states = append(b.states, s)
+	b.digests = append(b.digests, d)
 }
 
 // tryAdvance moves the global epoch forward one step if every online
@@ -163,12 +176,22 @@ func (rc *reclaimer) tryAdvance() {
 	rc.global.CompareAndSwap(g, g+1)
 }
 
+// drain recycles a grace-period-expired bucket's states and, with a
+// tiered store attached, hands their digests to the spill write-behind
+// — the retired set is exactly the proven-cold set, so this is the one
+// place eviction pressure enters in epoch order.
 func (rc *reclaimer) drain(b *limboBucket) {
 	for i, st := range b.states {
 		rc.rec.Recycle(st)
 		b.states[i] = nil
 	}
 	b.states = b.states[:0]
+	if rc.spill != nil {
+		for _, d := range b.digests {
+			rc.spill(d)
+		}
+	}
+	b.digests = b.digests[:0]
 }
 
 // drainAll reclaims every limbo state unconditionally. Only safe after

@@ -76,7 +76,11 @@ type store interface {
 }
 
 // newStore builds the visited store for a run. parallel selects the
-// concurrency-safe variants.
+// concurrency-safe variants; the tiered store is concurrency-safe by
+// construction and serves both. A tiered store that cannot open its
+// files (missing StoreDir, I/O failure) is an environment error the
+// caller cannot recover mid-run, so it panics with the cause — the
+// iotsan layer validates and creates the directory before running.
 func newStore(opts Options, parallel bool) store {
 	switch {
 	case opts.NoDedup:
@@ -89,6 +93,12 @@ func newStore(opts Options, parallel bool) store {
 			return newAtomicBitStore(opts.BitstateBits, opts.BitstateK)
 		}
 		return newBitStore(opts.BitstateBits, opts.BitstateK)
+	case opts.Store == Tiered:
+		ts, err := newTieredStore(opts.StoreDir, opts.MemBudget)
+		if err != nil {
+			panic(err)
+		}
+		return ts
 	default:
 		if parallel {
 			return newShardedHashStore()

@@ -1,34 +1,54 @@
 package checker
 
+import "bytes"
+
 // sequentialDFS is the default strategy: a single-goroutine iterative
 // depth-first search that threads the counter-example trail through the
 // DFS stack. Exploration order, trails, and table outputs are fully
-// deterministic given the system's Expand order.
+// deterministic given the system's Expand order — which is also what
+// makes the search checkpointable: the WAL spills the stack as one
+// next-index per frame, and resume rebuilds the identical stack by
+// re-expanding along those indices (see wal.go for the durability
+// contract).
 type sequentialDFS struct{}
 
-func (sequentialDFS) search(e *engine) {
-	init, _ := e.visitInitial()
-	if e.limitHit() {
-		e.truncated.Store(true)
-		return
-	}
+// dfsFrame is one stack frame of the iterative DFS. The invariant the
+// checkpoint format leans on: for every non-top frame i, the child
+// frame i+1 holds succs[next-1].Next.
+type dfsFrame struct {
+	state State
+	succs []Transition
+	next  int
+}
 
-	type frame struct {
-		state State
-		succs []Transition
-		next  int
-	}
+func (s sequentialDFS) search(e *engine) {
 	var trail []TrailStep
 	bufp := e.getBuf()
 	defer e.putBuf(bufp)
 	buf := *bufp
 	defer func() { *bufp = buf }()
 
-	var succs []Transition
-	succs, buf = e.expand(init, buf, true)
-	stack := []frame{{state: init, succs: succs}}
+	var stack []dfsFrame
+	if e.wal != nil && e.wal.resumeCk != nil {
+		stack, trail, buf = resumeDFS(e, buf)
+	}
+	if stack == nil {
+		init, _ := e.visitInitial()
+		if e.limitHit() {
+			e.truncated.Store(true)
+			return
+		}
+		var succs []Transition
+		succs, buf = e.expand(init, buf, true)
+		stack = []dfsFrame{{state: init, succs: succs}}
+	}
 
 	for len(stack) > 0 {
+		if e.wal != nil {
+			// Loop top is the one point where the stack invariant holds
+			// for every frame, so it is the only checkpoint site.
+			buf = e.wal.maybeCheckpoint(e, stack, buf)
+		}
 		if e.limitHit() {
 			e.truncated.Store(true)
 			break
@@ -108,8 +128,109 @@ func (sequentialDFS) search(e *engine) {
 			}
 			continue
 		}
+		e.logVisit(d)
 		e.explored.Add(1)
+		var succs []Transition
 		succs, buf = e.expand(tr.Next, buf, true)
-		stack = append(stack, frame{state: tr.Next, succs: succs})
+		stack = append(stack, dfsFrame{state: tr.Next, succs: succs})
 	}
+}
+
+// resumeDFS rebuilds a checkpointed search. The rebuild is pure —
+// deterministic re-expansion from the initial state touches neither
+// the visited store nor the counters — so a failed integrity check can
+// abandon cleanly: the WAL is reset and the caller falls through to a
+// fresh search. Only after every frame verifies does the commit phase
+// replay the logged visits into the store and restore counters and
+// violations.
+func resumeDFS(e *engine, buf []byte) ([]dfsFrame, []TrailStep, []byte) {
+	w := e.wal
+	ck := w.resumeCk
+	abandon := func() ([]dfsFrame, []TrailStep, []byte) {
+		w.reset(walFingerprint(e.opts))
+		return nil, nil, buf
+	}
+	if len(ck.Frames) == 0 {
+		return abandon()
+	}
+
+	// Phase 1: rebuild and verify. Each frame's recorded delta must
+	// reproduce the re-expanded child's encoding byte for byte —
+	// checking both that the model still generates the same graph and
+	// that the block codec round-trips.
+	init := e.sys.Initial()
+	var enc, scratch []byte
+	enc = init.Encode(enc)
+	if !ck.Frames[0].Full || !bytes.Equal(enc, ck.Frames[0].Delta) {
+		return abandon()
+	}
+	var succs []Transition
+	succs, buf = e.expand(init, buf, false)
+	stack := make([]dfsFrame, 0, len(ck.Frames))
+	stack = append(stack, dfsFrame{state: init, succs: succs, next: ck.Frames[0].Next})
+	var trail []TrailStep
+	for i := 1; i < len(ck.Frames); i++ {
+		parent := &stack[i-1]
+		idx := parent.next - 1
+		if idx < 0 || idx >= len(parent.succs) {
+			return abandon()
+		}
+		tr := parent.succs[idx]
+		fr := ck.Frames[i]
+		enc = tr.Next.Encode(enc[:0])
+		if fr.Full {
+			if !bytes.Equal(enc, fr.Delta) {
+				return abandon()
+			}
+		} else {
+			if e.delta == nil {
+				return abandon()
+			}
+			recon, err := e.delta.DeltaApply(parent.state, fr.Delta, scratch[:0])
+			if err != nil || !bytes.Equal(recon, enc) {
+				return abandon()
+			}
+			scratch = recon
+		}
+		trail = append(trail, TrailStep{Label: tr.Label, Steps: tr.Steps, From: parent.state, Key: tr.Key})
+		succs, buf = e.expand(tr.Next, buf, false)
+		stack = append(stack, dfsFrame{state: tr.Next, succs: succs, next: fr.Next})
+	}
+
+	// Phase 2: commit. Replaying the visit log rebuilds the visited
+	// store exactly as it stood at the checkpoint (for the tiered store
+	// the replay re-runs admission, so spill pressure re-forms
+	// naturally); counters and the violation set are restored verbatim.
+	for _, d := range w.resumeVisits {
+		e.st.seen(d)
+	}
+	e.explored.Store(ck.Explored)
+	e.matched.Store(ck.Matched)
+	e.maxDepth.Store(ck.MaxDepth)
+	e.porChoices.Store(ck.PORChoices)
+	e.porPruned.Store(ck.PORPruned)
+	e.porFallback.Store(ck.PORFallback)
+	e.faultTrs.Store(ck.FaultTrs)
+	for _, v := range ck.Violations {
+		f := Found{
+			Violation: Violation{Property: v.Property, Detail: v.Detail},
+			Depth:     v.Depth,
+		}
+		for _, st := range v.Trail {
+			steps := st.Steps
+			if steps == nil {
+				steps = []string{}
+			}
+			f.Trail = append(f.Trail, TrailStep{Label: st.Label, Steps: steps})
+		}
+		e.found = append(e.found, f)
+		e.distinct[v.Property+"\x00"+v.Detail] = true
+	}
+	e.reserved = len(e.found)
+	e.violCount.Store(int64(len(e.found)))
+
+	w.lastCkptExplored = ck.Explored
+	w.resumed = true
+	w.resumeCk, w.resumeVisits = nil, nil
+	return stack, trail, buf
 }

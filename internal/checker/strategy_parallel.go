@@ -246,8 +246,17 @@ func (s *parallelBFS) search(e *engine) {
 		return
 	}
 	parents := newParentStore(d0.h1, init)
+	// A frontier state consumed at a level barrier is proven cold (the
+	// merge overwrites its slot), so its digest is the tiered store's
+	// preferred spill candidate — the level barrier is this strategy's
+	// reclamation epoch.
+	spill := e.spillFn()
 
 	frontier := []frontierEntry{{state: init, d: d0}}
+	if workers == 1 {
+		s.searchSingle(e, parents, spill, init, frontier)
+		return
+	}
 	// Per-worker next-frontier parts are allocated once and reused
 	// across every merge barrier: workers append into a local slice and
 	// write the header back on exit, so the shared array sees one store
@@ -298,6 +307,9 @@ func (s *parallelBFS) search(e *engine) {
 					// trail replay; a truncated expansion skips (its
 					// unconsumed successors keep the state conservative).
 					if ok && e.frontierRecycle && ent.state != init {
+						if spill != nil {
+							spill(ent.d)
+						}
 						e.rec.Recycle(ent.state)
 					}
 				}
@@ -311,6 +323,54 @@ func (s *parallelBFS) search(e *engine) {
 		for w := range next {
 			frontier = append(frontier, next[w]...)
 		}
+	}
+}
+
+// searchSingle is the workers=1 fast path of the level-synchronous
+// strategy: the semantics (level order, parent links, trails, counters)
+// are identical to the general path, but each level is a plain slice
+// walk — no goroutine spawn, no WaitGroup, no atomic claim cursor, and
+// the encode buffer and enqueue closure are bound once per search
+// instead of once per level. The general path at workers=1 paid all of
+// that per level for zero concurrency, which is where its per-worker
+// parity trailed the steal strategy's (BENCH_2026-08-07: 0.52 vs 0.77).
+func (s *parallelBFS) searchSingle(e *engine, parents *parentStore, spill func(digest), init State, frontier []frontierEntry) {
+	bufp := e.getBuf()
+	defer e.putBuf(bufp)
+	buf := *bufp
+	defer func() { *bufp = buf }()
+	var sc statCell
+	defer sc.flush(e)
+
+	var part []frontierEntry
+	enq := func(st State, d digest) {
+		part = append(part, frontierEntry{state: st, d: d})
+	}
+	for depth := 1; len(frontier) > 0; depth++ {
+		if depth > e.opts.MaxDepth {
+			e.truncated.Store(true)
+			return
+		}
+		part = part[:0]
+		for i := range frontier {
+			if e.limitHit() {
+				e.truncated.Store(true)
+				return
+			}
+			ent := frontier[i]
+			var ok bool
+			buf, ok = expandShared(e, parents, ent.state, ent.d.h1, depth, buf, true, &sc, enq, nil)
+			if !ok {
+				return // limit hit mid-expansion; truncated is set
+			}
+			if e.frontierRecycle && ent.state != init {
+				if spill != nil {
+					spill(ent.d)
+				}
+				e.rec.Recycle(ent.state)
+			}
+		}
+		frontier = append(frontier[:0], part...)
 	}
 }
 

@@ -161,7 +161,7 @@ func (s *workSteal) search(e *engine) {
 		r.deques[i] = newWSDeque()
 	}
 	if e.frontierRecycle {
-		r.reclaim = newReclaimer(e.rec, max)
+		r.reclaim = newReclaimer(e.rec, max, e.spillFn())
 	}
 	r.cnts[0].sent.Store(1)
 	r.deques[0].push(&stealEntry{state: init, d: d0})
@@ -505,14 +505,16 @@ func (r *stealRun) stealFrom(w int, rng *uint64) *stealEntry {
 }
 
 // retireState hands a consumed, fully expanded state to the
-// reclamation layer (the root is exempt: trail replay starts from it).
+// reclamation layer together with its digest — the spill candidate the
+// tiered store evicts in epoch order (the root is exempt: trail replay
+// starts from it).
 //
 //iotsan:retires st
-func (r *stealRun) retireState(w int, epoch uint64, st State) {
+func (r *stealRun) retireState(w int, epoch uint64, st State, d digest) {
 	if r.reclaim == nil || st == r.parents.rootState {
 		return
 	}
-	r.reclaim.retire(w, epoch, st)
+	r.reclaim.retire(w, epoch, st, d)
 }
 
 // expand processes one entry through the shared expansion path,
@@ -538,15 +540,15 @@ func (r *stealRun) expand(ent *stealEntry, c *wsCtx, buf []byte) []byte {
 		// bound and re-enqueues it — via the duplicate clone the onDup
 		// hook is handed, never this one, so this clone has left every
 		// live structure and can retire).
-		st := ent.state
+		st, d := ent.state, ent.d
 		r.putEntry(c.w, ent)
-		r.retireState(c.w, c.epoch, st)
+		r.retireState(c.w, c.epoch, st, d)
 		return buf
 	}
 	c.childDepth = int(depth) + 1
 	buf, ok := expandShared(e, r.parents, ent.state, ent.d.h1, c.childDepth, buf, count, c.sc, c.enq, c.dup)
 	if ok {
-		r.retireState(c.w, c.epoch, ent.state)
+		r.retireState(c.w, c.epoch, ent.state, ent.d)
 	}
 	r.putEntry(c.w, ent)
 	return buf

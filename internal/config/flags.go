@@ -6,6 +6,7 @@
 package config
 
 import (
+	"errors"
 	"flag"
 
 	"iotsan/internal/checker"
@@ -24,6 +25,11 @@ type Engine struct {
 	Failures      bool
 	Faults        bool
 	MaxFaults     int
+	Store         checker.StoreKind
+	StoreDir      string
+	MemBudget     int64
+	Checkpoint    bool
+	Resume        bool
 }
 
 // EngineFlags holds the registered (unparsed) engine flags; call
@@ -39,6 +45,11 @@ type EngineFlags struct {
 	failures      *bool
 	faults        *bool
 	maxFaults     *int
+	store         *string
+	storeDir      *string
+	memBudget     *int64
+	checkpoint    *bool
+	resume        *bool
 }
 
 // RegisterEngineFlags declares the shared engine flags on a flag set
@@ -65,6 +76,16 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 			"persistent fault injection: device outages, delayed/dropped commands, stale reads"),
 		maxFaults: fs.Int("max-faults", 1,
 			"budget of fault transitions per path with -faults (outages and drops each cost one; 0 keeps the fault layer inert)"),
+		store: fs.String("store", "exhaustive",
+			"visited-state store: exhaustive (in-memory hash-compact), bitstate (supertrace bit array), or tiered (out-of-core: memory-budgeted hot tier spilling to file-backed filter + disk hash tiers; requires -store-dir)"),
+		storeDir: fs.String("store-dir", "",
+			"scratch directory for -store tiered (per-group tier files and the checkpoint WAL)"),
+		memBudget: fs.Int64("mem-budget", 0,
+			"approximate resident bytes of hot-tier fingerprints per related set with -store tiered (0 = 64 MiB)"),
+		checkpoint: fs.Bool("checkpoint", false,
+			"write-ahead checkpoint the search to <store-dir>/*/wal.log (tiered store, sequential DFS); a killed run can continue with -resume"),
+		resume: fs.Bool("resume", false,
+			"resume each related set from its last durable checkpoint in -store-dir (falls back to a fresh search when no intact checkpoint exists)"),
 	}
 }
 
@@ -73,6 +94,16 @@ func (f *EngineFlags) Engine() (Engine, error) {
 	strat, err := checker.ParseStrategy(*f.strategy)
 	if err != nil {
 		return Engine{}, err
+	}
+	store, err := checker.ParseStore(*f.store)
+	if err != nil {
+		return Engine{}, err
+	}
+	if store == checker.Tiered && *f.storeDir == "" {
+		return Engine{}, errors.New("config: -store tiered requires -store-dir")
+	}
+	if (*f.checkpoint || *f.resume) && *f.storeDir == "" {
+		return Engine{}, errors.New("config: -checkpoint/-resume require -store-dir")
 	}
 	return Engine{
 		Strategy:      strat,
@@ -85,5 +116,10 @@ func (f *EngineFlags) Engine() (Engine, error) {
 		Failures:      *f.failures,
 		Faults:        *f.faults,
 		MaxFaults:     *f.maxFaults,
+		Store:         store,
+		StoreDir:      *f.storeDir,
+		MemBudget:     *f.memBudget,
+		Checkpoint:    *f.checkpoint,
+		Resume:        *f.resume,
 	}, nil
 }

@@ -18,6 +18,11 @@ var (
 	engineFailures      bool
 	engineFaults        bool
 	engineMaxFaults     int
+	engineStore         iotsan.StoreSelector
+	engineStoreDir      string
+	engineMemBudget     int64
+	engineCheckpoint    bool
+	engineResume        bool
 )
 
 // SetEngine selects the checker engine used by the Run* experiments
@@ -62,6 +67,22 @@ func SetFaults(on bool, maxFaults int) {
 	engineMaxFaults = maxFaults
 }
 
+// SetStore selects the visited-state store for the Run* experiments
+// and benchmark workloads: kind, the tiered store's scratch directory,
+// and its resident hot-tier byte budget (0 = default).
+func SetStore(kind iotsan.StoreSelector, dir string, memBudget int64) {
+	engineStore = kind
+	engineStoreDir = dir
+	engineMemBudget = memBudget
+}
+
+// SetCheckpoint configures write-ahead checkpointing and resume for
+// the Run* experiments (sequential DFS with the tiered store).
+func SetCheckpoint(checkpoint, resume bool) {
+	engineCheckpoint = checkpoint
+	engineResume = resume
+}
+
 // engineOptions applies the configured engine to an analysis run.
 // Failure/fault modes are OR-ed in, never cleared, so experiments that
 // hard-enable a mode (RunTable5's Failures) keep it regardless of the
@@ -80,6 +101,16 @@ func engineOptions(o iotsan.Options) iotsan.Options {
 	if engineFaults {
 		o.Faults = true
 		o.MaxFaults = engineMaxFaults
+	}
+	if engineStore != iotsan.StoreExhaustive {
+		o.Store = engineStore
+		o.StoreDir = engineStoreDir
+		o.MemBudget = engineMemBudget
+	}
+	if engineCheckpoint || engineResume {
+		o.StoreDir = engineStoreDir
+		o.Checkpoint = engineCheckpoint
+		o.Resume = engineResume
 	}
 	return o
 }

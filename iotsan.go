@@ -19,6 +19,8 @@ package iotsan
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -80,6 +82,26 @@ const (
 // its kind.
 func ParseStrategy(name string) (Strategy, error) { return checker.ParseStrategy(name) }
 
+// StoreSelector selects the checker's visited-state store.
+type StoreSelector = checker.StoreKind
+
+// Store kinds.
+const (
+	// StoreExhaustive is the in-memory hash-compact store (default).
+	StoreExhaustive = checker.Exhaustive
+	// StoreBitstate is the fixed bit-array supertrace store.
+	StoreBitstate = checker.Bitstate
+	// StoreTiered is the out-of-core store: a memory-budgeted hot tier
+	// spilling through a file-backed bit filter to an on-disk hash
+	// tier, with optional write-ahead checkpointing. Requires
+	// Options.StoreDir.
+	StoreTiered = checker.Tiered
+)
+
+// ParseStore maps a store name ("exhaustive", "bitstate", "tiered") to
+// its kind.
+func ParseStore(name string) (StoreSelector, error) { return checker.ParseStore(name) }
+
 // Options configure an analysis run.
 type Options struct {
 	// MaxEvents is the number of external events the checker injects
@@ -110,8 +132,29 @@ type Options struct {
 	// NoDepGraph disables related-set decomposition (ablation; the
 	// whole system is checked as one group).
 	NoDepGraph bool
-	// Store selects the visited-state store (Exhaustive default).
+	// Bitstate selects the bitstate (supertrace) visited store — the
+	// legacy toggle, equivalent to Store == StoreBitstate.
 	Bitstate bool
+	// Store selects the visited-state store explicitly (the zero value
+	// keeps the in-memory exhaustive store; see StoreExhaustive /
+	// StoreBitstate / StoreTiered). StoreTiered requires StoreDir: each
+	// related set gets its own subdirectory of tier files, so groups can
+	// verify concurrently under GroupParallel.
+	Store StoreSelector
+	// StoreDir is the scratch/WAL directory for StoreTiered (and for
+	// Checkpoint/Resume). Created if missing.
+	StoreDir string
+	// MemBudget bounds the tiered store's resident hot-tier fingerprint
+	// bytes per related set (0 = 64 MiB).
+	MemBudget int64
+	// Checkpoint write-ahead logs the search so a killed run can
+	// Resume from the last durable checkpoint. Effective on the
+	// sequential DFS with StoreTiered.
+	Checkpoint bool
+	// Resume continues each related set from its last intact checkpoint
+	// under StoreDir; corrupt, missing, or configuration-mismatched WALs
+	// fall back to a fresh search.
+	Resume bool
 	// Strategy selects the checker search strategy (StrategyDFS
 	// default; StrategyParallel and StrategySteal use Workers
 	// goroutines).
@@ -302,12 +345,12 @@ func runGroups(rep *Report, sys *System, apps map[string]*ir.App, groups [][]str
 	seen := map[string]bool{}
 
 	if !opts.GroupParallel || len(groups) <= 1 {
-		for _, groupApps := range groups {
+		for i, groupApps := range groups {
 			// Once the violation cap sets the stop flag, remaining
 			// verifications return immediately (truncated at the initial
 			// state) but still produce a GroupResult, so Report.Groups
 			// always covers every related set in order.
-			gr, err := verifyGroup(subSystem(sys, groupApps), apps, opts, stop, nil)
+			gr, err := verifyGroup(subSystem(sys, groupApps), apps, opts, i, stop, nil)
 			if err != nil {
 				return err
 			}
@@ -331,7 +374,7 @@ func runGroups(rep *Report, sys *System, apps map[string]*ir.App, groups [][]str
 			// A group admitted after the stop flag is set still runs —
 			// its search stops at the initial state — so Report.Groups
 			// carries one entry per related set in both scheduler modes.
-			results[i], errs[i] = verifyGroup(subSystem(sys, groupApps), apps, opts, stop, budget)
+			results[i], errs[i] = verifyGroup(subSystem(sys, groupApps), apps, opts, i, stop, budget)
 		}(i, groupApps)
 	}
 
@@ -439,7 +482,11 @@ func subSystem(sys *System, appNames []string) *System {
 	return sub
 }
 
-func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomic.Bool, budget *checker.WorkerBudget) (*GroupResult, error) {
+// verifyGroup checks one related set. gidx is the set's position in
+// deterministic group order; it keys the group's private tiered-store
+// subdirectory, which is what makes a -resume run find the WAL the
+// killed run wrote for the same group.
+func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, gidx int, stop *atomic.Bool, budget *checker.WorkerBudget) (*GroupResult, error) {
 	invs, err := props.CompileInvariants(sub, filterPhysical(opts.Properties), opts.Thresholds)
 	if err != nil {
 		return nil, err
@@ -490,6 +537,25 @@ func verifyGroup(sub *System, apps map[string]*ir.App, opts Options, stop *atomi
 	}
 	if opts.Bitstate {
 		copts.Store = checker.Bitstate
+	}
+	if opts.Store != checker.Exhaustive {
+		copts.Store = opts.Store
+	}
+	if copts.Store == checker.Tiered || opts.Checkpoint || opts.Resume {
+		if opts.StoreDir == "" {
+			return nil, fmt.Errorf("iotsan: StoreTiered/Checkpoint/Resume require Options.StoreDir")
+		}
+		// One subdirectory per related set: groups verify concurrently
+		// under GroupParallel and must not share tier files, and the
+		// per-group WAL path must be stable across runs for Resume.
+		dir := filepath.Join(opts.StoreDir, fmt.Sprintf("group-%03d", gidx))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("iotsan: store directory: %w", err)
+		}
+		copts.StoreDir = dir
+		copts.MemBudget = opts.MemBudget
+		copts.Checkpoint = opts.Checkpoint
+		copts.Resume = opts.Resume
 	}
 	res := checker.Run(m.System(), copts)
 

@@ -67,10 +67,15 @@ func TestStealPerWorkerParity(t *testing.T) {
 }
 
 // TestParallelPerWorkerParity: the level-synchronous strategy at a
-// single worker pays its merge barrier once per level — a real,
-// retained cost that recycling does not remove — so its bound is lower
-// than steal's: it must hold 0.35× DFS throughput (measured ~0.5-0.9×
-// depending on runner load; the seed ran ~0.3×).
+// single worker runs the searchSingle fast path (no goroutine spawn,
+// claim cursor, or merge barrier — worth ~5% on this workload), but it
+// still holds every state of the current BFS level live until the next
+// level completes, so the frontier recycler's free list starves on
+// growing levels and most clones allocate fresh (~38% of the profile,
+// plus the GC scanning the live level). That cost is semantic — steal
+// at one worker pops LIFO and keeps a DFS-sized live set, which is why
+// it holds ~0.9× while level-synchronous measures ~0.5×. The bound is
+// 0.40× (measured 0.49-0.56× across runs; the seed ran ~0.3×).
 func TestParallelPerWorkerParity(t *testing.T) {
 	if raceEnabled {
 		t.Skip("timing assertion skipped under the race detector")
@@ -85,7 +90,7 @@ func TestParallelPerWorkerParity(t *testing.T) {
 	dfs, par := measureParityPair(t, m, copts, checker.StrategyParallel, 5)
 	ratio := par / dfs
 	t.Logf("%s: dfs %.0f states/s, parallel=1 %.0f states/s → %.2fx", desc, dfs, par, ratio)
-	if ratio < 0.35 {
-		t.Errorf("parallel=1 runs at %.2fx of DFS throughput, want >= 0.35x", ratio)
+	if ratio < 0.40 {
+		t.Errorf("parallel=1 runs at %.2fx of DFS throughput, want >= 0.40x", ratio)
 	}
 }
